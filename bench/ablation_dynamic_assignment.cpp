@@ -1,0 +1,16 @@
+// Extension of §4.2: the two dynamic wire-distribution schemes the paper
+// describes but could not simulate (CBS lacked reception interrupts),
+// compared against the static ThresholdCost assignment it used instead.
+// Expected story: polled dynamic distribution stalls requesters behind the
+// queue owner's wires; interrupt servicing recovers the time but both
+// dynamic modes lose the locality benefits of the static assignment.
+#include "bench_main.hpp"
+#include "harness/experiments.hpp"
+
+int main(int argc, char** argv) {
+  locus::Circuit bnre = locus::make_bnre_like();
+  return locus::benchmain::run(
+      argc, argv, "Ablation: dynamic vs static wire distribution (Section 4.2)",
+      {{"distribution schemes",
+        [&] { return locus::run_ablation_dynamic_assignment(bnre); }}});
+}

@@ -1,0 +1,12 @@
+// Ablation (§4.3.1): the three update packet structures the paper weighs —
+// wire based, whole region, and the chosen bounding box of changes.
+#include "bench_main.hpp"
+#include "harness/experiments.hpp"
+
+int main(int argc, char** argv) {
+  locus::Circuit bnre = locus::make_bnre_like();
+  return locus::benchmain::run(
+      argc, argv, "Ablation: update packet structure (Section 4.3.1)",
+      {{"packet structure sweep",
+        [&] { return locus::run_ablation_packet_structure(bnre); }}});
+}

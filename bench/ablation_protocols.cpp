@@ -1,0 +1,11 @@
+// Ablation: coherence protocol choice. The paper used Write Back with
+// Invalidate; write-through and Illinois MESI bound it from both sides.
+#include "bench_main.hpp"
+#include "harness/experiments.hpp"
+
+int main(int argc, char** argv) {
+  locus::Circuit bnre = locus::make_bnre_like();
+  return locus::benchmain::run(
+      argc, argv, "Ablation: cache coherence protocols",
+      {{"protocol sweep", [&] { return locus::run_ablation_protocols(bnre); }}});
+}

@@ -1,0 +1,15 @@
+// Router design ablations beyond the paper: MST pin decomposition,
+// quadratic congestion pricing, and wider exploration, plus the §3 claim
+// that several rip-up-and-reroute iterations improve the final quality.
+#include "bench_main.hpp"
+#include "harness/experiments.hpp"
+
+int main(int argc, char** argv) {
+  locus::Circuit bnre = locus::make_bnre_like();
+  return locus::benchmain::run(
+      argc, argv, "Ablation: router design choices",
+      {{"router variants (sequential, bnrE-like)",
+        [&] { return locus::run_ablation_router(bnre); }},
+       {"iteration convergence (Section 3)",
+        [&] { return locus::run_iteration_convergence(bnre); }}});
+}

@@ -1,0 +1,15 @@
+// Sweeps of the two design knobs the paper fixes by fiat: the request
+// lookahead ("we chose to have processors request updates for five wires at
+// a time", §4.3.3) and the ThresholdCost locality/balance tradeoff (§4.2).
+#include "bench_main.hpp"
+#include "harness/experiments.hpp"
+
+int main(int argc, char** argv) {
+  locus::Circuit bnre = locus::make_bnre_like();
+  return locus::benchmain::run(
+      argc, argv, "Ablation: request lookahead and ThresholdCost sweeps",
+      {{"request lookahead (receiver initiated, Section 4.3.3)",
+        [&] { return locus::run_ablation_lookahead(bnre); }},
+       {"ThresholdCost sweep (Section 4.2)",
+        [&] { return locus::run_threshold_sweep(bnre); }}});
+}

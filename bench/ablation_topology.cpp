@@ -1,0 +1,11 @@
+// Ablation: interconnect edges — the paper's 2D mesh vs a 2D torus
+// (CBS simulated k-ary n-cubes; wraparound shortens routes).
+#include "bench_main.hpp"
+#include "harness/experiments.hpp"
+
+int main(int argc, char** argv) {
+  locus::Circuit bnre = locus::make_bnre_like();
+  return locus::benchmain::run(
+      argc, argv, "Ablation: interconnect topology",
+      {{"mesh vs torus", [&] { return locus::run_ablation_topology(bnre); }}});
+}

@@ -1,0 +1,43 @@
+// Shared scaffolding for the table-reproduction bench binaries: builds the
+// benchmark circuits, prints a titled table (optionally as CSV with --csv),
+// and reports wall time. Each binary reproduces one table/figure/section of
+// the paper's evaluation; see DESIGN.md's experiment index.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "circuit/generator.hpp"
+#include "support/cli.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+
+namespace locus::benchmain {
+
+struct Section {
+  std::string title;
+  std::function<Table()> build;
+};
+
+inline int run(int argc, char** argv, const std::string& heading,
+               const std::vector<Section>& sections) {
+  Cli cli;
+  cli.flag("csv", "emit CSV instead of aligned tables", false);
+  if (!cli.parse(argc, argv)) return 1;
+  const bool csv = cli.get_bool("csv");
+
+  std::printf("=== %s ===\n", heading.c_str());
+  Stopwatch total;
+  for (const Section& section : sections) {
+    Stopwatch sw;
+    Table table = section.build();
+    std::printf("\n-- %s (built in %.2fs) --\n", section.title.c_str(), sw.seconds());
+    std::fputs((csv ? table.render_csv() : table.render()).c_str(), stdout);
+  }
+  std::printf("\ntotal wall time: %.2fs\n", total.seconds());
+  return 0;
+}
+
+}  // namespace locus::benchmain

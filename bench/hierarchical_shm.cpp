@@ -1,0 +1,14 @@
+// Extension of §5.3 ("locality will become an important part of future
+// program design" on hierarchical shared memory machines) and of §5.1.1's
+// bus-contention footnote: remote-reference fraction and NUMA memory time
+// per wire assignment, plus snooping-bus occupancy of the coherence traffic.
+#include "bench_main.hpp"
+#include "harness/experiments.hpp"
+
+int main(int argc, char** argv) {
+  locus::Circuit bnre = locus::make_bnre_like();
+  return locus::benchmain::run(
+      argc, argv, "Extension: hierarchical shared memory and bus occupancy",
+      {{"NUMA and bus estimates per assignment",
+        [&] { return locus::run_hierarchical_shm(bnre); }}});
+}

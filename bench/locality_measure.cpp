@@ -1,0 +1,14 @@
+// Reproduces §5.3.3: the locality measure — mean mesh-hop distance between
+// the processor routing a segment and the owner of the region it lies in
+// (paper: 1.21 for bnrE, 0.91 for MDC under the most local assignment).
+#include "bench_main.hpp"
+#include "harness/experiments.hpp"
+
+int main(int argc, char** argv) {
+  locus::Circuit bnre = locus::make_bnre_like();
+  locus::Circuit mdc = locus::make_mdc_like();
+  return locus::benchmain::run(
+      argc, argv, "Section 5.3.3: locality measure",
+      {{"mean owner distance of routed segments",
+        [&] { return locus::run_locality_measure(bnre, mdc); }}});
+}

@@ -1,0 +1,63 @@
+// google-benchmark microbenchmarks for the CBS-like simulator substrate:
+// event queue throughput and wormhole network injection.
+#include <benchmark/benchmark.h>
+
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+#include "sim/topology.hpp"
+
+namespace {
+
+using namespace locus;
+
+void BM_EventQueue(benchmark::State& state) {
+  const std::int64_t batch = state.range(0);
+  for (auto _ : state) {
+    EventQueue q;
+    std::int64_t sink = 0;
+    for (std::int64_t i = 0; i < batch; ++i) {
+      q.schedule(i % 97, [&sink] { ++sink; });
+    }
+    q.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(10000);
+
+void BM_NetworkInject(benchmark::State& state) {
+  Topology topo({4, 4}, Topology::Edges::kMesh);
+  for (auto _ : state) {
+    EventQueue q;
+    std::uint64_t delivered = 0;
+    Network net(topo, {}, q, [&](const Packet&, SimTime) { ++delivered; });
+    for (int i = 0; i < 256; ++i) {
+      Packet p;
+      p.src = i % 16;
+      p.dst = (i * 7 + 1) % 16;
+      if (p.dst == p.src) p.dst = (p.dst + 1) % 16;
+      p.type = 1;
+      p.bytes = 64;
+      net.inject(std::move(p), 0);
+    }
+    q.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_NetworkInject);
+
+void BM_TopologyRoute(benchmark::State& state) {
+  Topology topo({8, 8}, Topology::Edges::kMesh);
+  int i = 0;
+  for (auto _ : state) {
+    auto path = topo.route(i % 64, (i * 13 + 5) % 64);
+    benchmark::DoNotOptimize(path.size());
+    ++i;
+  }
+}
+BENCHMARK(BM_TopologyRoute);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// google-benchmark microbenchmarks for the router core: candidate
+// exploration throughput, full-wire routing, rip-up, and quality metrics.
+#include <benchmark/benchmark.h>
+
+#include "circuit/generator.hpp"
+#include "grid/cost_array.hpp"
+#include "route/explorer.hpp"
+#include "route/quality.hpp"
+#include "route/router.hpp"
+#include "route/sequential.hpp"
+
+namespace {
+
+using namespace locus;
+
+void BM_ExploreConnection(benchmark::State& state) {
+  Circuit circuit = make_bnre_like();
+  CostArray cost(circuit.channels(), circuit.grids(), 2);
+  ExplorerParams params;
+  const Wire& wire = circuit.wire(0);
+  for (auto _ : state) {
+    ExploreResult r = explore_connection(wire.pins.front(), wire.pins.back(),
+                                         circuit.channels(), cost, params);
+    benchmark::DoNotOptimize(r.cost);
+    state.counters["probes"] = static_cast<double>(r.stats.cells_probed);
+  }
+}
+BENCHMARK(BM_ExploreConnection);
+
+void BM_RouteWire(benchmark::State& state) {
+  Circuit circuit = make_bnre_like();
+  CostArray cost(circuit.channels(), circuit.grids());
+  WireRouter router(circuit.channels(), {});
+  RouteWorkStats stats;
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    const Wire& wire = circuit.wire(static_cast<WireId>(i++ % circuit.num_wires()));
+    WireRoute r = router.route_wire(wire, cost, stats);
+    WireRouter::rip_up(r, cost);  // keep the array from saturating
+    benchmark::DoNotOptimize(r.path_cost);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouteWire);
+
+void BM_SequentialIteration(benchmark::State& state) {
+  Circuit circuit = make_tiny_test_circuit();
+  SequentialParams params;
+  params.iterations = static_cast<std::int32_t>(state.range(0));
+  for (auto _ : state) {
+    SequentialResult r = route_sequential(circuit, params);
+    benchmark::DoNotOptimize(r.circuit_height);
+  }
+}
+BENCHMARK(BM_SequentialIteration)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_CircuitHeight(benchmark::State& state) {
+  Circuit circuit = make_bnre_like();
+  SequentialResult r = route_sequential(circuit, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit_height(r.cost));
+  }
+}
+BENCHMARK(BM_CircuitHeight);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,13 @@
+// Reproduces §5.1.1's instrumentation claim: "Timing the assembly and
+// disassembly of packets shows that these operations take up to one fourth
+// of the processing time in runs with frequent updates."
+#include "bench_main.hpp"
+#include "harness/experiments.hpp"
+
+int main(int argc, char** argv) {
+  locus::Circuit bnre = locus::make_bnre_like();
+  return locus::benchmain::run(
+      argc, argv, "Section 5.1.1: message software share of processing time",
+      {{"time breakdown per schedule",
+        [&] { return locus::run_overhead_breakdown(bnre); }}});
+}

@@ -1,0 +1,16 @@
+// Extension of Table 6/§5.4: scaling past the paper's 16 processors on a
+// circuit ~4x the published benchmarks (2000 wires, 18 channels x 900
+// grids), plus the iterations-under-staleness sweep.
+#include "bench_main.hpp"
+#include "harness/experiments.hpp"
+
+int main(int argc, char** argv) {
+  locus::Circuit industrial = locus::make_industrial_like();
+  locus::Circuit bnre = locus::make_bnre_like();
+  return locus::benchmain::run(
+      argc, argv, "Extension: scaling to 64 processors (industrial-like)",
+      {{"processor sweep, sender initiated",
+        [&] { return locus::run_scaling_large(industrial); }},
+       {"MP iteration sweep (bnrE-like, 16 procs)",
+        [&] { return locus::run_mp_iteration_sweep(bnre); }}});
+}

@@ -1,0 +1,15 @@
+// Reproduces §5.1.3: blocking vs non-blocking receiver initiated updates
+// (paper: blocking costs up to 75% more time at similar quality) and the
+// mixed sender+receiver schedule comparison.
+#include "bench_main.hpp"
+#include "harness/experiments.hpp"
+
+int main(int argc, char** argv) {
+  locus::Circuit bnre = locus::make_bnre_like();
+  return locus::benchmain::run(
+      argc, argv, "Section 5.1.3: blocking and mixed update strategies",
+      {{"blocking vs non-blocking receiver initiated",
+        [&] { return locus::run_sec513_blocking(bnre); }},
+       {"mixed schedule vs pure schedules",
+        [&] { return locus::run_sec513_mixed(bnre); }}});
+}

@@ -1,0 +1,13 @@
+// Reproduces §5.2: the headline comparison — shared memory traffic is about
+// an order of magnitude above sender initiated message passing, which is
+// about an order above receiver initiated; shm quality is the best.
+#include "bench_main.hpp"
+#include "harness/experiments.hpp"
+
+int main(int argc, char** argv) {
+  locus::Circuit bnre = locus::make_bnre_like();
+  return locus::benchmain::run(
+      argc, argv, "Section 5.2: message passing vs shared memory",
+      {{"traffic and quality comparison",
+        [&] { return locus::run_sec52_comparison(bnre); }}});
+}

@@ -1,0 +1,13 @@
+// Robustness check on the substitution of synthetic circuits for the
+// proprietary originals: the headline traffic hierarchy (shared memory >
+// sender initiated MP > receiver initiated MP) must hold for any seed of
+// the bnrE-shaped generator, not just the default one.
+#include "bench_main.hpp"
+#include "harness/experiments.hpp"
+
+int main(int argc, char** argv) {
+  return locus::benchmain::run(
+      argc, argv, "Robustness: traffic hierarchy across circuit seeds",
+      {{"five independently seeded bnrE-shaped circuits",
+        [&] { return locus::run_seed_robustness(); }}});
+}

@@ -1,0 +1,12 @@
+// Reproduces §5.4: speedup relative to the two-processor run (x2), paper
+// values 12 (bnrE) and 12.8 (MDC) at 16 processors.
+#include "bench_main.hpp"
+#include "harness/experiments.hpp"
+
+int main(int argc, char** argv) {
+  locus::Circuit bnre = locus::make_bnre_like();
+  locus::Circuit mdc = locus::make_mdc_like();
+  return locus::benchmain::run(
+      argc, argv, "Section 5.4: speedup",
+      {{"speedup vs processors", [&] { return locus::run_speedup(bnre, mdc); }}});
+}

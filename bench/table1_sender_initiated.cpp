@@ -1,0 +1,12 @@
+// Reproduces Table 1: network traffic, quality and execution time for
+// purely sender initiated update schedules (bnrE-like, 16 processors).
+#include "bench_main.hpp"
+#include "harness/experiments.hpp"
+
+int main(int argc, char** argv) {
+  locus::Circuit bnre = locus::make_bnre_like();
+  return locus::benchmain::run(
+      argc, argv, "Table 1: sender initiated updates (bnrE-like, 16 procs)",
+      {{"SendRmtData x SendLocData sweep",
+        [&] { return locus::run_table1_sender_initiated(bnre); }}});
+}

@@ -1,0 +1,12 @@
+// Reproduces Table 2: non-blocking receiver initiated update schedules.
+#include "bench_main.hpp"
+#include "harness/experiments.hpp"
+
+int main(int argc, char** argv) {
+  locus::Circuit bnre = locus::make_bnre_like();
+  return locus::benchmain::run(
+      argc, argv,
+      "Table 2: non-blocking receiver initiated updates (bnrE-like, 16 procs)",
+      {{"ReqLocData x ReqRmtData sweep",
+        [&] { return locus::run_table2_receiver_initiated(bnre); }}});
+}

@@ -1,0 +1,14 @@
+// Reproduces Table 3: shared memory coherence traffic as a function of
+// cache line size, plus the per-cause breakdown backing the paper's claim
+// that over 80% of the bytes are caused by writes (§5.2).
+#include "bench_main.hpp"
+#include "harness/experiments.hpp"
+
+int main(int argc, char** argv) {
+  locus::Circuit bnre = locus::make_bnre_like();
+  locus::Table3Result result = locus::run_table3_line_size(bnre);
+  return locus::benchmain::run(
+      argc, argv, "Table 3: shm traffic vs cache line size (bnrE-like, 16 procs)",
+      {{"traffic vs line size", [&] { return result.table; }},
+       {"traffic breakdown by cause", [&] { return result.breakdown; }}});
+}

@@ -1,0 +1,16 @@
+// Reproduces Table 4: effect of locality-aware wire assignment on the
+// message passing implementation (both circuits), plus the §5.3.1 claim
+// that receiver initiated traffic drops up to 63% under a local assignment.
+#include "bench_main.hpp"
+#include "harness/experiments.hpp"
+
+int main(int argc, char** argv) {
+  locus::Circuit bnre = locus::make_bnre_like();
+  locus::Circuit mdc = locus::make_mdc_like();
+  return locus::benchmain::run(
+      argc, argv, "Table 4: effect of locality, message passing (sender initiated)",
+      {{"assignment sweep",
+        [&] { return locus::run_table4_locality_mp(bnre, mdc); }},
+       {"receiver initiated locality traffic (bnrE-like)",
+        [&] { return locus::run_table4_receiver_locality(bnre); }}});
+}

@@ -1,0 +1,13 @@
+// Reproduces Table 5: effect of locality-aware wire assignment on the
+// shared memory implementation (8-byte lines, both circuits).
+#include "bench_main.hpp"
+#include "harness/experiments.hpp"
+
+int main(int argc, char** argv) {
+  locus::Circuit bnre = locus::make_bnre_like();
+  locus::Circuit mdc = locus::make_mdc_like();
+  return locus::benchmain::run(
+      argc, argv, "Table 5: effect of locality, shared memory",
+      {{"assignment sweep",
+        [&] { return locus::run_table5_locality_shm(bnre, mdc); }}});
+}

@@ -1,0 +1,11 @@
+// Reproduces Table 6: effect of the number of processors on quality, time
+// and traffic (sender initiated, bnrE-like).
+#include "bench_main.hpp"
+#include "harness/experiments.hpp"
+
+int main(int argc, char** argv) {
+  locus::Circuit bnre = locus::make_bnre_like();
+  return locus::benchmain::run(
+      argc, argv, "Table 6: effect of number of processors (sender initiated)",
+      {{"processor sweep", [&] { return locus::run_table6_scaling(bnre); }}});
+}

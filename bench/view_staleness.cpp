@@ -1,0 +1,14 @@
+// Extension: quantifies §4's central idea — "applications like LocusRoute
+// allow the programmer to choose to simulate shared memory only up to the
+// degree of consistency required". Mean absolute error of the final
+// per-processor views against the true cost array, per update schedule.
+#include "bench_main.hpp"
+#include "harness/experiments.hpp"
+
+int main(int argc, char** argv) {
+  locus::Circuit bnre = locus::make_bnre_like();
+  return locus::benchmain::run(
+      argc, argv, "Extension: view staleness per update schedule",
+      {{"mean absolute view error (bnrE-like, 16 procs)",
+        [&] { return locus::run_view_staleness(bnre); }}});
+}

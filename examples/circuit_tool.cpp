@@ -1,0 +1,46 @@
+// Circuit generation tool: writes the benchmark circuits (or a custom
+// parameterization) to .ckt files and prints their statistics. The files
+// under data/ were produced by this tool.
+//
+//   $ ./examples/circuit_tool --out=data            # bnrE-like + MDC-like
+//   $ ./examples/circuit_tool --wires=100 --channels=6 --grids=120
+//         (--seed=7 --out=. --name=custom ...)
+#include <cstdio>
+#include <string>
+
+#include "circuit/generator.hpp"
+#include "circuit/io.hpp"
+#include "circuit/stats.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  locus::Cli cli;
+  cli.flag("out", "output directory", ".");
+  cli.flag("name", "custom circuit name (empty: emit the two benchmarks)", "");
+  cli.flag("wires", "custom circuit wire count", "100");
+  cli.flag("channels", "custom circuit channels", "6");
+  cli.flag("grids", "custom circuit routing grids", "120");
+  cli.flag("seed", "custom circuit RNG seed", "1");
+  if (!cli.parse(argc, argv)) return 1;
+
+  auto emit = [&](const locus::Circuit& circuit, const std::string& file) {
+    const std::string path = cli.get("out") + "/" + file;
+    locus::write_circuit_file(path, circuit);
+    std::printf("wrote %s\n  %s\n", path.c_str(), locus::describe(circuit).c_str());
+  };
+
+  if (cli.get("name").empty()) {
+    emit(locus::make_bnre_like(), "bnre_like.ckt");
+    emit(locus::make_mdc_like(), "mdc_like.ckt");
+    return 0;
+  }
+
+  locus::GeneratorParams params;
+  params.name = cli.get("name");
+  params.num_wires = static_cast<std::int32_t>(cli.get_int("wires"));
+  params.channels = static_cast<std::int32_t>(cli.get_int("channels"));
+  params.grids = static_cast<std::int32_t>(cli.get_int("grids"));
+  params.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  emit(locus::generate_circuit(params), params.name + ".ckt");
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "assign/assignment.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace locus {
+
+double Assignment::count_imbalance() const {
+  if (wires_per_proc.empty()) return 0.0;
+  std::size_t max_count = 0;
+  std::size_t total = 0;
+  for (const auto& list : wires_per_proc) {
+    max_count = std::max(max_count, list.size());
+    total += list.size();
+  }
+  if (total == 0) return 0.0;
+  double mean = static_cast<double>(total) / static_cast<double>(wires_per_proc.size());
+  return static_cast<double>(max_count) / mean;
+}
+
+double Assignment::cost_imbalance(const Circuit& circuit) const {
+  if (wires_per_proc.empty()) return 0.0;
+  std::int64_t max_cost = 0;
+  std::int64_t total = 0;
+  for (const auto& list : wires_per_proc) {
+    std::int64_t cost = 0;
+    for (WireId id : list) cost += circuit.wire(id).assignment_cost() + 1;
+    max_cost = std::max(max_cost, cost);
+    total += cost;
+  }
+  if (total == 0) return 0.0;
+  double mean = static_cast<double>(total) / static_cast<double>(wires_per_proc.size());
+  return static_cast<double>(max_cost) / mean;
+}
+
+Assignment assign_round_robin(const Circuit& circuit, std::int32_t procs) {
+  LOCUS_ASSERT(procs >= 1);
+  Assignment a;
+  a.wires_per_proc.resize(static_cast<std::size_t>(procs));
+  a.proc_of_wire.resize(static_cast<std::size_t>(circuit.num_wires()));
+  for (const Wire& w : circuit.wires()) {
+    ProcId p = w.id % procs;
+    a.wires_per_proc[static_cast<std::size_t>(p)].push_back(w.id);
+    a.proc_of_wire[static_cast<std::size_t>(w.id)] = p;
+  }
+  return a;
+}
+
+Assignment assign_threshold_cost(const Circuit& circuit, const Partition& partition,
+                                 std::int64_t threshold_cost) {
+  const std::int32_t procs = partition.num_regions();
+  Assignment a;
+  a.wires_per_proc.resize(static_cast<std::size_t>(procs));
+  a.proc_of_wire.assign(static_cast<std::size_t>(circuit.num_wires()), -1);
+
+  // Workload already placed on each processor, in length-cost units (+1 so
+  // zero-length wires still count).
+  std::vector<std::int64_t> load(static_cast<std::size_t>(procs), 0);
+
+  std::vector<WireId> held_back;
+  for (const Wire& w : circuit.wires()) {
+    const std::int64_t cost = w.assignment_cost();
+    if (threshold_cost != kThresholdInfinity && cost >= threshold_cost) {
+      held_back.push_back(w.id);
+      continue;
+    }
+    // Leftmost pin (pins are sorted by x, then row). Its owner is looked up
+    // at the channel just above the pin's cell row.
+    const Pin& leftmost = w.pins.front();
+    ProcId p = partition.owner(GridPoint{leftmost.channel_above(), leftmost.x});
+    a.wires_per_proc[static_cast<std::size_t>(p)].push_back(w.id);
+    a.proc_of_wire[static_cast<std::size_t>(w.id)] = p;
+    load[static_cast<std::size_t>(p)] += cost + 1;
+  }
+
+  // Final step: the long wires, largest first, onto the least-loaded
+  // processor (paper §4.2: "assigned to balance the load, ignoring
+  // locality").
+  std::sort(held_back.begin(), held_back.end(), [&](WireId lhs, WireId rhs) {
+    std::int64_t cl = circuit.wire(lhs).assignment_cost();
+    std::int64_t cr = circuit.wire(rhs).assignment_cost();
+    return cl != cr ? cl > cr : lhs < rhs;
+  });
+  for (WireId id : held_back) {
+    auto best = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    a.wires_per_proc[best].push_back(id);
+    a.proc_of_wire[static_cast<std::size_t>(id)] = static_cast<ProcId>(best);
+    load[best] += circuit.wire(id).assignment_cost() + 1;
+  }
+
+  // Keep each processor's routing order deterministic and id-ordered so the
+  // schedule does not depend on the hold-back sort.
+  for (auto& list : a.wires_per_proc) std::sort(list.begin(), list.end());
+  return a;
+}
+
+bool assignment_is_valid(const Assignment& assignment, const Circuit& circuit) {
+  if (static_cast<std::int32_t>(assignment.proc_of_wire.size()) !=
+      circuit.num_wires()) {
+    return false;
+  }
+  std::vector<int> seen(static_cast<std::size_t>(circuit.num_wires()), 0);
+  for (std::size_t p = 0; p < assignment.wires_per_proc.size(); ++p) {
+    for (WireId id : assignment.wires_per_proc[p]) {
+      if (id < 0 || id >= circuit.num_wires()) return false;
+      if (assignment.proc_of_wire[static_cast<std::size_t>(id)] !=
+          static_cast<ProcId>(p)) {
+        return false;
+      }
+      if (++seen[static_cast<std::size_t>(id)] > 1) return false;
+    }
+  }
+  for (int count : seen) {
+    if (count != 1) return false;
+  }
+  return true;
+}
+
+}  // namespace locus

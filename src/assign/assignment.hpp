@@ -1,0 +1,61 @@
+// Static wire assignment (paper §4.2).
+//
+// Both parallel implementations distribute wires across processors before
+// routing. The paper's strategies, all reproduced here:
+//   * round robin — wire i to processor i mod P; the extreme non-local case;
+//   * ThresholdCost hybrid — wires whose length cost is below the threshold
+//     go to the owner processor of their leftmost pin (locality); longer
+//     wires are held back and assigned to balance the load, ignoring
+//     locality;
+//   * ThresholdCost = infinity — every wire to its leftmost pin's owner; the
+//     extreme local case, prone to load imbalance.
+// (The shared memory dynamic "distributed loop" is not a static assignment;
+// the shm driver implements it directly.)
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "geom/partition.hpp"
+
+namespace locus {
+
+/// Sentinel for ThresholdCost = infinity.
+inline constexpr std::int64_t kThresholdInfinity =
+    std::numeric_limits<std::int64_t>::max();
+
+struct Assignment {
+  /// Routing order per processor.
+  std::vector<std::vector<WireId>> wires_per_proc;
+  /// Inverse map: processor assigned to each wire.
+  std::vector<ProcId> proc_of_wire;
+
+  std::int32_t num_procs() const {
+    return static_cast<std::int32_t>(wires_per_proc.size());
+  }
+
+  /// Wires assigned to the busiest processor divided by the mean — 1.0 is
+  /// perfectly balanced by count.
+  double count_imbalance() const;
+
+  /// Same ratio weighted by Wire::assignment_cost (a workload proxy).
+  double cost_imbalance(const Circuit& circuit) const;
+};
+
+/// Round robin over wire ids.
+Assignment assign_round_robin(const Circuit& circuit, std::int32_t procs);
+
+/// ThresholdCost hybrid (pass kThresholdInfinity for the fully local case).
+/// Wires below the threshold go to the owner of their leftmost pin; the rest
+/// are sorted by descending cost and greedily placed on the processor with
+/// the least accumulated cost (ties to the lowest processor id).
+Assignment assign_threshold_cost(const Circuit& circuit, const Partition& partition,
+                                 std::int64_t threshold_cost);
+
+/// Validates structural invariants: every wire appears exactly once and maps
+/// agree. Used by tests and asserted by drivers in debug runs.
+bool assignment_is_valid(const Assignment& assignment, const Circuit& circuit);
+
+}  // namespace locus

@@ -1,0 +1,31 @@
+// Locality measure (paper §5.3.3).
+//
+// "A weighted average indicating the average distance (in horizontal or
+// vertical hops) between the processor actually routing a wire segment, and
+// the processor that owns the region that segment lies in." Zero means every
+// routed cell was owned by its router — perfect locality. The paper reports
+// 1.21 for bnrE and 0.91 for MDC under the most local assignment, as the
+// upper bound on exploitable locality.
+#pragma once
+
+#include <vector>
+
+#include "assign/assignment.hpp"
+#include "geom/partition.hpp"
+#include "route/router.hpp"
+
+namespace locus {
+
+/// Mean mesh-hop distance from the routing processor to the owner of each
+/// committed cell, weighted by cells (i.e., by segment length). Routes whose
+/// wire has no assignment entry are skipped.
+double locality_measure(const std::vector<WireRoute>& routes,
+                        const Assignment& assignment, const Partition& partition);
+
+/// Pre-routing estimate of the same measure using each wire's pin bounding
+/// box instead of its (not yet known) route. Used by examples to preview an
+/// assignment's locality before committing to a run.
+double locality_estimate(const Circuit& circuit, const Assignment& assignment,
+                         const Partition& partition);
+
+}  // namespace locus

@@ -1,0 +1,47 @@
+// Text serialization of circuits (.ckt format).
+//
+// Format (line oriented, '#' starts a comment):
+//   circuit <name> <channels> <grids>
+//   wire <pin-count>
+//   pin <x> <row>
+//   ...
+//   end
+//
+// Wire ids are assigned in file order. The format round-trips exactly:
+// write(read(s)) == s for canonical output.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace locus {
+
+/// Raised on malformed .ckt input; carries the offending line number.
+class CircuitParseError : public std::runtime_error {
+ public:
+  CircuitParseError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Parses a circuit from a stream. Throws CircuitParseError on bad input.
+Circuit read_circuit(std::istream& in);
+
+/// Parses a circuit from a file path. Throws std::runtime_error if the file
+/// cannot be opened and CircuitParseError on bad content.
+Circuit read_circuit_file(const std::string& path);
+
+/// Writes the canonical .ckt representation.
+void write_circuit(std::ostream& out, const Circuit& circuit);
+
+/// Writes to a file path; throws std::runtime_error on I/O failure.
+void write_circuit_file(const std::string& path, const Circuit& circuit);
+
+}  // namespace locus

@@ -1,0 +1,47 @@
+#include "circuit/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace locus {
+
+CircuitStats compute_stats(const Circuit& circuit) {
+  CircuitStats s;
+  s.num_wires = circuit.num_wires();
+  std::vector<std::int64_t> lengths;
+  lengths.reserve(circuit.wires().size());
+  for (const Wire& w : circuit.wires()) {
+    s.total_pins += static_cast<std::int64_t>(w.pins.size());
+    s.max_pins = std::max(s.max_pins, static_cast<std::int32_t>(w.pins.size()));
+    std::int64_t len = w.length_cost();
+    lengths.push_back(len);
+    s.total_length_cost += len;
+    s.max_length_cost = std::max(s.max_length_cost, len);
+    if (w.assignment_cost() < 30) ++s.wires_below_30;
+    else ++s.wires_at_or_above_30;
+  }
+  if (s.num_wires > 0) {
+    s.mean_pins = static_cast<double>(s.total_pins) / s.num_wires;
+    s.mean_length_cost = static_cast<double>(s.total_length_cost) / s.num_wires;
+    std::nth_element(lengths.begin(), lengths.begin() + lengths.size() / 2,
+                     lengths.end());
+    s.median_length_cost = lengths[lengths.size() / 2];
+  }
+  return s;
+}
+
+std::string describe(const Circuit& circuit) {
+  CircuitStats s = compute_stats(circuit);
+  std::ostringstream os;
+  os << "circuit '" << circuit.name() << "': " << circuit.channels()
+     << " channels x " << circuit.grids() << " grids, " << s.num_wires
+     << " wires (" << s.total_pins << " pins, mean " << s.mean_pins
+     << "/wire, max " << s.max_pins << "); length cost mean "
+     << s.mean_length_cost << ", median " << s.median_length_cost << ", max "
+     << s.max_length_cost << "; " << s.wires_below_30
+     << " wires below ThresholdCost=30";
+  return os.str();
+}
+
+}  // namespace locus

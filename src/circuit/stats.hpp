@@ -1,0 +1,35 @@
+// Descriptive statistics over a circuit's netlist, used by the examples and
+// by tests that assert the synthetic generators have the intended character
+// (short-wire-heavy length distribution with a long tail, pin-count mix).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace locus {
+
+struct CircuitStats {
+  std::int32_t num_wires = 0;
+  std::int64_t total_pins = 0;
+  double mean_pins = 0.0;
+  std::int32_t max_pins = 0;
+
+  std::int64_t total_length_cost = 0;  ///< sum of Wire::length_cost()
+  double mean_length_cost = 0.0;
+  std::int64_t median_length_cost = 0;
+  std::int64_t max_length_cost = 0;
+
+  /// Number of wires whose length cost is below / at-or-above the threshold
+  /// (matches the ThresholdCost = 30 split used throughout the paper).
+  std::int32_t wires_below_30 = 0;
+  std::int32_t wires_at_or_above_30 = 0;
+};
+
+CircuitStats compute_stats(const Circuit& circuit);
+
+/// Human-readable one-paragraph summary.
+std::string describe(const Circuit& circuit);
+
+}  // namespace locus

@@ -1,0 +1,17 @@
+#include "coherence/bus.hpp"
+
+namespace locus {
+
+BusEstimate estimate_bus(const CoherenceTraffic& traffic, const BusParams& params) {
+  BusEstimate out;
+  const double ns_per_byte = 1000.0 / params.bytes_per_us;
+  out.data_ns = static_cast<SimTime>(
+      static_cast<double>(traffic.total_bytes()) * ns_per_byte);
+  out.transactions = traffic.read_misses + traffic.write_misses +
+                     traffic.word_write_bytes / 4 + traffic.invalidation_msgs;
+  out.transaction_ns =
+      static_cast<SimTime>(out.transactions) * params.transaction_ns;
+  return out;
+}
+
+}  // namespace locus

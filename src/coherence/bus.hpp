@@ -1,0 +1,47 @@
+// Shared bus occupancy model.
+//
+// The paper compares traffic volumes, footnoting that if the shared memory
+// machine's processors were faster "there would be more contention on the
+// bus, and the overall performance would not improve by a factor of five"
+// (§5.1.1 footnote 2). This model quantifies that: given the coherence
+// traffic of a run, it computes how long the snooping bus is busy and how
+// close the run is to saturating it. Default parameters approximate a
+// mid-1980s multiprocessor bus (Encore Multimax Nanobus class): 40 MB/s of
+// data bandwidth and 500 ns of arbitration + address per transaction.
+#pragma once
+
+#include <cstdint>
+
+#include "coherence/protocol.hpp"
+#include "sim/event_queue.hpp"
+
+namespace locus {
+
+struct BusParams {
+  double bytes_per_us = 40.0;          ///< data bandwidth (40 MB/s)
+  std::int64_t transaction_ns = 500;   ///< arbitration + address phase
+};
+
+struct BusEstimate {
+  SimTime data_ns = 0;         ///< time moving data bytes
+  SimTime transaction_ns = 0;  ///< time in arbitration/address phases
+  std::uint64_t transactions = 0;
+
+  SimTime busy_ns() const { return data_ns + transaction_ns; }
+
+  /// Fraction of `span_ns` (e.g. the run's execution time) the bus is busy;
+  /// > 1.0 means the traffic cannot fit and the run would be bus-bound.
+  double utilization(SimTime span_ns) const {
+    return span_ns <= 0 ? 0.0
+                        : static_cast<double>(busy_ns()) /
+                              static_cast<double>(span_ns);
+  }
+};
+
+/// Estimates bus occupancy for a replayed run's traffic. Transactions are
+/// counted as: one per miss (fetch/flush pairs share a transaction), one
+/// per bus word write, one per address-only invalidation.
+BusEstimate estimate_bus(const CoherenceTraffic& traffic,
+                         const BusParams& params = {});
+
+}  // namespace locus

@@ -1,0 +1,69 @@
+// Trace-driven coherence simulation with infinite caches.
+//
+// Per cache line we track which processors hold a clean copy (a bitmask)
+// and which single processor, if any, holds it dirty. Caches are infinite
+// (paper footnote 3: no capacity misses), so state only changes through
+// the protocol events themselves.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "coherence/protocol.hpp"
+#include "shm/trace.hpp"
+
+namespace locus {
+
+class CoherenceSim {
+ public:
+  CoherenceSim(std::int32_t procs, CoherenceParams params);
+
+  /// Applies one shared reference.
+  void access(std::int32_t proc, std::uint32_t addr, MemOp op);
+
+  /// Replays a whole trace (must be time-ordered for meaningful results).
+  void replay(const RefTrace& trace);
+
+  const CoherenceTraffic& traffic() const { return traffic_; }
+  const CoherenceParams& params() const { return params_; }
+
+  /// Number of distinct lines ever touched (cold footprint).
+  std::size_t lines_touched() const { return lines_.size(); }
+
+ private:
+  struct LineState {
+    std::uint32_t present = 0;     ///< bitmask of procs with a valid copy
+    std::uint32_t ever_held = 0;   ///< procs that held the line at some point
+    std::int32_t dirty_owner = -1; ///< proc holding it dirty, or -1
+    bool exclusive_clean = false;  ///< MESI E state (single clean holder)
+  };
+
+  void access_wbi(LineState& line, std::uint32_t bit, std::int32_t proc, MemOp op);
+  void access_write_through(LineState& line, std::uint32_t bit, std::int32_t proc,
+                            MemOp op);
+  void access_mesi(LineState& line, std::uint32_t bit, std::int32_t proc, MemOp op);
+  void access_dragon(LineState& line, std::uint32_t bit, std::int32_t proc, MemOp op);
+
+  /// LRU bookkeeping for finite caches (capacity_lines > 0).
+  void lru_touch(std::int32_t proc, std::uint32_t line_addr);
+
+  std::int32_t procs_;
+  CoherenceParams params_;
+  CoherenceTraffic traffic_;
+  std::unordered_map<std::uint32_t, LineState> lines_;
+  std::vector<std::list<std::uint32_t>> lru_order_;  ///< per proc, front = MRU
+  std::vector<std::unordered_map<std::uint32_t, std::list<std::uint32_t>::iterator>>
+      lru_map_;
+};
+
+/// Convenience: replay `trace` for each line size and return the traffic
+/// totals in order (the Table 3 sweep).
+std::vector<CoherenceTraffic> sweep_line_sizes(const RefTrace& trace,
+                                               std::int32_t procs,
+                                               const std::vector<std::int32_t>& sizes,
+                                               ProtocolKind protocol =
+                                                   ProtocolKind::kWriteBackInvalidate);
+
+}  // namespace locus

@@ -1,0 +1,28 @@
+// Grid coordinates for the routing cost array.
+//
+// Convention used throughout the project (matches the paper's Figure 1):
+//   * `channel` indexes the vertical dimension — one row per routing channel,
+//     channel 0 above the top cell row.
+//   * `x` indexes the horizontal dimension — one column per routing grid.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace locus {
+
+struct GridPoint {
+  std::int32_t channel = 0;
+  std::int32_t x = 0;
+
+  friend constexpr auto operator<=>(const GridPoint&, const GridPoint&) = default;
+};
+
+/// Manhattan distance between two grid points (used by locality metrics).
+constexpr std::int32_t manhattan(GridPoint a, GridPoint b) {
+  std::int32_t dc = a.channel - b.channel;
+  std::int32_t dx = a.x - b.x;
+  return (dc < 0 ? -dc : dc) + (dx < 0 ? -dx : dx);
+}
+
+}  // namespace locus

@@ -1,0 +1,100 @@
+// Inclusive axis-aligned rectangles over cost-array coordinates.
+//
+// Update packets in the message passing implementation carry the bounding box
+// of all changed cells in a region (paper §4.3.1), so rectangles — including
+// the empty rectangle and incremental expansion — are a core vocabulary type.
+#pragma once
+
+#include <algorithm>
+#include <compare>
+#include <cstdint>
+
+#include "geom/point.hpp"
+
+namespace locus {
+
+/// Inclusive rectangle: contains all (channel, x) with
+/// channel_lo <= channel <= channel_hi and x_lo <= x <= x_hi.
+/// The default-constructed rectangle is empty (lo > hi sentinels).
+struct Rect {
+  std::int32_t channel_lo = 0;
+  std::int32_t channel_hi = -1;
+  std::int32_t x_lo = 0;
+  std::int32_t x_hi = -1;
+
+  friend constexpr auto operator<=>(const Rect&, const Rect&) = default;
+
+  static constexpr Rect empty() { return Rect{}; }
+
+  static constexpr Rect single(GridPoint p) {
+    return Rect{p.channel, p.channel, p.x, p.x};
+  }
+
+  static constexpr Rect of(std::int32_t channel_lo, std::int32_t channel_hi,
+                           std::int32_t x_lo, std::int32_t x_hi) {
+    return Rect{channel_lo, channel_hi, x_lo, x_hi};
+  }
+
+  constexpr bool is_empty() const { return channel_lo > channel_hi || x_lo > x_hi; }
+
+  constexpr std::int64_t height() const {
+    return is_empty() ? 0 : static_cast<std::int64_t>(channel_hi - channel_lo) + 1;
+  }
+
+  constexpr std::int64_t width() const {
+    return is_empty() ? 0 : static_cast<std::int64_t>(x_hi - x_lo) + 1;
+  }
+
+  /// Number of cells covered.
+  constexpr std::int64_t area() const { return height() * width(); }
+
+  constexpr bool contains(GridPoint p) const {
+    return !is_empty() && p.channel >= channel_lo && p.channel <= channel_hi &&
+           p.x >= x_lo && p.x <= x_hi;
+  }
+
+  constexpr bool contains(const Rect& other) const {
+    if (other.is_empty()) return true;
+    return !is_empty() && other.channel_lo >= channel_lo &&
+           other.channel_hi <= channel_hi && other.x_lo >= x_lo && other.x_hi <= x_hi;
+  }
+
+  constexpr bool intersects(const Rect& other) const {
+    return !intersection(*this, other).is_empty();
+  }
+
+  /// Expands the rectangle so it also covers `p`.
+  constexpr void expand(GridPoint p) {
+    if (is_empty()) {
+      *this = single(p);
+      return;
+    }
+    channel_lo = std::min(channel_lo, p.channel);
+    channel_hi = std::max(channel_hi, p.channel);
+    x_lo = std::min(x_lo, p.x);
+    x_hi = std::max(x_hi, p.x);
+  }
+
+  /// Expands the rectangle so it also covers `other`.
+  constexpr void expand(const Rect& other) {
+    if (other.is_empty()) return;
+    if (is_empty()) {
+      *this = other;
+      return;
+    }
+    channel_lo = std::min(channel_lo, other.channel_lo);
+    channel_hi = std::max(channel_hi, other.channel_hi);
+    x_lo = std::min(x_lo, other.x_lo);
+    x_hi = std::max(x_hi, other.x_hi);
+  }
+
+  static constexpr Rect intersection(const Rect& a, const Rect& b) {
+    if (a.is_empty() || b.is_empty()) return empty();
+    Rect r{std::max(a.channel_lo, b.channel_lo), std::min(a.channel_hi, b.channel_hi),
+           std::max(a.x_lo, b.x_lo), std::min(a.x_hi, b.x_hi)};
+    if (r.is_empty()) return empty();
+    return r;
+  }
+};
+
+}  // namespace locus

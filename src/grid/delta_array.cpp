@@ -1,0 +1,88 @@
+#include "grid/delta_array.hpp"
+
+#include "support/assert.hpp"
+
+namespace locus {
+
+DeltaArray::DeltaArray(const Partition& partition)
+    : partition_(&partition),
+      cells_(static_cast<std::size_t>(partition.channels()) *
+                 static_cast<std::size_t>(partition.grids()),
+             0),
+      dirty_bbox_(static_cast<std::size_t>(partition.num_regions())),
+      nonzero_count_(static_cast<std::size_t>(partition.num_regions()), 0) {}
+
+std::size_t DeltaArray::cell_index(GridPoint p) const {
+  LOCUS_ASSERT(p.channel >= 0 && p.channel < partition_->channels());
+  LOCUS_ASSERT(p.x >= 0 && p.x < partition_->grids());
+  return static_cast<std::size_t>(p.channel) *
+             static_cast<std::size_t>(partition_->grids()) +
+         static_cast<std::size_t>(p.x);
+}
+
+void DeltaArray::add(GridPoint p, std::int32_t delta) {
+  if (delta == 0) return;
+  std::int32_t& cell = cells_[cell_index(p)];
+  const bool was_zero = (cell == 0);
+  cell += delta;
+  const ProcId region = partition_->owner(p);
+  auto r = static_cast<std::size_t>(region);
+  if (was_zero && cell != 0) {
+    ++nonzero_count_[r];
+    dirty_bbox_[r].expand(p);
+  } else if (!was_zero && cell == 0) {
+    --nonzero_count_[r];
+    if (nonzero_count_[r] == 0) dirty_bbox_[r] = Rect::empty();
+    // Bounding box is left conservative when some cells remain nonzero;
+    // extract_region() tightens it.
+  }
+}
+
+std::int32_t DeltaArray::at(GridPoint p) const { return cells_[cell_index(p)]; }
+
+bool DeltaArray::region_dirty(ProcId region) const {
+  return nonzero_count_[static_cast<std::size_t>(region)] > 0;
+}
+
+const Rect& DeltaArray::dirty_bbox(ProcId region) const {
+  return dirty_bbox_[static_cast<std::size_t>(region)];
+}
+
+std::int64_t DeltaArray::nonzero_count(ProcId region) const {
+  return nonzero_count_[static_cast<std::size_t>(region)];
+}
+
+std::optional<DeltaArray::Extract> DeltaArray::extract_region(ProcId region) {
+  auto r = static_cast<std::size_t>(region);
+  last_scan_cells_ = 0;
+  if (nonzero_count_[r] == 0) return std::nullopt;
+
+  // Scan the conservative box to find the tight bounding box of changes.
+  const Rect scan = dirty_bbox_[r];
+  Rect tight;
+  for (std::int32_t c = scan.channel_lo; c <= scan.channel_hi; ++c) {
+    for (std::int32_t x = scan.x_lo; x <= scan.x_hi; ++x) {
+      ++last_scan_cells_;
+      if (cells_[cell_index(GridPoint{c, x})] != 0) {
+        tight.expand(GridPoint{c, x});
+      }
+    }
+  }
+  LOCUS_ASSERT_MSG(!tight.is_empty(), "nonzero count said dirty but scan found nothing");
+
+  Extract out;
+  out.bbox = tight;
+  out.values.reserve(static_cast<std::size_t>(tight.area()));
+  for (std::int32_t c = tight.channel_lo; c <= tight.channel_hi; ++c) {
+    for (std::int32_t x = tight.x_lo; x <= tight.x_hi; ++x) {
+      std::int32_t& cell = cells_[cell_index(GridPoint{c, x})];
+      out.values.push_back(cell);
+      cell = 0;
+    }
+  }
+  nonzero_count_[r] = 0;
+  dirty_bbox_[r] = Rect::empty();
+  return out;
+}
+
+}  // namespace locus

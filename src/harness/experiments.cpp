@@ -1,0 +1,773 @@
+#include "harness/experiments.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+
+#include "assign/locality.hpp"
+#include "circuit/generator.hpp"
+#include "coherence/bus.hpp"
+#include "coherence/simulator.hpp"
+#include "harness/paper_data.hpp"
+#include "route/sequential.hpp"
+#include "shm/numa.hpp"
+#include "support/assert.hpp"
+
+namespace locus {
+
+const char* assign_method_name(AssignMethod method) {
+  switch (method) {
+    case AssignMethod::kRoundRobin: return "round robin";
+    case AssignMethod::kThreshold30: return "tc30";
+    case AssignMethod::kThreshold1000: return "tc1000";
+    case AssignMethod::kThresholdInf: return "inf";
+  }
+  LOCUS_UNREACHABLE("bad AssignMethod");
+}
+
+Assignment make_assignment(const Circuit& circuit, const Partition& partition,
+                           AssignMethod method) {
+  switch (method) {
+    case AssignMethod::kRoundRobin:
+      return assign_round_robin(circuit, partition.num_regions());
+    case AssignMethod::kThreshold30:
+      return assign_threshold_cost(circuit, partition, 30);
+    case AssignMethod::kThreshold1000:
+      return assign_threshold_cost(circuit, partition, 1000);
+    case AssignMethod::kThresholdInf:
+      return assign_threshold_cost(circuit, partition, kThresholdInfinity);
+  }
+  LOCUS_UNREACHABLE("bad AssignMethod");
+}
+
+MpConfig ExperimentConfig::mp(const UpdateSchedule& schedule) const {
+  MpConfig config = mp_base;
+  config.schedule = schedule;
+  config.iterations = iterations;
+  return config;
+}
+
+ShmConfig ExperimentConfig::shm() const {
+  ShmConfig config = shm_base;
+  config.procs = procs;
+  config.iterations = iterations;
+  return config;
+}
+
+namespace {
+
+/// The paper's usual static assignment baseline (§5.1 runs all use "the
+/// same static wire assignment"; Table 4 identifies it as TC = 1000).
+constexpr AssignMethod kBaselineAssign = AssignMethod::kThreshold1000;
+
+MpRunResult run_mp(const Circuit& circuit, const ExperimentConfig& config,
+                   const UpdateSchedule& schedule,
+                   AssignMethod method = kBaselineAssign,
+                   std::int32_t procs_override = -1) {
+  const std::int32_t procs = procs_override > 0 ? procs_override : config.procs;
+  const Partition partition(circuit.channels(), circuit.grids(),
+                            MeshShape::for_procs(procs));
+  const Assignment assignment = make_assignment(circuit, partition, method);
+  return run_message_passing(circuit, partition, assignment, config.mp(schedule));
+}
+
+struct ShmTraffic {
+  ShmRunResult run;
+  std::vector<CoherenceTraffic> traffic;  ///< one per requested line size
+};
+
+ShmTraffic run_shm_traffic(const Circuit& circuit, const ExperimentConfig& config,
+                           std::optional<AssignMethod> method,
+                           const std::vector<std::int32_t>& line_sizes) {
+  ShmConfig shm_config = config.shm();
+  if (method.has_value()) {
+    const Partition partition(circuit.channels(), circuit.grids(),
+                              MeshShape::for_procs(config.procs));
+    shm_config.assignment = make_assignment(circuit, partition, *method);
+  }
+  ShmTraffic out{.run = run_shared_memory(circuit, shm_config), .traffic = {}};
+  out.traffic = sweep_line_sizes(out.run.trace, config.procs, line_sizes);
+  return out;
+}
+
+}  // namespace
+
+Table run_table1_sender_initiated(const Circuit& circuit,
+                                  const ExperimentConfig& config) {
+  Table t;
+  t.column("SendRmt").column("SendLoc").column("CktHt").column("Occup.")
+      .column("MBytes").column("Time(s)")
+      .column("paper:Ht").column("paper:MB").column("paper:T");
+  std::int32_t last_rmt = -1;
+  for (const paper::SenderRow& row : paper::kTable1) {
+    if (row.send_rmt != last_rmt && last_rmt != -1) t.separator();
+    last_rmt = row.send_rmt;
+    MpRunResult r = run_mp(circuit, config,
+                           UpdateSchedule::sender(row.send_rmt, row.send_loc));
+    t.row().cell(row.send_rmt).cell(row.send_loc)
+        .cell(static_cast<long long>(r.circuit_height))
+        .cell(static_cast<long long>(r.occupancy_factor))
+        .cell(r.mbytes(), 3).cell(r.seconds(), 3)
+        .cell(row.ckt_height).cell(row.mbytes, 3).cell(row.seconds, 3);
+  }
+  return t;
+}
+
+Table run_table2_receiver_initiated(const Circuit& circuit,
+                                    const ExperimentConfig& config) {
+  Table t;
+  t.column("ReqLoc").column("ReqRmt").column("CktHt").column("Occup.")
+      .column("MBytes").column("Time(s)")
+      .column("paper:Ht").column("paper:MB").column("paper:T");
+  std::int32_t last_loc = -1;
+  for (const paper::ReceiverRow& row : paper::kTable2) {
+    if (row.req_loc != last_loc && last_loc != -1) t.separator();
+    last_loc = row.req_loc;
+    MpRunResult r = run_mp(circuit, config,
+                           UpdateSchedule::receiver(row.req_loc, row.req_rmt));
+    t.row().cell(row.req_loc).cell(row.req_rmt)
+        .cell(static_cast<long long>(r.circuit_height))
+        .cell(static_cast<long long>(r.occupancy_factor))
+        .cell(r.mbytes(), 3).cell(r.seconds(), 3)
+        .cell(row.ckt_height).cell(row.mbytes, 3).cell(row.seconds, 3);
+  }
+  return t;
+}
+
+Table run_sec513_blocking(const Circuit& circuit, const ExperimentConfig& config) {
+  Table t;
+  t.column("ReqLoc").column("ReqRmt").column("NB time").column("B time")
+      .column("slowdown").column("NB Ht").column("B Ht");
+  for (const paper::ReceiverRow& row : paper::kTable2) {
+    if (row.req_rmt != 5 && row.req_rmt != 10) continue;  // keep busy schedules
+    MpRunResult nb = run_mp(circuit, config,
+                            UpdateSchedule::receiver(row.req_loc, row.req_rmt, false));
+    MpRunResult b = run_mp(circuit, config,
+                           UpdateSchedule::receiver(row.req_loc, row.req_rmt, true));
+    const double slowdown = nb.completion_ns == 0
+                                ? 0.0
+                                : static_cast<double>(b.completion_ns) /
+                                          static_cast<double>(nb.completion_ns) -
+                                      1.0;
+    t.row().cell(row.req_loc).cell(row.req_rmt)
+        .cell(nb.seconds(), 3).cell(b.seconds(), 3)
+        .cell(format_fixed(slowdown * 100.0, 1) + "%")
+        .cell(static_cast<long long>(nb.circuit_height))
+        .cell(static_cast<long long>(b.circuit_height));
+  }
+  return t;
+}
+
+Table run_sec513_mixed(const Circuit& circuit, const ExperimentConfig& config) {
+  UpdateSchedule mixed;
+  mixed.send_loc_period = paper::kMixedSendLoc;
+  mixed.send_rmt_period = paper::kMixedSendRmt;
+  mixed.req_loc_requests = paper::kMixedReqLoc;
+  mixed.req_rmt_touches = paper::kMixedReqRmt;
+
+  Table t;
+  t.column("schedule", Align::kLeft).column("CktHt").column("Occup.")
+      .column("MBytes").column("Time(s)");
+  auto add = [&](const char* name, const UpdateSchedule& schedule) {
+    MpRunResult r = run_mp(circuit, config, schedule);
+    t.row().cell(name).cell(static_cast<long long>(r.circuit_height))
+        .cell(static_cast<long long>(r.occupancy_factor))
+        .cell(r.mbytes(), 3).cell(r.seconds(), 3);
+  };
+  add("sender (rmt=2, loc=5)", UpdateSchedule::sender(2, 5));
+  add("receiver (loc=1, rmt=5)", UpdateSchedule::receiver(1, 5));
+  add("mixed (5,2,1,5)", mixed);
+  return t;
+}
+
+Table3Result run_table3_line_size(const Circuit& circuit,
+                                  const ExperimentConfig& config) {
+  std::vector<std::int32_t> sizes;
+  for (const paper::LineSizeRow& row : paper::kTable3) sizes.push_back(row.line_size);
+  ShmTraffic shm = run_shm_traffic(circuit, config, kBaselineAssign, sizes);
+
+  Table3Result out;
+  out.table.column("line size").column("MBytes").column("paper:MB")
+      .column("write frac");
+  out.breakdown.column("line size").column("cold fetch").column("refetch")
+      .column("write fetch").column("word writes").column("flushes")
+      .column("invalidations");
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const CoherenceTraffic& traffic = shm.traffic[i];
+    out.table.row().cell(sizes[i])
+        .cell(static_cast<double>(traffic.total_bytes()) / 1e6, 2)
+        .cell(paper::kTable3[i].mbytes, 2)
+        .cell(traffic.write_fraction(), 2);
+    out.breakdown.row().cell(sizes[i])
+        .cell(format_mbytes(traffic.cold_fetch_bytes))
+        .cell(format_mbytes(traffic.refetch_bytes))
+        .cell(format_mbytes(traffic.write_fetch_bytes))
+        .cell(format_mbytes(traffic.word_write_bytes))
+        .cell(format_mbytes(traffic.read_flush_bytes + traffic.write_flush_bytes))
+        .cell(static_cast<unsigned long long>(traffic.invalidation_msgs));
+    if (sizes[i] == 8) out.write_fraction_8b = traffic.write_fraction();
+  }
+  return out;
+}
+
+Table run_sec52_comparison(const Circuit& circuit, const ExperimentConfig& config) {
+  // Representative points: the paper's best-height sender schedule, the
+  // lowest-traffic receiver schedule, and shm at 8-byte lines.
+  MpRunResult sender = run_mp(circuit, config, UpdateSchedule::sender(2, 10));
+  MpRunResult receiver = run_mp(circuit, config, UpdateSchedule::receiver(1, 30));
+  ShmTraffic shm = run_shm_traffic(circuit, config, kBaselineAssign, {8});
+
+  Table t;
+  t.column("approach", Align::kLeft).column("CktHt").column("MBytes")
+      .column("vs shm traffic");
+  const double shm_mb = static_cast<double>(shm.traffic[0].total_bytes()) / 1e6;
+  auto ratio = [&](double mb) {
+    return mb == 0.0 ? std::string("-") : format_fixed(shm_mb / mb, 1) + "x";
+  };
+  t.row().cell("shared memory (8B lines)")
+      .cell(static_cast<long long>(shm.run.circuit_height))
+      .cell(shm_mb, 3).cell("1.0x");
+  t.row().cell("MP sender (rmt=2, loc=10)")
+      .cell(static_cast<long long>(sender.circuit_height))
+      .cell(sender.mbytes(), 3).cell(ratio(sender.mbytes()));
+  t.row().cell("MP receiver (loc=1, rmt=30)")
+      .cell(static_cast<long long>(receiver.circuit_height))
+      .cell(receiver.mbytes(), 3).cell(ratio(receiver.mbytes()));
+  return t;
+}
+
+Table run_table4_locality_mp(const Circuit& bnre, const Circuit& mdc,
+                             const ExperimentConfig& config) {
+  Table t;
+  t.column("circuit", Align::kLeft).column("method", Align::kLeft)
+      .column("CktHt").column("MBytes").column("Time(s)")
+      .column("paper:Ht").column("paper:MB").column("paper:T");
+  const UpdateSchedule schedule = UpdateSchedule::sender(2, 10);
+  for (const paper::LocalityMpRow& row : paper::kTable4) {
+    const Circuit& circuit = std::string(row.circuit) == "bnrE" ? bnre : mdc;
+    AssignMethod method =
+        std::string(row.method) == "round robin" ? AssignMethod::kRoundRobin
+        : std::string(row.method) == "tc30"      ? AssignMethod::kThreshold30
+        : std::string(row.method) == "tc1000"    ? AssignMethod::kThreshold1000
+                                                 : AssignMethod::kThresholdInf;
+    if (method == AssignMethod::kRoundRobin &&
+        std::string(row.circuit) == "MDC") {
+      t.separator();
+    }
+    MpRunResult r = run_mp(circuit, config, schedule, method);
+    t.row().cell(row.circuit).cell(row.method)
+        .cell(static_cast<long long>(r.circuit_height))
+        .cell(r.mbytes(), 3).cell(r.seconds(), 3)
+        .cell(row.ckt_height).cell(row.mbytes, 3).cell(row.seconds, 3);
+  }
+  return t;
+}
+
+Table run_table4_receiver_locality(const Circuit& circuit,
+                                   const ExperimentConfig& config) {
+  const UpdateSchedule schedule = UpdateSchedule::receiver(1, 5);
+  MpRunResult rr = run_mp(circuit, config, schedule, AssignMethod::kRoundRobin);
+  MpRunResult local = run_mp(circuit, config, schedule, AssignMethod::kThresholdInf);
+  const double drop =
+      rr.bytes_transferred == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(local.bytes_transferred) /
+                      static_cast<double>(rr.bytes_transferred);
+  Table t;
+  t.column("method", Align::kLeft).column("MBytes").column("traffic drop")
+      .column("paper says");
+  t.row().cell("round robin").cell(rr.mbytes(), 3).cell("-").cell("-");
+  t.row().cell("fully local (inf)").cell(local.mbytes(), 3)
+      .cell(format_fixed(drop * 100.0, 1) + "%")
+      .cell("up to 63%");
+  return t;
+}
+
+Table run_table5_locality_shm(const Circuit& bnre, const Circuit& mdc,
+                              const ExperimentConfig& config) {
+  Table t;
+  t.column("circuit", Align::kLeft).column("method", Align::kLeft)
+      .column("CktHt").column("MBytes").column("paper:Ht").column("paper:MB");
+  for (const paper::LocalityShmRow& row : paper::kTable5) {
+    const Circuit& circuit = std::string(row.circuit) == "bnrE" ? bnre : mdc;
+    AssignMethod method =
+        std::string(row.method) == "round robin" ? AssignMethod::kRoundRobin
+        : std::string(row.method) == "tc30"      ? AssignMethod::kThreshold30
+        : std::string(row.method) == "tc1000"    ? AssignMethod::kThreshold1000
+                                                 : AssignMethod::kThresholdInf;
+    if (method == AssignMethod::kRoundRobin &&
+        std::string(row.circuit) == "MDC") {
+      t.separator();
+    }
+    ShmTraffic shm = run_shm_traffic(circuit, config, method, {8});
+    t.row().cell(row.circuit).cell(row.method)
+        .cell(static_cast<long long>(shm.run.circuit_height))
+        .cell(static_cast<double>(shm.traffic[0].total_bytes()) / 1e6, 3)
+        .cell(row.ckt_height).cell(row.mbytes, 3);
+  }
+  return t;
+}
+
+Table run_locality_measure(const Circuit& bnre, const Circuit& mdc,
+                           const ExperimentConfig& config) {
+  Table t;
+  t.column("circuit", Align::kLeft).column("method", Align::kLeft)
+      .column("measure").column("paper");
+  const UpdateSchedule schedule = UpdateSchedule::sender(2, 10);
+  for (const Circuit* circuit : {&bnre, &mdc}) {
+    const Partition partition(circuit->channels(), circuit->grids(),
+                              MeshShape::for_procs(config.procs));
+    for (AssignMethod method :
+         {AssignMethod::kRoundRobin, AssignMethod::kThreshold30,
+          AssignMethod::kThresholdInf}) {
+      const Assignment assignment = make_assignment(*circuit, partition, method);
+      MpRunResult r = run_message_passing(*circuit, partition, assignment,
+                                          config.mp(schedule));
+      const double measure = locality_measure(r.routes, assignment, partition);
+      std::string paper_value = "-";
+      if (method == AssignMethod::kThresholdInf) {
+        paper_value = format_fixed(circuit == &bnre ? paper::kLocalityMeasureBnre
+                                                    : paper::kLocalityMeasureMdc,
+                                   2);
+      }
+      t.row().cell(circuit->name()).cell(assign_method_name(method))
+          .cell(measure, 2).cell(paper_value);
+    }
+    if (circuit == &bnre) t.separator();
+  }
+  return t;
+}
+
+Table run_table6_scaling(const Circuit& circuit, const ExperimentConfig& config) {
+  Table t;
+  t.column("procs").column("CktHt").column("Occup.").column("MBytes")
+      .column("Time(s)").column("paper:Ht").column("paper:MB").column("paper:T");
+  const UpdateSchedule schedule = UpdateSchedule::sender(2, 10);
+  for (const paper::ScalingRow& row : paper::kTable6) {
+    MpRunResult r =
+        run_mp(circuit, config, schedule, kBaselineAssign, row.procs);
+    t.row().cell(row.procs).cell(static_cast<long long>(r.circuit_height))
+        .cell(static_cast<long long>(r.occupancy_factor))
+        .cell(r.mbytes(), 3).cell(r.seconds(), 3)
+        .cell(row.ckt_height == 0 ? std::string("?")
+                                  : std::to_string(row.ckt_height))
+        .cell(row.mbytes, 3).cell(row.seconds, 3);
+  }
+  return t;
+}
+
+Table run_speedup(const Circuit& bnre, const Circuit& mdc,
+                  const ExperimentConfig& config) {
+  Table t;
+  t.column("circuit", Align::kLeft).column("procs").column("Time(s)")
+      .column("speedup").column("paper@16");
+  const UpdateSchedule schedule = UpdateSchedule::sender(2, 10);
+  for (const Circuit* circuit : {&bnre, &mdc}) {
+    double t2 = 0.0;
+    for (std::int32_t procs : {2, 4, 9, 16}) {
+      MpRunResult r = run_mp(*circuit, config, schedule, kBaselineAssign, procs);
+      if (procs == 2) t2 = r.seconds();
+      // The paper computes speedup relative to the two-processor run, x2.
+      const double speedup = r.seconds() == 0.0 ? 0.0 : 2.0 * t2 / r.seconds();
+      std::string paper_value = "-";
+      if (procs == 16) {
+        paper_value = format_fixed(circuit == &bnre ? paper::kSpeedup16Bnre
+                                                    : paper::kSpeedup16Mdc,
+                                   1);
+      }
+      t.row().cell(circuit->name()).cell(procs).cell(r.seconds(), 3)
+          .cell(speedup, 1).cell(paper_value);
+    }
+    if (circuit == &bnre) t.separator();
+  }
+  return t;
+}
+
+Table run_ablation_dynamic_assignment(const Circuit& circuit,
+                                      const ExperimentConfig& config) {
+  Table t;
+  t.column("wire distribution", Align::kLeft).column("CktHt").column("Occup.")
+      .column("MBytes").column("Time(s)").column("packets");
+  const UpdateSchedule schedule = UpdateSchedule::sender(2, 10);
+  for (auto [name, mode] : {std::pair<const char*, WireAssignmentMode>{
+                                "static (ThresholdCost=1000)",
+                                WireAssignmentMode::kStatic},
+                            {"dynamic, polled between wires",
+                             WireAssignmentMode::kDynamicPolled},
+                            {"dynamic, reception interrupts",
+                             WireAssignmentMode::kDynamicInterrupt}}) {
+    ExperimentConfig c = config;
+    c.mp_base.assignment_mode = mode;
+    MpRunResult r = run_mp(circuit, c, schedule);
+    t.row().cell(name).cell(static_cast<long long>(r.circuit_height))
+        .cell(static_cast<long long>(r.occupancy_factor))
+        .cell(r.mbytes(), 3).cell(r.seconds(), 3)
+        .cell(static_cast<unsigned long long>(r.network.packets));
+  }
+  return t;
+}
+
+Table run_hierarchical_shm(const Circuit& circuit, const ExperimentConfig& config) {
+  Table t;
+  t.column("assignment", Align::kLeft).column("remote refs")
+      .column("NUMA mem(s)").column("bus busy(s)").column("bus util");
+  const Partition partition(circuit.channels(), circuit.grids(),
+                            MeshShape::for_procs(config.procs));
+  for (AssignMethod method :
+       {AssignMethod::kRoundRobin, AssignMethod::kThreshold30,
+        AssignMethod::kThreshold1000, AssignMethod::kThresholdInf}) {
+    ShmTraffic shm = run_shm_traffic(circuit, config, method, {8});
+    NumaEstimate numa = estimate_numa(shm.run.trace, partition);
+    BusEstimate bus = estimate_bus(shm.traffic[0]);
+    t.row().cell(assign_method_name(method))
+        .cell(format_fixed(numa.remote_fraction() * 100.0, 1) + "%")
+        .cell(static_cast<double>(numa.memory_ns) / 1e9, 3)
+        .cell(static_cast<double>(bus.busy_ns()) / 1e9, 3)
+        .cell(format_fixed(bus.utilization(shm.run.completion_ns) * 100.0, 1) +
+              "%");
+  }
+  return t;
+}
+
+Table run_ablation_router(const Circuit& circuit) {
+  Table t;
+  t.column("router variant", Align::kLeft).column("CktHt").column("Occup.")
+      .column("probes");
+  auto add = [&](const char* name, const RouterParams& params) {
+    SequentialParams sp;
+    sp.router = params;
+    SequentialResult r = route_sequential(circuit, sp);
+    t.row().cell(name).cell(static_cast<long long>(r.circuit_height))
+        .cell(static_cast<long long>(r.occupancy_factor))
+        .cell(static_cast<long long>(r.work.probes));
+  };
+  RouterParams base;
+  add("baseline (chain, linear, slack 1)", base);
+  RouterParams mst = base;
+  mst.decomposition = Decomposition::kMst;
+  add("MST pin decomposition", mst);
+  RouterParams quad = base;
+  quad.explorer.congestion_power = 2;
+  add("quadratic congestion pricing", quad);
+  RouterParams thorough = base;
+  thorough.explorer = ExplorerParams::thorough();
+  add("thorough exploration", thorough);
+  RouterParams all = base;
+  all.decomposition = Decomposition::kMst;
+  all.explorer = ExplorerParams::thorough();
+  all.explorer.congestion_power = 2;
+  add("all three combined", all);
+  return t;
+}
+
+Table run_iteration_convergence(const Circuit& circuit) {
+  Table t;
+  t.column("iterations").column("CktHt").column("Occup.").column("probes");
+  for (std::int32_t iterations : {1, 2, 3, 4, 6}) {
+    SequentialParams sp;
+    sp.iterations = iterations;
+    SequentialResult r = route_sequential(circuit, sp);
+    t.row().cell(iterations).cell(static_cast<long long>(r.circuit_height))
+        .cell(static_cast<long long>(r.occupancy_factor))
+        .cell(static_cast<long long>(r.work.probes));
+  }
+  return t;
+}
+
+Table run_ablation_lookahead(const Circuit& circuit,
+                             const ExperimentConfig& config) {
+  Table t;
+  t.column("lookahead (wires)").column("CktHt").column("Occup.")
+      .column("MBytes").column("Time(s)");
+  for (std::int32_t lookahead : {1, 3, 5, 10, 20}) {
+    UpdateSchedule schedule = UpdateSchedule::receiver(1, 5);
+    schedule.request_lookahead = lookahead;
+    MpRunResult r = run_mp(circuit, config, schedule);
+    t.row().cell(lookahead).cell(static_cast<long long>(r.circuit_height))
+        .cell(static_cast<long long>(r.occupancy_factor))
+        .cell(r.mbytes(), 3).cell(r.seconds(), 3);
+  }
+  return t;
+}
+
+Table run_threshold_sweep(const Circuit& circuit, const ExperimentConfig& config) {
+  Table t;
+  t.column("ThresholdCost", Align::kLeft).column("CktHt").column("MBytes")
+      .column("Time(s)").column("cost imbalance");
+  const UpdateSchedule schedule = UpdateSchedule::sender(2, 10);
+  const Partition partition(circuit.channels(), circuit.grids(),
+                            MeshShape::for_procs(config.procs));
+  auto run_one = [&](const std::string& label, std::int64_t threshold) {
+    const Assignment assignment =
+        assign_threshold_cost(circuit, partition, threshold);
+    MpRunResult r = run_message_passing(circuit, partition, assignment,
+                                        config.mp(schedule));
+    t.row().cell(label).cell(static_cast<long long>(r.circuit_height))
+        .cell(r.mbytes(), 3).cell(r.seconds(), 3)
+        .cell(assignment.cost_imbalance(circuit), 2);
+  };
+  for (std::int64_t threshold : {std::int64_t{1}, std::int64_t{10},
+                                 std::int64_t{30}, std::int64_t{100},
+                                 std::int64_t{300}, std::int64_t{1000},
+                                 std::int64_t{3000}}) {
+    run_one(std::to_string(threshold), threshold);
+  }
+  run_one("infinity", kThresholdInfinity);
+  return t;
+}
+
+Table run_view_staleness(const Circuit& circuit, const ExperimentConfig& config) {
+  Table t;
+  t.column("schedule", Align::kLeft).column("view MAE").column("own-region MAE")
+      .column("CktHt").column("Occup.");
+  auto add = [&](const char* name, const UpdateSchedule& schedule) {
+    MpRunResult r = run_mp(circuit, config, schedule);
+    t.row().cell(name).cell(r.view_staleness, 3)
+        .cell(r.own_region_staleness, 3)
+        .cell(static_cast<long long>(r.circuit_height))
+        .cell(static_cast<long long>(r.occupancy_factor));
+  };
+  add("no updates", UpdateSchedule{});
+  add("sender (10,20)", UpdateSchedule::sender(10, 20));
+  add("sender (2,10)", UpdateSchedule::sender(2, 10));
+  add("sender (1,1)", UpdateSchedule::sender(1, 1));
+  add("receiver (1,30)", UpdateSchedule::receiver(1, 30));
+  add("receiver (1,5)", UpdateSchedule::receiver(1, 5));
+  add("mixed (5,2,1,5)", [] {
+        UpdateSchedule s = UpdateSchedule::sender(2, 5);
+        s.req_loc_requests = 1;
+        s.req_rmt_touches = 5;
+        return s;
+      }());
+  return t;
+}
+
+Table run_scaling_large(const Circuit& circuit, const ExperimentConfig& config) {
+  Table t;
+  t.column("procs").column("CktHt").column("Occup.").column("MBytes")
+      .column("Time(s)").column("speedup");
+  const UpdateSchedule schedule = UpdateSchedule::sender(2, 10);
+  double t4 = 0.0;
+  for (std::int32_t procs : {4, 16, 36, 64}) {
+    MpRunResult r = run_mp(circuit, config, schedule, kBaselineAssign, procs);
+    if (procs == 4) t4 = r.seconds();
+    const double speedup = r.seconds() == 0.0 ? 0.0 : 4.0 * t4 / r.seconds();
+    t.row().cell(procs).cell(static_cast<long long>(r.circuit_height))
+        .cell(static_cast<long long>(r.occupancy_factor))
+        .cell(r.mbytes(), 3).cell(r.seconds(), 3).cell(speedup, 1);
+  }
+  return t;
+}
+
+Table run_mp_iteration_sweep(const Circuit& circuit,
+                             const ExperimentConfig& config) {
+  Table t;
+  t.column("iterations").column("CktHt").column("Occup.").column("MBytes")
+      .column("Time(s)");
+  const UpdateSchedule schedule = UpdateSchedule::sender(2, 10);
+  for (std::int32_t iterations : {1, 2, 3, 4}) {
+    ExperimentConfig c = config;
+    c.iterations = iterations;
+    MpRunResult r = run_mp(circuit, c, schedule);
+    t.row().cell(iterations).cell(static_cast<long long>(r.circuit_height))
+        .cell(static_cast<long long>(r.occupancy_factor))
+        .cell(r.mbytes(), 3).cell(r.seconds(), 3);
+  }
+  return t;
+}
+
+Table run_ablation_cache_size(const Circuit& circuit,
+                              const ExperimentConfig& config) {
+  ShmTraffic shm = run_shm_traffic(circuit, config, kBaselineAssign, {});
+  Table t;
+  t.column("cache per proc", Align::kLeft).column("MBytes")
+      .column("evict WB MB").column("evictions");
+  for (auto [name, lines] : {std::pair<const char*, std::int32_t>{"1 KB", 128},
+                             {"4 KB", 512},
+                             {"16 KB", 2048},
+                             {"64 KB", 8192},
+                             {"infinite (paper)", 0}}) {
+    CoherenceParams params;
+    params.line_size = 8;
+    params.capacity_lines = lines;
+    CoherenceSim sim(config.procs, params);
+    sim.replay(shm.run.trace);
+    const CoherenceTraffic& traffic = sim.traffic();
+    t.row().cell(name)
+        .cell(static_cast<double>(traffic.total_bytes()) / 1e6, 3)
+        .cell(static_cast<double>(traffic.eviction_writeback_bytes) / 1e6, 3)
+        .cell(static_cast<unsigned long long>(traffic.capacity_evictions));
+  }
+  return t;
+}
+
+Table run_seed_robustness(const ExperimentConfig& config) {
+  Table t;
+  t.column("seed", Align::kLeft).column("shm MB").column("sender MB")
+      .column("receiver MB").column("hierarchy holds");
+  for (std::uint64_t seed : {0xB9E5EED5ULL, 0x1ULL, 0x2ULL, 0x3ULL, 0x5EEDULL}) {
+    GeneratorParams params;  // bnrE-shaped, reseeded
+    params.name = "seeded";
+    params.channels = 10;
+    params.grids = 341;
+    params.num_wires = 420;
+    params.seed = seed;
+    params.clusters = 24;
+    params.global_fraction = 0.12;
+    params.local_span_mean = 18.0;
+    Circuit circuit = generate_circuit(params);
+
+    MpRunResult sender =
+        run_mp(circuit, config, UpdateSchedule::sender(2, 10));
+    MpRunResult receiver =
+        run_mp(circuit, config, UpdateSchedule::receiver(1, 5));
+    ExperimentConfig shm_cfg = config;
+    shm_cfg.shm_base.trace_dedup_reads = true;  // classification-scale runs
+    ShmConfig sc = shm_cfg.shm();
+    const Partition partition(circuit.channels(), circuit.grids(),
+                              MeshShape::for_procs(config.procs));
+    sc.assignment = assign_threshold_cost(circuit, partition, 1000);
+    ShmRunResult shm = run_shared_memory(circuit, sc);
+    CoherenceParams cp;
+    cp.line_size = 8;
+    CoherenceSim sim(config.procs, cp);
+    sim.replay(shm.trace);
+
+    const double shm_mb = static_cast<double>(sim.traffic().total_bytes()) / 1e6;
+    const bool holds = shm_mb > sender.mbytes() && sender.mbytes() > receiver.mbytes();
+    char label[32];
+    std::snprintf(label, sizeof label, "0x%llX",
+                  static_cast<unsigned long long>(seed));
+    t.row().cell(label).cell(shm_mb, 3).cell(sender.mbytes(), 3)
+        .cell(receiver.mbytes(), 3).cell(holds ? "yes" : "NO");
+  }
+  return t;
+}
+
+Table run_overhead_breakdown(const Circuit& circuit,
+                             const ExperimentConfig& config) {
+  Table t;
+  t.column("schedule", Align::kLeft).column("routing(s)").column("msg sw(s)")
+      .column("NI copy(s)").column("msg fraction");
+  auto add = [&](const char* name, const UpdateSchedule& schedule) {
+    MpRunResult r = run_mp(circuit, config, schedule);
+    const TimeBreakdown& tb = r.time_breakdown;
+    t.row().cell(name)
+        .cell(static_cast<double>(tb.routing_ns) / 1e9, 3)
+        .cell(static_cast<double>(tb.msg_software_ns) / 1e9, 3)
+        .cell(static_cast<double>(tb.network_copy_ns) / 1e9, 3)
+        .cell(format_fixed(tb.message_fraction() * 100.0, 1) + "%");
+  };
+  add("sender (1,1)  [most frequent]", UpdateSchedule::sender(1, 1));
+  add("sender (2,5)", UpdateSchedule::sender(2, 5));
+  add("sender (2,10)", UpdateSchedule::sender(2, 10));
+  add("sender (10,20) [rarest]", UpdateSchedule::sender(10, 20));
+  add("receiver (1,5)", UpdateSchedule::receiver(1, 5));
+  add("receiver (1,30)", UpdateSchedule::receiver(1, 30));
+  return t;
+}
+
+Table run_ablation_packet_structure(const Circuit& circuit,
+                                    const ExperimentConfig& config) {
+  Table t;
+  t.column("packet structure", Align::kLeft).column("CktHt").column("MBytes")
+      .column("Time(s)");
+  const UpdateSchedule schedule = UpdateSchedule::sender(2, 10);
+  for (auto [name, structure] :
+       {std::pair<const char*, PacketStructure>{"wire based",
+                                                PacketStructure::kWireBased},
+        {"whole region", PacketStructure::kWholeRegion},
+        {"bounding box (paper)", PacketStructure::kBoundingBox}}) {
+    ExperimentConfig c = config;
+    c.mp_base.packet_structure = structure;
+    MpRunResult r = run_mp(circuit, c, schedule);
+    t.row().cell(name).cell(static_cast<long long>(r.circuit_height))
+        .cell(r.mbytes(), 3).cell(r.seconds(), 3);
+  }
+  return t;
+}
+
+Table run_ablation_protocols(const Circuit& circuit,
+                             const ExperimentConfig& config) {
+  ShmConfig shm_config = config.shm();
+  const Partition partition(circuit.channels(), circuit.grids(),
+                            MeshShape::for_procs(config.procs));
+  shm_config.assignment = make_assignment(circuit, partition, kBaselineAssign);
+  ShmRunResult run = run_shared_memory(circuit, shm_config);
+
+  Table t;
+  t.column("protocol", Align::kLeft).column("MBytes").column("write frac")
+      .column("invalidations");
+  for (auto [name, protocol] :
+       {std::pair<const char*, ProtocolKind>{"write back w/ invalidate (paper)",
+                                             ProtocolKind::kWriteBackInvalidate},
+        {"write through", ProtocolKind::kWriteThrough},
+        {"Illinois MESI", ProtocolKind::kMesi},
+        {"Dragon (write update)", ProtocolKind::kDragon}}) {
+    // Sweep 8B and 32B lines: invalidate protocols scale with line size,
+    // the update protocol does not (no refetches).
+    for (std::int32_t line : {8, 32}) {
+      CoherenceParams params;
+      params.line_size = line;
+      params.protocol = protocol;
+      CoherenceSim sim(config.procs, params);
+      sim.replay(run.trace);
+      t.row().cell(std::string(name) + " @" + std::to_string(line) + "B")
+          .cell(static_cast<double>(sim.traffic().total_bytes()) / 1e6, 3)
+          .cell(sim.traffic().write_fraction(), 2)
+          .cell(static_cast<unsigned long long>(sim.traffic().invalidation_msgs));
+    }
+  }
+  return t;
+}
+
+Table run_ablation_topology(const Circuit& circuit, const ExperimentConfig& config) {
+  Table t;
+  t.column("topology", Align::kLeft).column("CktHt").column("MBytes")
+      .column("byte-hops").column("Time(s)").column("mean latency (us)");
+  // Receiver-initiated traffic reaches across the whole mesh (requests to
+  // arbitrary owners), so wraparound edges actually shorten paths. CBS
+  // simulated k-ary n-cubes generally; the binary 4-cube (hypercube) and
+  // the 1D ring bound the mesh from both sides.
+  const UpdateSchedule schedule = UpdateSchedule::receiver(1, 5);
+  struct TopoCase {
+    const char* name;
+    Topology::Edges edges;
+    std::vector<std::int32_t> dims;  // empty: match the partition mesh
+  };
+  // The binary n-cube only exists for power-of-two processor counts.
+  std::vector<std::int32_t> cube_dims;
+  for (std::int32_t p = config.procs; p > 1 && p % 2 == 0; p /= 2) {
+    cube_dims.push_back(2);
+  }
+  const bool cube_ok =
+      !cube_dims.empty() &&
+      (1 << cube_dims.size()) == config.procs;
+  std::vector<TopoCase> cases = {
+      TopoCase{"2D mesh (paper)", Topology::Edges::kMesh, {}},
+      TopoCase{"2D torus", Topology::Edges::kTorus, {}},
+      TopoCase{"1D ring", Topology::Edges::kTorus, {config.procs}}};
+  if (cube_ok) {
+    cases.insert(cases.begin() + 2,
+                 TopoCase{"binary hypercube", Topology::Edges::kTorus, cube_dims});
+  }
+  for (const TopoCase& tc : cases) {
+    ExperimentConfig c = config;
+    c.mp_base.edges = tc.edges;
+    c.mp_base.topology_dims = tc.dims;
+    const char* name = tc.name;
+    MpRunResult r = run_mp(circuit, c, schedule);
+    const double mean_latency_us =
+        r.network.packets == 0
+            ? 0.0
+            : static_cast<double>(r.network.total_latency_ns) /
+                  static_cast<double>(r.network.packets) / 1e3;
+    t.row().cell(name).cell(static_cast<long long>(r.circuit_height))
+        .cell(r.mbytes(), 3)
+        .cell(static_cast<unsigned long long>(r.network.byte_hops))
+        .cell(r.seconds(), 3).cell(mean_latency_us, 1);
+  }
+  return t;
+}
+
+}  // namespace locus

@@ -1,0 +1,107 @@
+// Configuration of the message passing implementation (paper §4).
+//
+// An update schedule combines the four transaction types of Figure 3:
+//   sender initiated:   SendLocData (absolute own-region broadcasts to the
+//                       four mesh neighbors) and SendRmtData (delta pushes
+//                       to remote owners), each fired every N routed wires;
+//   receiver initiated: ReqRmtData (ask a region's owner for fresh absolute
+//                       data once enough upcoming wires touch that region)
+//                       and ReqLocData (the owner asks a chatty remote for
+//                       its pending deltas), with blocking or non-blocking
+//                       waits on the requester.
+// A period/threshold of zero disables that transaction type, so pure
+// sender, pure receiver, and mixed schedules are all expressible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/partition.hpp"
+#include "route/cost_model.hpp"
+#include "route/router.hpp"
+#include "sim/topology.hpp"
+
+namespace locus {
+
+/// How wires reach processors (paper §4.2). The paper evaluates only the
+/// static ThresholdCost assignment because "CBS does not support the notion
+/// of interrupts occurring on message reception"; our engine does not have
+/// that limitation, so both dynamic schemes it describes are implemented:
+///   * kDynamicPolled — processor 0 owns the wire queue and routes wires
+///     itself; wire-request packets are serviced only between its own
+///     wires, so a requester can wait for an entire wire to be routed;
+///   * kDynamicInterrupt — the queue owner's routing is time-sliced and
+///     requests are serviced at the next slice boundary, modeling low
+///     overhead reception interrupts.
+enum class WireAssignmentMode : std::int8_t {
+  kStatic,
+  kDynamicPolled,
+  kDynamicInterrupt,
+};
+
+enum class PacketStructure : std::int8_t {
+  kWireBased,    ///< §4.3.1 option 1: per-segment coordinates of changed wires
+  kWholeRegion,  ///< §4.3.1 option 2: every cell of the owned region
+  kBoundingBox,  ///< §4.3.1 option 3 (the paper's choice): bbox of changes
+};
+
+struct UpdateSchedule {
+  /// SendLocData parameter: wires routed between absolute own-region
+  /// broadcasts (0 disables).
+  std::int32_t send_loc_period = 0;
+  /// SendRmtData parameter: wires routed between delta pushes to remote
+  /// owners (0 disables).
+  std::int32_t send_rmt_period = 0;
+  /// ReqRmtData parameter: upcoming-wire touches of a remote region that
+  /// trigger an update request to its owner (0 disables).
+  std::int32_t req_rmt_touches = 0;
+  /// ReqLocData parameter: ReqRmtData packets received from one remote
+  /// before the owner requests that remote's deltas (0 disables).
+  std::int32_t req_loc_requests = 0;
+  /// Blocking receiver: the requester stalls until its ReqRmtData responses
+  /// arrive, instead of routing on.
+  bool blocking_receiver = false;
+  /// Requests are ordered this many wires ahead of routing (paper: five).
+  std::int32_t request_lookahead = 5;
+
+  bool sender_enabled() const { return send_loc_period > 0 || send_rmt_period > 0; }
+  bool receiver_enabled() const { return req_rmt_touches > 0; }
+
+  /// Pure sender-initiated schedule (Table 1 rows).
+  static UpdateSchedule sender(std::int32_t send_rmt, std::int32_t send_loc) {
+    UpdateSchedule s;
+    s.send_rmt_period = send_rmt;
+    s.send_loc_period = send_loc;
+    return s;
+  }
+
+  /// Pure receiver-initiated schedule (Table 2 rows).
+  static UpdateSchedule receiver(std::int32_t req_loc, std::int32_t req_rmt,
+                                 bool blocking = false) {
+    UpdateSchedule s;
+    s.req_loc_requests = req_loc;
+    s.req_rmt_touches = req_rmt;
+    s.blocking_receiver = blocking;
+    return s;
+  }
+};
+
+struct MpConfig {
+  UpdateSchedule schedule;
+  RouterParams router;
+  TimeModel time;
+  std::int32_t iterations = 2;
+  PacketStructure packet_structure = PacketStructure::kBoundingBox;
+  Topology::Edges edges = Topology::Edges::kMesh;
+  WireAssignmentMode assignment_mode = WireAssignmentMode::kStatic;
+  /// Routing-time slice of the queue owner under kDynamicInterrupt:
+  /// arriving requests are serviced within one slice.
+  std::int64_t interrupt_slice_ns = 1'000'000;
+  /// Override the interconnect shape (CBS simulated k-ary n-cubes of any
+  /// dimension). Empty: a 2D mesh matching the partition. If set, the
+  /// product must equal the processor count; the cost-array partition
+  /// stays 2D and processor ids map by index.
+  std::vector<std::int32_t> topology_dims;
+};
+
+}  // namespace locus

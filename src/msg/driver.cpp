@@ -1,0 +1,115 @@
+#include "msg/driver.hpp"
+
+#include <cstdlib>
+#include <memory>
+
+#include "msg/node.hpp"
+#include "route/quality.hpp"
+#include "sim/topology.hpp"
+#include "support/assert.hpp"
+
+namespace locus {
+
+MpRunResult run_message_passing(const Circuit& circuit, const Partition& partition,
+                                const Assignment& assignment,
+                                const MpConfig& config) {
+  LOCUS_ASSERT(assignment.num_procs() == partition.num_regions());
+  LOCUS_ASSERT(assignment_is_valid(assignment, circuit));
+  LOCUS_ASSERT(config.iterations >= 1);
+  // Receiver-initiated requesting needs the static wire list for lookahead;
+  // the dynamic queue modes run with sender-initiated (or no) updates.
+  LOCUS_ASSERT_MSG(config.assignment_mode == WireAssignmentMode::kStatic ||
+                       !config.schedule.receiver_enabled(),
+                   "dynamic assignment cannot use receiver-initiated updates");
+
+  std::vector<std::int32_t> dims = config.topology_dims;
+  if (dims.empty()) {
+    dims = {partition.mesh().cols, partition.mesh().rows};
+  } else {
+    std::int32_t product = 1;
+    for (std::int32_t d : dims) product *= d;
+    LOCUS_ASSERT_MSG(product == partition.num_regions(),
+                     "topology_dims must multiply to the processor count");
+  }
+  Topology topology(dims, config.edges);
+
+  NetworkParams net;
+  net.hop_time_ns = config.time.hop_time_ns;
+  net.process_time_ns = config.time.process_time_ns;
+  Machine machine(topology, net);
+
+  MpShared shared(circuit);
+  shared.final_routes.resize(static_cast<std::size_t>(circuit.num_wires()));
+  shared.occupancy.assign(static_cast<std::size_t>(partition.num_regions()), 0);
+  shared.work.assign(static_cast<std::size_t>(partition.num_regions()), {});
+  shared.time_breakdown.assign(static_cast<std::size_t>(partition.num_regions()), {});
+
+  for (ProcId p = 0; p < partition.num_regions(); ++p) {
+    machine.set_node(p, std::make_unique<RouterNode>(
+                            circuit, partition, config,
+                            assignment.wires_per_proc[static_cast<std::size_t>(p)],
+                            p, shared));
+  }
+
+  MpRunResult result;
+  result.machine = machine.run();
+  result.network = machine.network().stats();
+
+  result.completion_ns = result.machine.completion_time;
+  result.bytes_transferred = result.network.bytes;
+
+  for (const WireRoute& r : shared.final_routes) {
+    LOCUS_ASSERT_MSG(r.routed(), "every wire must end up routed");
+  }
+  // The incrementally maintained oracle must agree with a rebuild from the
+  // final routes — rip-up exactly reversed every superseded commitment.
+  LOCUS_ASSERT(shared.truth ==
+               rebuild_cost(circuit.channels(), circuit.grids(), shared.final_routes));
+  result.circuit_height = circuit_height(shared.truth);
+  for (std::int64_t occ : shared.occupancy) result.occupancy_factor += occ;
+  for (const RouteWorkStats& w : shared.work) result.work += w;
+  for (const TimeBreakdown& tb : shared.time_breakdown) result.time_breakdown += tb;
+  result.updates_suppressed = shared.updates_suppressed;
+  result.requests_sent = shared.requests_sent;
+
+  // Staleness of the surviving views against the truth oracle.
+  std::int64_t total_error = 0;
+  std::int64_t own_error = 0;
+  std::int64_t own_cells = 0;
+  const std::int64_t cells = shared.truth.size();
+  for (ProcId p = 0; p < partition.num_regions(); ++p) {
+    const auto* node = dynamic_cast<const RouterNode*>(machine.node(p));
+    LOCUS_ASSERT(node != nullptr);
+    const CostArray& view = node->view();
+    for (std::int32_t c = 0; c < circuit.channels(); ++c) {
+      for (std::int32_t x = 0; x < circuit.grids(); ++x) {
+        const GridPoint cell{c, x};
+        const std::int64_t err = std::abs(view.at(cell) - shared.truth.at(cell));
+        total_error += err;
+        if (partition.owner(cell) == p) {
+          own_error += err;
+          ++own_cells;
+        }
+      }
+    }
+  }
+  result.view_staleness =
+      static_cast<double>(total_error) /
+      static_cast<double>(cells * partition.num_regions());
+  result.own_region_staleness =
+      own_cells == 0 ? 0.0
+                     : static_cast<double>(own_error) / static_cast<double>(own_cells);
+
+  result.routes = std::move(shared.final_routes);
+  return result;
+}
+
+MpRunResult run_message_passing(const Circuit& circuit, std::int32_t procs,
+                                const MpConfig& config) {
+  const MeshShape mesh = MeshShape::for_procs(procs);
+  const Partition partition(circuit.channels(), circuit.grids(), mesh);
+  const Assignment assignment = assign_threshold_cost(circuit, partition, 1000);
+  return run_message_passing(circuit, partition, assignment, config);
+}
+
+}  // namespace locus

@@ -1,0 +1,60 @@
+// Builds and runs one message passing LocusRoute experiment: partition the
+// cost array over a processor mesh, install a RouterNode per processor with
+// its statically assigned wires, simulate to completion, and compute the
+// paper's reported metrics (circuit height, occupancy factor, MBytes
+// transferred, execution time).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "assign/assignment.hpp"
+#include "circuit/circuit.hpp"
+#include "geom/partition.hpp"
+#include "msg/config.hpp"
+#include "msg/node.hpp"
+#include "route/router.hpp"
+#include "sim/machine.hpp"
+#include "sim/network.hpp"
+
+namespace locus {
+
+struct MpRunResult {
+  std::int64_t circuit_height = 0;
+  std::int64_t occupancy_factor = 0;
+  std::uint64_t bytes_transferred = 0;  ///< on-wire bytes, all packet types
+  double mbytes() const { return static_cast<double>(bytes_transferred) / 1e6; }
+  SimTime completion_ns = 0;            ///< all processors done routing
+  double seconds() const { return static_cast<double>(completion_ns) / 1e9; }
+
+  NetworkStats network;
+  MachineStats machine;
+  RouteWorkStats work;                  ///< summed over processors
+  TimeBreakdown time_breakdown;         ///< summed over processors
+  std::int64_t updates_suppressed = 0;
+  std::int64_t requests_sent = 0;
+  std::vector<WireRoute> routes;        ///< final routing, indexed by wire id
+
+  /// Mean absolute error of the processors' final cost-array views against
+  /// the true final array — a direct measure of how much staleness the
+  /// update schedule left behind (lower = more consistent).
+  double view_staleness = 0.0;
+  /// Same error restricted to each processor's own region. Owners receive
+  /// every SendRmtData for their region, so frequent schedules drive this
+  /// toward zero.
+  double own_region_staleness = 0.0;
+};
+
+/// Runs message passing LocusRoute on `circuit` with the given static
+/// `assignment` over `partition` (assignment.num_procs() must equal
+/// partition.num_regions()). Deterministic.
+MpRunResult run_message_passing(const Circuit& circuit, const Partition& partition,
+                                const Assignment& assignment, const MpConfig& config);
+
+/// Convenience: builds the near-square mesh partition for `procs`, applies
+/// the default locality assignment (ThresholdCost = 1000, the paper's usual
+/// baseline), and runs.
+MpRunResult run_message_passing(const Circuit& circuit, std::int32_t procs,
+                                const MpConfig& config);
+
+}  // namespace locus

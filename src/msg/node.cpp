@@ -1,0 +1,430 @@
+#include "msg/node.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "support/assert.hpp"
+
+namespace locus {
+
+RouterNode::RouterNode(const Circuit& circuit, const Partition& partition,
+                       const MpConfig& config, std::vector<WireId> my_wires,
+                       ProcId self, MpShared& shared)
+    : circuit_(circuit), partition_(partition), config_(config),
+      my_wires_(std::move(my_wires)), self_(self), shared_(shared),
+      view_(circuit.channels(), circuit.grids()), delta_(partition),
+      view_with_delta_(view_, delta_),
+      router_(circuit.channels(), config.router),
+      touch_count_(static_cast<std::size_t>(partition.num_regions()), 0),
+      interest_bbox_(static_cast<std::size_t>(partition.num_regions())),
+      req_rmt_received_(static_cast<std::size_t>(partition.num_regions()), 0),
+      segments_changed_(static_cast<std::size_t>(partition.num_regions()), 0),
+      granted_to_(static_cast<std::size_t>(partition.num_regions()), false) {}
+
+void RouterNode::on_start(NodeApi& api) { static_cast<void>(api); }
+
+TimeBreakdown& RouterNode::breakdown() {
+  return shared_.time_breakdown[static_cast<std::size_t>(self_)];
+}
+
+bool RouterNode::blocked() const {
+  if (config_.schedule.blocking_receiver && pending_responses_ > 0) return true;
+  // Dynamic-assignment worker parked until its wire grant arrives.
+  return config_.assignment_mode != WireAssignmentMode::kStatic && self_ != 0 &&
+         waiting_grant_ && granted_wire_ < 0 && !no_more_;
+}
+
+void RouterNode::on_packet(NodeApi& api, const Packet& packet) {
+  const TimeModel& tm = config_.time;
+  // Receive-side software: fixed handling plus per-byte disassembly.
+  const SimTime unpack_cost =
+      tm.msg_fixed_ns + static_cast<SimTime>(packet.bytes) * tm.unpack_byte_ns;
+  api.advance(unpack_cost);
+  breakdown().msg_software_ns += unpack_cost;
+
+  switch (packet.type) {
+    case kMsgSendLocData:
+    case kMsgRspRmtData: {
+      const auto& update = packet.payload_as<RegionUpdatePayload>();
+      LOCUS_ASSERT(update.absolute);
+      // Replace our view of the sender's region with its absolute data
+      // (paper §4.3.2: "receiving processors replace their view").
+      view_.write_rect(update.bbox, update.values);
+      if (packet.type == kMsgRspRmtData) {
+        --pending_responses_;
+        LOCUS_ASSERT(pending_responses_ >= 0);
+        ++shared_.responses_received;
+      }
+      break;
+    }
+    case kMsgSendRmtData: {
+      const auto& update = packet.payload_as<RegionUpdatePayload>();
+      LOCUS_ASSERT(!update.absolute);
+      LOCUS_ASSERT_MSG(update.region == self_,
+                       "delta updates are addressed to the region owner");
+      view_.add_rect(update.bbox, update.values);
+      // These changes are now part of our own region's state and must reach
+      // the neighbors in the next SendLocData: mark the own-region delta
+      // bounding box (values there are never sent; absolute data is).
+      std::size_t i = 0;
+      for (std::int32_t c = update.bbox.channel_lo; c <= update.bbox.channel_hi; ++c) {
+        for (std::int32_t x = update.bbox.x_lo; x <= update.bbox.x_hi; ++x, ++i) {
+          if (update.values[i] != 0) delta_.add(GridPoint{c, x}, update.values[i]);
+        }
+      }
+      break;
+    }
+    case kMsgReqRmtData: {
+      const auto& request = packet.payload_as<RequestPayload>();
+      LOCUS_ASSERT(request.region == self_);
+      // ReqLocData trigger: a remote routing often in our region probably
+      // has deltas we want (paper §4.3.3).
+      if (config_.schedule.req_loc_requests > 0) {
+        std::int32_t& count = req_rmt_received_[static_cast<std::size_t>(packet.src)];
+        if (++count >= config_.schedule.req_loc_requests) {
+          count = 0;
+          auto req = std::make_shared<RequestPayload>();
+          req->region = self_;
+          req->bbox = partition_.region(self_);
+          api.advance(config_.time.msg_fixed_ns);
+          breakdown().msg_software_ns += config_.time.msg_fixed_ns;
+          api.send(packet.src, kMsgReqLocData, request_packet_bytes(), std::move(req));
+          breakdown().network_copy_ns += config_.time.process_time_ns;
+          ++shared_.requests_sent;
+        }
+      }
+      // Always respond (a blocking requester is waiting): absolute values
+      // inside the requested window of our region.
+      Rect window = Rect::intersection(
+          request.bbox.is_empty() ? partition_.region(self_) : request.bbox,
+          partition_.region(self_));
+      LOCUS_ASSERT(!window.is_empty());
+      std::vector<std::int32_t> values;
+      view_.read_rect(window, values);
+      send_data_update(api, packet.src, kMsgRspRmtData, self_, window,
+                       /*absolute=*/true, std::move(values));
+      break;
+    }
+    case kMsgReqLocData: {
+      const auto& request = packet.payload_as<RequestPayload>();
+      LOCUS_ASSERT(request.region != self_);
+      // The owner of `request.region` wants our pending deltas for it.
+      if (auto extract = delta_.extract_region(request.region)) {
+        api.advance(delta_.last_scan_cells() * config_.time.scan_cell_ns);
+        breakdown().msg_software_ns += delta_.last_scan_cells() * config_.time.scan_cell_ns;
+        send_data_update(api, packet.src, kMsgSendRmtData, request.region,
+                         extract->bbox, /*absolute=*/false,
+                         std::move(extract->values));
+      } else {
+        ++shared_.updates_suppressed;
+      }
+      break;
+    }
+    case kMsgWireRequest: {
+      LOCUS_ASSERT_MSG(self_ == 0, "wire requests go to the queue owner");
+      note_request_from(packet.src);
+      pending_requests_.push_back(packet.src);
+      drain_pending_grants(api);
+      break;
+    }
+    case kMsgWireGrant: {
+      const auto& grant = packet.payload_as<GrantPayload>();
+      waiting_grant_ = false;
+      if (grant.wire < 0) {
+        no_more_ = true;
+      } else {
+        granted_wire_ = grant.wire;
+        granted_iteration_ = grant.iteration;
+      }
+      break;
+    }
+    default:
+      LOCUS_UNREACHABLE("unknown packet type");
+  }
+}
+
+bool RouterNode::on_step(NodeApi& api) {
+  if (config_.assignment_mode != WireAssignmentMode::kStatic) {
+    return dynamic_step(api);
+  }
+  if (cursor_ >= my_wires_.size()) {
+    ++iteration_;
+    if (iteration_ >= config_.iterations || my_wires_.empty()) {
+      return false;
+    }
+    cursor_ = 0;
+    lookahead_cursor_ = 0;
+    return true;  // iteration bookkeeping consumed this step
+  }
+
+  if (config_.schedule.receiver_enabled()) {
+    advance_lookahead(api);
+  }
+  route_one_wire(api);
+  fire_sender_updates(api);
+  return true;
+}
+
+void RouterNode::advance_lookahead(NodeApi& api) {
+  const UpdateSchedule& sched = config_.schedule;
+  const std::size_t target =
+      std::min(my_wires_.size(),
+               cursor_ + static_cast<std::size_t>(sched.request_lookahead));
+  while (lookahead_cursor_ < target) {
+    const Wire& wire = circuit_.wire(my_wires_[lookahead_cursor_++]);
+    const Rect wire_box = wire.pin_bbox();
+    for (ProcId region : partition_.regions_overlapping(wire_box)) {
+      if (region == self_) continue;
+      auto r = static_cast<std::size_t>(region);
+      interest_bbox_[r].expand(
+          Rect::intersection(wire_box, partition_.region(region)));
+      if (++touch_count_[r] >= sched.req_rmt_touches) {
+        touch_count_[r] = 0;
+        auto req = std::make_shared<RequestPayload>();
+        req->region = region;
+        req->bbox = interest_bbox_[r];
+        interest_bbox_[r] = Rect::empty();
+        api.advance(config_.time.msg_fixed_ns);
+        breakdown().msg_software_ns += config_.time.msg_fixed_ns;
+        api.send(region, kMsgReqRmtData, request_packet_bytes(), std::move(req));
+        breakdown().network_copy_ns += config_.time.process_time_ns;
+        ++shared_.requests_sent;
+        ++pending_responses_;
+      }
+    }
+  }
+}
+
+void RouterNode::route_one_wire(NodeApi& api) {
+  route_wire_id(api, my_wires_[cursor_++], iteration_, /*charge_now=*/true);
+}
+
+SimTime RouterNode::route_wire_id(NodeApi& api, WireId wire_id,
+                                  std::int32_t iteration, bool charge_now) {
+  const TimeModel& tm = config_.time;
+  const Wire& wire = circuit_.wire(wire_id);
+  WireRoute& slot = shared_.final_routes[static_cast<std::size_t>(wire_id)];
+
+  SimTime cost = 0;
+  if (slot.routed()) {
+    WireRouter::rip_up(slot, view_with_delta_);
+    WireRouter::rip_up(slot, shared_.truth);
+    cost += static_cast<SimTime>(slot.cells.size()) * tm.commit_ns;
+    note_route_segments(slot);
+  }
+
+  RouteWorkStats& work = shared_.work[static_cast<std::size_t>(self_)];
+  const RouteWorkStats before = work;
+  slot = router_.route_wire(wire, view_with_delta_, work);
+  cost += tm.routing_time_ns(work.probes - before.probes,
+                             work.cells_committed - before.cells_committed, 1);
+  note_route_segments(slot);
+
+  if (charge_now) {
+    api.advance(cost);
+    breakdown().routing_ns += cost;
+  }
+
+  // Price the chosen path against the global oracle *before* committing it
+  // there (measurement only — see MpShared::truth).
+  if (iteration + 1 == config_.iterations) {
+    std::int64_t true_cost = 0;
+    for (const GridPoint& p : slot.cells) true_cost += shared_.truth.read(p);
+    shared_.occupancy[static_cast<std::size_t>(self_)] += true_cost;
+  }
+  for (const GridPoint& p : slot.cells) shared_.truth.add(p, +1);
+  return cost;
+}
+
+// --- dynamic wire assignment (paper §4.2's two dynamic schemes) ---
+
+WireId RouterNode::take_next_wire(std::int32_t* iteration) {
+  if (dyn_next_wire_ >= circuit_.num_wires()) {
+    if (dyn_iteration_ + 1 >= config_.iterations) {
+      *iteration = dyn_iteration_;
+      return kGrantDone;
+    }
+    // The next iteration only starts once every granted wire has been
+    // routed (the grantee's next request confirms it); granting across the
+    // boundary would let two processors hold the same wire's route slot.
+    if (outstanding_grants_ > 0) {
+      *iteration = dyn_iteration_;
+      return kGrantWait;
+    }
+    ++dyn_iteration_;
+    dyn_next_wire_ = 0;
+  }
+  *iteration = dyn_iteration_;
+  return dyn_next_wire_++;
+}
+
+void RouterNode::note_request_from(ProcId src) {
+  auto s = static_cast<std::size_t>(src);
+  if (granted_to_[s]) {
+    granted_to_[s] = false;
+    --outstanding_grants_;
+    LOCUS_ASSERT(outstanding_grants_ >= 0);
+  }
+}
+
+void RouterNode::send_grant(NodeApi& api, ProcId dst, WireId wire,
+                            std::int32_t iteration) {
+  auto grant = std::make_shared<GrantPayload>();
+  grant->wire = wire;
+  grant->iteration = iteration;
+  api.advance(config_.time.msg_fixed_ns);
+  breakdown().msg_software_ns += config_.time.msg_fixed_ns;
+  api.send(dst, kMsgWireGrant, grant_packet_bytes(), std::move(grant));
+  breakdown().network_copy_ns += config_.time.process_time_ns;
+  if (wire >= 0) {
+    granted_to_[static_cast<std::size_t>(dst)] = true;
+    ++outstanding_grants_;
+  }
+}
+
+void RouterNode::drain_pending_grants(NodeApi& api) {
+  while (!pending_requests_.empty()) {
+    std::int32_t iteration = 0;
+    WireId wire = take_next_wire(&iteration);
+    if (wire == kGrantWait) return;  // rollover pending; keep them queued
+    ProcId dst = pending_requests_.front();
+    pending_requests_.erase(pending_requests_.begin());
+    send_grant(api, dst, wire, iteration);
+  }
+}
+
+void RouterNode::request_wire(NodeApi& api) {
+  waiting_grant_ = true;
+  api.advance(config_.time.msg_fixed_ns);
+  breakdown().msg_software_ns += config_.time.msg_fixed_ns;
+  api.send(0, kMsgWireRequest, request_packet_bytes(), nullptr);
+  breakdown().network_copy_ns += config_.time.process_time_ns;
+  ++shared_.requests_sent;
+}
+
+bool RouterNode::dynamic_step(NodeApi& api) {
+  if (self_ == 0) {
+    // Queue owner: continue a sliced wire first (requests were serviced by
+    // on_packet between slices — the "interrupt" model).
+    if (slice_remaining_ > 0) {
+      const SimTime slice = std::min(slice_remaining_, config_.interrupt_slice_ns);
+      api.advance(slice);
+      breakdown().routing_ns += slice;
+      slice_remaining_ -= slice;
+      if (slice_remaining_ == 0) fire_sender_updates(api);
+      return true;
+    }
+    std::int32_t iteration = 0;
+    const WireId wire = take_next_wire(&iteration);
+    if (wire == kGrantDone || wire == kGrantWait) {
+      // Nothing to route now; arriving requests will wake us.
+      return false;
+    }
+    const SimTime cost = route_wire_id(api, wire, iteration, /*charge_now=*/false);
+    if (config_.assignment_mode == WireAssignmentMode::kDynamicInterrupt) {
+      slice_remaining_ = cost;
+      const SimTime slice = std::min(slice_remaining_, config_.interrupt_slice_ns);
+      api.advance(slice);
+      breakdown().routing_ns += slice;
+      slice_remaining_ -= slice;
+      if (slice_remaining_ == 0) fire_sender_updates(api);
+    } else {
+      api.advance(cost);
+      breakdown().routing_ns += cost;
+      fire_sender_updates(api);
+    }
+    return true;
+  }
+
+  // Worker: request, wait (blocked()), route, repeat.
+  if (no_more_) return false;
+  if (granted_wire_ < 0) {
+    if (!waiting_grant_) request_wire(api);
+    return true;  // the engine parks us via blocked() until the grant lands
+  }
+  const WireId wire = granted_wire_;
+  const std::int32_t iteration = granted_iteration_;
+  granted_wire_ = -1;
+  waiting_grant_ = false;
+  route_wire_id(api, wire, iteration, /*charge_now=*/true);
+  fire_sender_updates(api);
+  request_wire(api);
+  return true;
+}
+
+void RouterNode::fire_sender_updates(NodeApi& api) {
+  const UpdateSchedule& sched = config_.schedule;
+  const TimeModel& tm = config_.time;
+
+  if (sched.send_rmt_period > 0 && ++wires_since_send_rmt_ >= sched.send_rmt_period) {
+    wires_since_send_rmt_ = 0;
+    for (ProcId region = 0; region < partition_.num_regions(); ++region) {
+      if (region == self_) continue;
+      if (!delta_.region_dirty(region)) continue;
+      auto extract = delta_.extract_region(region);
+      LOCUS_ASSERT(extract.has_value());
+      api.advance(delta_.last_scan_cells() * tm.scan_cell_ns);
+      breakdown().msg_software_ns += delta_.last_scan_cells() * tm.scan_cell_ns;
+      send_data_update(api, region, kMsgSendRmtData, region, extract->bbox,
+                       /*absolute=*/false, std::move(extract->values));
+    }
+  }
+
+  if (sched.send_loc_period > 0 && ++wires_since_send_loc_ >= sched.send_loc_period) {
+    wires_since_send_loc_ = 0;
+    if (auto extract = delta_.extract_region(self_)) {
+      api.advance(delta_.last_scan_cells() * tm.scan_cell_ns);
+      breakdown().msg_software_ns += delta_.last_scan_cells() * tm.scan_cell_ns;
+      // Absolute data comes from the view; the extracted delta values only
+      // located the changes.
+      std::vector<std::int32_t> values;
+      view_.read_rect(extract->bbox, values);
+      // Optimization from §4.3.2: absolute broadcasts go to the four mesh
+      // neighbors only.
+      for (ProcId neighbor : partition_.neighbors(self_)) {
+        send_data_update(api, neighbor, kMsgSendLocData, self_, extract->bbox,
+                         /*absolute=*/true, values);
+      }
+      segments_changed_[static_cast<std::size_t>(self_)] = 0;
+    } else {
+      ++shared_.updates_suppressed;
+    }
+  }
+}
+
+void RouterNode::send_data_update(NodeApi& api, ProcId dst, std::int32_t type,
+                                  ProcId region, const Rect& bbox, bool absolute,
+                                  std::vector<std::int32_t> values) {
+  const TimeModel& tm = config_.time;
+  auto r = static_cast<std::size_t>(region);
+  const std::int32_t bytes = update_packet_bytes(
+      config_.packet_structure, bbox, absolute, segments_changed_[r],
+      partition_.region(region).area());
+  if (config_.packet_structure == PacketStructure::kWireBased &&
+      type != kMsgSendLocData) {
+    segments_changed_[r] = 0;
+  }
+  auto payload = std::make_shared<RegionUpdatePayload>();
+  payload->region = region;
+  payload->bbox = bbox;
+  payload->absolute = absolute;
+  payload->values = std::move(values);
+  // Assembly cost: fixed software overhead plus per-byte packing.
+  const SimTime pack_cost = tm.msg_fixed_ns + static_cast<SimTime>(bytes) * tm.pack_byte_ns;
+  api.advance(pack_cost);
+  breakdown().msg_software_ns += pack_cost;
+  api.send(dst, type, bytes, std::move(payload));
+  breakdown().network_copy_ns += tm.process_time_ns;
+}
+
+void RouterNode::note_route_segments(const WireRoute& route) {
+  std::int64_t segments = 0;
+  for (const Route& connection : route.connections) {
+    segments += static_cast<std::int64_t>(connection.segments().size());
+  }
+  for (ProcId region : partition_.regions_overlapping(route.bbox())) {
+    segments_changed_[static_cast<std::size_t>(region)] += segments;
+  }
+}
+
+}  // namespace locus

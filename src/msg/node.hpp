@@ -1,0 +1,178 @@
+// The message passing LocusRoute processor program (paper §4).
+//
+// Each node owns one region of the cost array, holds a private view of the
+// whole array plus a delta array of unpropagated changes, and routes its
+// statically assigned wires. Between wires it:
+//   * applies arrived updates (absolute region replacements or delta adds),
+//   * answers ReqRmtData with absolute data and ReqLocData with deltas,
+//   * fires sender-initiated SendLocData / SendRmtData on their wire
+//     periods (suppressed when nothing changed),
+//   * orders receiver-initiated ReqRmtData a few wires ahead of routing,
+//     optionally blocking until the responses arrive.
+// Quality is later computed from the committed routes, never from the
+// (deliberately stale) views.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "assign/assignment.hpp"
+#include "circuit/circuit.hpp"
+#include "geom/partition.hpp"
+#include "grid/cost_array.hpp"
+#include "grid/delta_array.hpp"
+#include "msg/config.hpp"
+#include "msg/packets.hpp"
+#include "route/cost_view.hpp"
+#include "route/router.hpp"
+#include "sim/machine.hpp"
+
+namespace locus {
+
+/// Where a processor's busy time went. The paper (§5.1.1) measured that
+/// packet assembly and disassembly take up to a quarter of processing time
+/// under frequent updates; this breakdown reproduces that measurement.
+struct TimeBreakdown {
+  SimTime routing_ns = 0;        ///< pricing, committing, per-wire overhead
+  SimTime msg_software_ns = 0;   ///< scan + pack + unpack + fixed handling
+  SimTime network_copy_ns = 0;   ///< ProcessTime charges (NI copies)
+
+  SimTime busy_ns() const { return routing_ns + msg_software_ns + network_copy_ns; }
+  /// Fraction of busy time spent on message software (the paper's "up to
+  /// one fourth" figure).
+  double message_fraction() const {
+    return busy_ns() == 0 ? 0.0
+                          : static_cast<double>(msg_software_ns + network_copy_ns) /
+                                static_cast<double>(busy_ns());
+  }
+
+  TimeBreakdown& operator+=(const TimeBreakdown& other) {
+    routing_ns += other.routing_ns;
+    msg_software_ns += other.msg_software_ns;
+    network_copy_ns += other.network_copy_ns;
+    return *this;
+  }
+};
+
+/// Results and counters shared by all nodes of one run; owned by the driver.
+///
+/// `truth` is a measurement-only oracle: because the DES executes events in
+/// global time order, committing every route into one array yields the true
+/// instantaneous global occupancy. The occupancy factor prices each chosen
+/// path against it ("the cost of the wire's path at the time it was
+/// chosen"), so stale views that pick genuinely congested paths score
+/// worse — the paper's §5.1 trend. Nodes never *read* it for routing.
+struct MpShared {
+  explicit MpShared(const Circuit& circuit)
+      : truth(circuit.channels(), circuit.grids()) {}
+
+  CostArray truth;
+  std::vector<WireRoute> final_routes;       ///< indexed by wire id
+  std::vector<std::int64_t> occupancy;       ///< per proc, final iteration
+  std::vector<RouteWorkStats> work;          ///< per proc
+  std::vector<TimeBreakdown> time_breakdown; ///< per proc
+  std::int64_t updates_suppressed = 0;       ///< clean-region updates skipped
+  std::int64_t requests_sent = 0;
+  std::int64_t responses_received = 0;
+};
+
+class RouterNode final : public Node {
+ public:
+  RouterNode(const Circuit& circuit, const Partition& partition,
+             const MpConfig& config, std::vector<WireId> my_wires, ProcId self,
+             MpShared& shared);
+
+  void on_start(NodeApi& api) override;
+  void on_packet(NodeApi& api, const Packet& packet) override;
+  bool on_step(NodeApi& api) override;
+  bool blocked() const override;
+
+  /// Test hooks.
+  const CostArray& view() const { return view_; }
+  const DeltaArray& delta() const { return delta_; }
+  std::int32_t pending_responses() const { return pending_responses_; }
+
+ private:
+  /// CostView that mirrors every write into the delta array.
+  class ViewWithDelta final : public CostView {
+   public:
+    ViewWithDelta(CostArray& view, DeltaArray& delta) : view_(view), delta_(delta) {}
+    std::int32_t read(GridPoint p) override { return view_.read(p); }
+    void add(GridPoint p, std::int32_t d) override {
+      view_.add(p, d);
+      delta_.add(p, d);
+    }
+
+   private:
+    CostArray& view_;
+    DeltaArray& delta_;
+  };
+
+  void advance_lookahead(NodeApi& api);
+  void route_one_wire(NodeApi& api);
+  /// Rip up + re-route one wire; returns the compute cost. Charges the
+  /// node's clock when `charge_now` (the dynamic queue owner defers the
+  /// charge to slice it).
+  SimTime route_wire_id(NodeApi& api, WireId wire_id, std::int32_t iteration,
+                        bool charge_now);
+  bool dynamic_step(NodeApi& api);
+  /// Master-side wire queue. Returns kGrantWait when the next iteration
+  /// cannot start yet (grants outstanding), kGrantDone when exhausted.
+  WireId take_next_wire(std::int32_t* iteration);
+  void note_request_from(ProcId src);
+  void drain_pending_grants(NodeApi& api);
+  void send_grant(NodeApi& api, ProcId dst, WireId wire, std::int32_t iteration);
+  void request_wire(NodeApi& api);
+  void fire_sender_updates(NodeApi& api);
+  void send_data_update(NodeApi& api, ProcId dst, std::int32_t type, ProcId region,
+                        const Rect& bbox, bool absolute,
+                        std::vector<std::int32_t> values);
+  void note_route_segments(const WireRoute& route);
+  TimeBreakdown& breakdown();
+
+  const Circuit& circuit_;
+  const Partition& partition_;
+  const MpConfig& config_;
+  std::vector<WireId> my_wires_;
+  ProcId self_;
+  MpShared& shared_;
+
+  CostArray view_;
+  DeltaArray delta_;
+  ViewWithDelta view_with_delta_;
+  WireRouter router_;
+
+  std::int32_t iteration_ = 0;
+  std::size_t cursor_ = 0;
+  std::size_t lookahead_cursor_ = 0;
+
+  std::int32_t wires_since_send_loc_ = 0;
+  std::int32_t wires_since_send_rmt_ = 0;
+
+  // Receiver-initiated state.
+  std::vector<std::int32_t> touch_count_;   ///< per region
+  std::vector<Rect> interest_bbox_;         ///< per region
+  std::int32_t pending_responses_ = 0;
+
+  // ReqLocData trigger state (owner side).
+  std::vector<std::int32_t> req_rmt_received_;  ///< per remote proc
+
+  // Wire-based packet structure accounting.
+  std::vector<std::int64_t> segments_changed_;  ///< per region
+
+  // Dynamic wire assignment state (config_.assignment_mode != kStatic).
+  static constexpr WireId kGrantWait = -2;
+  static constexpr WireId kGrantDone = -1;
+  WireId granted_wire_ = -1;          ///< worker: wire in hand
+  std::int32_t granted_iteration_ = 0;
+  bool waiting_grant_ = false;        ///< worker: request outstanding
+  bool no_more_ = false;              ///< worker: queue exhausted
+  std::int32_t dyn_next_wire_ = 0;    ///< master: queue cursor
+  std::int32_t dyn_iteration_ = 0;    ///< master: current iteration
+  std::int32_t outstanding_grants_ = 0;      ///< master: granted, not re-requested
+  std::vector<bool> granted_to_;             ///< master: per worker
+  std::vector<ProcId> pending_requests_;     ///< master: waiting for rollover
+  SimTime slice_remaining_ = 0;       ///< master: sliced charge (interrupt mode)
+};
+
+}  // namespace locus

@@ -1,0 +1,31 @@
+#include "msg/packets.hpp"
+
+#include "support/assert.hpp"
+
+namespace locus {
+
+std::int32_t update_packet_bytes(PacketStructure structure, const Rect& bbox,
+                                 bool absolute, std::int64_t segments_changed,
+                                 std::int64_t region_area) {
+  const std::int32_t per_cell = absolute ? kAbsoluteBytesPerCell : kDeltaBytesPerCell;
+  std::int64_t payload = 0;
+  switch (structure) {
+    case PacketStructure::kBoundingBox:
+      payload = bbox.area() * per_cell;
+      break;
+    case PacketStructure::kWholeRegion:
+      payload = region_area * per_cell;
+      break;
+    case PacketStructure::kWireBased:
+      payload = segments_changed * kWireSegmentBytes;
+      break;
+  }
+  LOCUS_ASSERT(payload >= 0);
+  return kUpdateHeaderBytes + static_cast<std::int32_t>(payload);
+}
+
+std::int32_t request_packet_bytes() { return kUpdateHeaderBytes; }
+
+std::int32_t grant_packet_bytes() { return kUpdateHeaderBytes + 8; }
+
+}  // namespace locus

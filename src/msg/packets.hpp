@@ -1,0 +1,78 @@
+// Update packet formats (paper §4.3.1).
+//
+// All update traffic carries a 16-byte header (type, source, region id,
+// bounding box as four 16-bit coordinates, length). Payload encoding:
+//   * absolute cell values (SendLocData / ReqRmtData responses): 2 B/cell —
+//     occupancy counts fit 16 bits;
+//   * delta values (SendRmtData / ReqLocData responses): 1 B/cell — deltas
+//     between updates stay small and signed;
+//   * requests: header only.
+// The PacketStructure ablation (§4.3.1) changes how many bytes an update
+// of the same information costs: wire-based packets pay 6 B per changed
+// wire segment, whole-region packets pay 2 B for every cell of the owned
+// region. The simulation always transfers the full delta/absolute data (the
+// three structures are informationally equivalent here); only byte counts
+// and scan costs differ. DESIGN.md §5 records this modeling choice.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/partition.hpp"
+#include "geom/rect.hpp"
+#include "msg/config.hpp"
+#include "sim/packet.hpp"
+
+namespace locus {
+
+/// Network packet types used by the message passing router.
+enum MsgType : std::int32_t {
+  kMsgSendLocData = 1,  ///< unsolicited absolute own-region update
+  kMsgSendRmtData = 2,  ///< unsolicited (or ReqLocData-response) delta update
+  kMsgReqLocData = 3,   ///< owner asks a remote for its pending deltas
+  kMsgReqRmtData = 4,   ///< remote asks the owner for absolute data
+  kMsgRspRmtData = 5,   ///< owner's absolute response to ReqRmtData
+  kMsgWireRequest = 10, ///< dynamic assignment: give me a wire to route
+  kMsgWireGrant = 11,   ///< dynamic assignment: wire id (or -1: no more)
+};
+
+inline constexpr std::int32_t kUpdateHeaderBytes = 16;
+inline constexpr std::int32_t kAbsoluteBytesPerCell = 2;
+inline constexpr std::int32_t kDeltaBytesPerCell = 1;
+inline constexpr std::int32_t kWireSegmentBytes = 6;
+
+/// Payload of every data-carrying update.
+struct RegionUpdatePayload : PacketPayload {
+  ProcId region = -1;  ///< region the cells belong to
+  Rect bbox;           ///< cells carried (row-major in `values`)
+  bool absolute = false;
+  std::vector<std::int32_t> values;
+};
+
+/// Payload of ReqLocData / ReqRmtData.
+struct RequestPayload : PacketPayload {
+  ProcId region = -1;  ///< region an update is wanted for
+  Rect bbox;           ///< sub-box of interest (empty = whole region)
+};
+
+/// On-wire size of a data update under the configured packet structure.
+/// `segments_changed` is the number of wire segments modified since the
+/// last update (wire-based structure); `region_area` the full owned-region
+/// cell count (whole-region structure).
+std::int32_t update_packet_bytes(PacketStructure structure, const Rect& bbox,
+                                 bool absolute, std::int64_t segments_changed,
+                                 std::int64_t region_area);
+
+/// Payload of kMsgWireGrant.
+struct GrantPayload : PacketPayload {
+  WireId wire = -1;            ///< -1: queue exhausted, stop requesting
+  std::int32_t iteration = 0;  ///< routing iteration this grant belongs to
+};
+
+/// On-wire size of a request packet (header only).
+std::int32_t request_packet_bytes();
+
+/// On-wire size of a wire grant (header + id + iteration).
+std::int32_t grant_packet_bytes();
+
+}  // namespace locus

@@ -1,0 +1,173 @@
+#include "msg/threads_mp.hpp"
+
+#include <atomic>
+#include <barrier>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "grid/cost_array.hpp"
+#include "grid/delta_array.hpp"
+#include "msg/packets.hpp"
+#include "route/quality.hpp"
+#include "support/assert.hpp"
+#include "support/stopwatch.hpp"
+
+namespace locus {
+
+namespace {
+
+struct ThreadMsg {
+  std::int32_t type;  // kMsgSendLocData or kMsgSendRmtData
+  ProcId region;
+  Rect bbox;
+  bool absolute;
+  std::vector<std::int32_t> values;
+};
+
+/// Mutex-protected mailbox; the native stand-in for the simulated network.
+class Mailbox {
+ public:
+  void push(ThreadMsg msg) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(msg));
+  }
+
+  bool pop(ThreadMsg& out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    return true;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::deque<ThreadMsg> queue_;
+};
+
+}  // namespace
+
+ThreadsMpResult run_threads_message_passing(const Circuit& circuit,
+                                            const Partition& partition,
+                                            const Assignment& assignment,
+                                            const ThreadsMpConfig& config) {
+  const std::int32_t procs = partition.num_regions();
+  LOCUS_ASSERT(assignment.num_procs() == procs);
+  LOCUS_ASSERT(assignment_is_valid(assignment, circuit));
+  LOCUS_ASSERT(config.iterations >= 1);
+
+  ThreadsMpResult result;
+  result.routes.resize(static_cast<std::size_t>(circuit.num_wires()));
+  std::vector<Mailbox> mailboxes(static_cast<std::size_t>(procs));
+  std::vector<RouteWorkStats> work(static_cast<std::size_t>(procs));
+  std::atomic<std::uint64_t> messages{0};
+  std::atomic<std::uint64_t> bytes{0};
+  std::barrier iteration_barrier(procs);
+
+  Stopwatch wall;
+  auto worker = [&](ProcId self) {
+    CostArray view(circuit.channels(), circuit.grids());
+    DeltaArray delta(partition);
+    WireRouter router(circuit.channels(), config.router);
+    const std::vector<WireId>& my_wires =
+        assignment.wires_per_proc[static_cast<std::size_t>(self)];
+    std::int32_t since_loc = 0;
+    std::int32_t since_rmt = 0;
+
+    auto drain = [&] {
+      ThreadMsg msg;
+      while (mailboxes[static_cast<std::size_t>(self)].pop(msg)) {
+        if (msg.absolute) {
+          view.write_rect(msg.bbox, msg.values);
+        } else {
+          LOCUS_ASSERT(msg.region == self);
+          view.add_rect(msg.bbox, msg.values);
+          std::size_t i = 0;
+          for (std::int32_t c = msg.bbox.channel_lo; c <= msg.bbox.channel_hi; ++c) {
+            for (std::int32_t x = msg.bbox.x_lo; x <= msg.bbox.x_hi; ++x, ++i) {
+              if (msg.values[i] != 0) delta.add(GridPoint{c, x}, msg.values[i]);
+            }
+          }
+        }
+      }
+    };
+
+    auto post = [&](ProcId dst, ThreadMsg msg) {
+      bytes.fetch_add(
+          static_cast<std::uint64_t>(update_packet_bytes(
+              PacketStructure::kBoundingBox, msg.bbox, msg.absolute, 0, 0)),
+          std::memory_order_relaxed);
+      messages.fetch_add(1, std::memory_order_relaxed);
+      mailboxes[static_cast<std::size_t>(dst)].push(std::move(msg));
+    };
+
+    for (std::int32_t iter = 0; iter < config.iterations; ++iter) {
+      for (WireId wire_id : my_wires) {
+        drain();
+        WireRoute& slot = result.routes[static_cast<std::size_t>(wire_id)];
+        // Mirror every write into the delta array, as the simulator does.
+        class ViewWithDelta final : public CostView {
+         public:
+          ViewWithDelta(CostArray& v, DeltaArray& d) : v_(v), d_(d) {}
+          std::int32_t read(GridPoint p) override { return v_.read(p); }
+          void add(GridPoint p, std::int32_t d) override {
+            v_.add(p, d);
+            d_.add(p, d);
+          }
+
+         private:
+          CostArray& v_;
+          DeltaArray& d_;
+        } tracked(view, delta);
+        if (slot.routed()) {
+          WireRouter::rip_up(slot, tracked);
+        }
+        slot = router.route_wire(circuit.wire(wire_id), tracked,
+                                 work[static_cast<std::size_t>(self)]);
+
+        if (config.send_rmt_period > 0 && ++since_rmt >= config.send_rmt_period) {
+          since_rmt = 0;
+          for (ProcId region = 0; region < procs; ++region) {
+            if (region == self || !delta.region_dirty(region)) continue;
+            auto extract = delta.extract_region(region);
+            LOCUS_ASSERT(extract.has_value());
+            post(region, ThreadMsg{kMsgSendRmtData, region, extract->bbox, false,
+                                   std::move(extract->values)});
+          }
+        }
+        if (config.send_loc_period > 0 && ++since_loc >= config.send_loc_period) {
+          since_loc = 0;
+          if (auto extract = delta.extract_region(self)) {
+            std::vector<std::int32_t> values;
+            view.read_rect(extract->bbox, values);
+            for (ProcId neighbor : partition.neighbors(self)) {
+              post(neighbor, ThreadMsg{kMsgSendLocData, self, extract->bbox, true,
+                                       values});
+            }
+          }
+        }
+      }
+      iteration_barrier.arrive_and_wait();
+      drain();  // everything sent before the barrier is now visible
+      iteration_barrier.arrive_and_wait();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(procs));
+  for (ProcId p = 0; p < procs; ++p) {
+    threads.emplace_back(worker, p);
+  }
+  for (std::thread& t : threads) t.join();
+
+  result.wall_seconds = wall.seconds();
+  result.messages_sent = messages.load();
+  result.bytes_sent = bytes.load();
+  for (const RouteWorkStats& w : work) result.work += w;
+  result.circuit_height =
+      circuit_height(circuit.channels(), circuit.grids(), result.routes);
+  return result;
+}
+
+}  // namespace locus

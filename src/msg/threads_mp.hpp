@@ -1,0 +1,50 @@
+// Real-threads message passing LocusRoute.
+//
+// The same distributed algorithm the simulator runs (replicated cost-array
+// views, delta arrays, sender-initiated bounding-box updates), executed on
+// native std::thread workers with mutex-protected mailboxes instead of a
+// simulated interconnect. No shared cost array exists: threads communicate
+// only by update messages, exactly like the paper's message passing
+// programming model. Nondeterministic (real scheduling); quality lands in
+// the same band as the simulated runs, which the tests check. Use the
+// simulator for measurements; use this to route circuits in parallel for
+// real.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "assign/assignment.hpp"
+#include "circuit/circuit.hpp"
+#include "geom/partition.hpp"
+#include "msg/config.hpp"
+#include "route/router.hpp"
+
+namespace locus {
+
+struct ThreadsMpConfig {
+  RouterParams router;
+  std::int32_t iterations = 2;
+  /// Sender-initiated periods (receiver-initiated requests need the
+  /// simulator's blocking machinery and are not supported here).
+  std::int32_t send_loc_period = 5;
+  std::int32_t send_rmt_period = 2;
+};
+
+struct ThreadsMpResult {
+  std::int64_t circuit_height = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;  ///< same packet sizing as the simulator
+  double wall_seconds = 0.0;
+  RouteWorkStats work;
+  std::vector<WireRoute> routes;
+};
+
+/// Routes `circuit` with one worker thread per partition region using the
+/// given static assignment.
+ThreadsMpResult run_threads_message_passing(const Circuit& circuit,
+                                            const Partition& partition,
+                                            const Assignment& assignment,
+                                            const ThreadsMpConfig& config);
+
+}  // namespace locus

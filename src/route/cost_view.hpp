@@ -1,0 +1,28 @@
+// Abstract access to cost-array state during routing.
+//
+// The same router core runs against three backings:
+//   * a plain CostArray (sequential reference implementation),
+//   * a per-processor view + delta array (message passing nodes),
+//   * the single shared array wrapped in a reference tracer (shared memory).
+// Implementations must return non-negative values from read() — drifted
+// message passing views clamp — because route costs feed a minimization.
+#pragma once
+
+#include <cstdint>
+
+#include "geom/point.hpp"
+
+namespace locus {
+
+class CostView {
+ public:
+  virtual ~CostView() = default;
+
+  /// Current cost of routing through cell `p` (>= 0).
+  virtual std::int32_t read(GridPoint p) = 0;
+
+  /// Applies a commit (+1 per cell of a chosen path) or rip-up (-1).
+  virtual void add(GridPoint p, std::int32_t delta) = 0;
+};
+
+}  // namespace locus

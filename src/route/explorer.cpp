@@ -1,0 +1,118 @@
+#include "route/explorer.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace locus {
+
+namespace {
+
+/// Channel a pin enters when heading for channel `target`: the nearer of the
+/// channels above/below its cell row.
+std::int32_t entry_channel(const Pin& pin, std::int32_t target) {
+  return target <= pin.row ? pin.channel_above() : pin.channel_below();
+}
+
+/// Builds the single-channel shape: drop from each pin into channel `c` and
+/// run horizontally between the pin columns.
+Route make_single_channel(const Pin& a, const Pin& b, std::int32_t c) {
+  Route route;
+  const std::int32_t ea = entry_channel(a, c);
+  const std::int32_t eb = entry_channel(b, c);
+  route.append(Segment{GridPoint{ea, a.x}, GridPoint{c, a.x}});
+  route.append(Segment{GridPoint{c, a.x}, GridPoint{c, b.x}});
+  route.append(Segment{GridPoint{c, b.x}, GridPoint{eb, b.x}});
+  return route;
+}
+
+/// Builds the Z shape: channel c1 from a.x to the jog column xj, cross to
+/// channel c2, continue to b.x.
+Route make_z(const Pin& a, const Pin& b, std::int32_t c1, std::int32_t c2,
+             std::int32_t xj) {
+  Route route;
+  const std::int32_t ea = entry_channel(a, c1);
+  const std::int32_t eb = entry_channel(b, c2);
+  route.append(Segment{GridPoint{ea, a.x}, GridPoint{c1, a.x}});
+  route.append(Segment{GridPoint{c1, a.x}, GridPoint{c1, xj}});
+  route.append(Segment{GridPoint{c1, xj}, GridPoint{c2, xj}});
+  route.append(Segment{GridPoint{c2, xj}, GridPoint{c2, b.x}});
+  route.append(Segment{GridPoint{c2, b.x}, GridPoint{eb, b.x}});
+  return route;
+}
+
+std::int64_t price(const Route& route, CostView& view, std::int32_t bend_penalty,
+                   std::int32_t congestion_power, ExploreStats& stats) {
+  std::int64_t cost = 0;
+  route.for_each_cell([&](GridPoint p) {
+    std::int64_t v = view.read(p);
+    if (congestion_power == 2) {
+      cost += v * v;
+    } else {
+      cost += v;
+    }
+    ++stats.cells_probed;
+  });
+  if (bend_penalty != 0) {
+    std::int32_t turns = 0;
+    for (const Segment& seg : route.segments()) {
+      if (seg.from != seg.to) ++turns;
+    }
+    if (turns > 1) cost += static_cast<std::int64_t>(bend_penalty) * (turns - 1);
+  }
+  ++stats.routes_evaluated;
+  return cost;
+}
+
+}  // namespace
+
+ExploreResult explore_connection(const Pin& a, const Pin& b, std::int32_t channels,
+                                 CostView& view, const ExplorerParams& params) {
+  LOCUS_ASSERT(channels >= 2);
+  const std::int32_t pin_lo =
+      std::min({a.channel_above(), b.channel_above()});
+  const std::int32_t pin_hi =
+      std::max({a.channel_below(), b.channel_below()});
+  const std::int32_t c_lo = std::max<std::int32_t>(0, pin_lo - params.channel_slack);
+  const std::int32_t c_hi =
+      std::min<std::int32_t>(channels - 1, pin_hi + params.channel_slack);
+
+  ExploreResult best;
+  bool have_best = false;
+  auto consider = [&](Route&& candidate) {
+    std::int64_t cost = price(candidate, view, params.bend_penalty,
+                              params.congestion_power, best.stats);
+    if (!have_best || cost < best.cost) {
+      best.route = std::move(candidate);
+      best.cost = cost;
+      have_best = true;
+    }
+  };
+
+  // Single-channel candidates.
+  for (std::int32_t c = c_lo; c <= c_hi; ++c) {
+    consider(make_single_channel(a, b, c));
+  }
+
+  // Z candidates: only meaningful when the pins are in different columns.
+  const std::int32_t x_lo = std::min(a.x, b.x);
+  const std::int32_t x_hi = std::max(a.x, b.x);
+  if (x_hi - x_lo >= 2) {
+    const std::int32_t span = x_hi - x_lo;
+    const std::int32_t stride =
+        std::max<std::int32_t>(1, span / std::max<std::int32_t>(1, params.jog_samples));
+    for (std::int32_t c1 = c_lo; c1 <= c_hi; ++c1) {
+      for (std::int32_t c2 = c_lo; c2 <= c_hi; ++c2) {
+        if (c1 == c2) continue;  // equals the single-channel shape
+        for (std::int32_t xj = x_lo + stride; xj < x_hi; xj += stride) {
+          consider(make_z(a, b, c1, c2, xj));
+        }
+      }
+    }
+  }
+
+  LOCUS_ASSERT(have_best);
+  return best;
+}
+
+}  // namespace locus

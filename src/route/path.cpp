@@ -1,0 +1,73 @@
+#include "route/path.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace locus {
+
+namespace {
+
+/// Steps from `a` toward `b` along the single differing axis.
+GridPoint step_toward(GridPoint a, GridPoint b) {
+  if (a.channel != b.channel) {
+    a.channel += (b.channel > a.channel) ? 1 : -1;
+  } else if (a.x != b.x) {
+    a.x += (b.x > a.x) ? 1 : -1;
+  }
+  return a;
+}
+
+}  // namespace
+
+void Route::append(Segment seg) {
+  LOCUS_ASSERT_MSG(seg.from.channel == seg.to.channel || seg.from.x == seg.to.x,
+                   "segment must be axis-aligned");
+  if (!segments_.empty()) {
+    LOCUS_ASSERT_MSG(segments_.back().to == seg.from,
+                     "segments must chain end-to-start");
+  }
+  segments_.push_back(seg);
+}
+
+void Route::for_each_cell(const std::function<void(GridPoint)>& fn) const {
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const Segment& seg = segments_[i];
+    GridPoint p = seg.from;
+    // The junction cell was already emitted as the previous segment's `to`.
+    bool skip_first = (i > 0);
+    for (;;) {
+      if (!skip_first) fn(p);
+      skip_first = false;
+      if (p == seg.to) break;
+      p = step_toward(p, seg.to);
+    }
+  }
+}
+
+std::int32_t Route::cell_count() const {
+  std::int32_t count = 0;
+  for_each_cell([&](GridPoint) { ++count; });
+  return count;
+}
+
+Rect Route::bbox() const {
+  Rect box;
+  for (const Segment& seg : segments_) {
+    box.expand(seg.from);
+    box.expand(seg.to);
+  }
+  return box;
+}
+
+std::vector<GridPoint> collect_unique_cells(const std::vector<Route>& routes) {
+  std::vector<GridPoint> cells;
+  for (const Route& r : routes) {
+    r.for_each_cell([&](GridPoint p) { cells.push_back(p); });
+  }
+  std::sort(cells.begin(), cells.end());
+  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+  return cells;
+}
+
+}  // namespace locus

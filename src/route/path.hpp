@@ -1,0 +1,60 @@
+// Route geometry: a routed connection is a connected chain of horizontal
+// (within-channel) and vertical (channel-crossing) segments over the cost
+// array. Committing a route increments every covered cell once; ripping it
+// up decrements the same cells (paper §3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+
+namespace locus {
+
+/// One axis-aligned segment from `from` to `to` (inclusive); exactly one
+/// coordinate differs (or none for a single-cell segment).
+struct Segment {
+  GridPoint from;
+  GridPoint to;
+
+  bool horizontal() const { return from.channel == to.channel; }
+  std::int32_t length() const {
+    return manhattan(from, to) + 1;  // cell count, inclusive
+  }
+
+  friend constexpr auto operator<=>(const Segment&, const Segment&) = default;
+};
+
+/// A connected chain of segments: segment i+1 starts where segment i ends.
+class Route {
+ public:
+  Route() = default;
+
+  /// Appends a segment; enforces connectivity with the previous segment.
+  void append(Segment seg);
+
+  const std::vector<Segment>& segments() const { return segments_; }
+  bool empty() const { return segments_.empty(); }
+
+  /// Visits every covered cell exactly once in path order (junction cells
+  /// shared between consecutive segments are visited once).
+  void for_each_cell(const std::function<void(GridPoint)>& fn) const;
+
+  /// Number of distinct cells along the path (junctions counted once).
+  std::int32_t cell_count() const;
+
+  /// Bounding box over all covered cells.
+  Rect bbox() const;
+
+ private:
+  std::vector<Segment> segments_;
+};
+
+/// Collects a route's cells, sorted and deduplicated. Used to merge the
+/// per-pin-pair routes of a multi-pin wire so each wire contributes at most
+/// one unit of cost per cell.
+std::vector<GridPoint> collect_unique_cells(const std::vector<Route>& routes);
+
+}  // namespace locus

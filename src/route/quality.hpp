@@ -1,0 +1,38 @@
+// Solution quality metrics (paper §3).
+//
+// * Circuit height: per channel, the number of routing tracks required is
+//   the maximum number of wires crossing any grid of that channel; the
+//   height is the sum over channels. Proportional to circuit area.
+// * Occupancy factor: the sum, over all wires, of the priced cost of the
+//   chosen path at the instant the wire was routed. Accumulated by the run
+//   drivers from WireRoute::path_cost; helpers here cover the array side.
+// Lower is better for both.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "grid/cost_array.hpp"
+#include "route/router.hpp"
+
+namespace locus {
+
+/// Track count per channel (max raw cell value in each channel row).
+std::vector<std::int32_t> track_profile(const CostArray& cost);
+
+/// Circuit height: sum of track counts over all channels.
+std::int64_t circuit_height(const CostArray& cost);
+
+/// Rebuilds the ground-truth cost array implied by a set of committed wire
+/// routes (each route's cells +1). This is "the routed circuit": quality in
+/// the message passing runs is computed from this, never from a processor's
+/// drifted view (DESIGN.md §5.4).
+CostArray rebuild_cost(std::int32_t channels, std::int32_t grids,
+                       std::span<const WireRoute> routes);
+
+/// Circuit height of the rebuilt ground truth.
+std::int64_t circuit_height(std::int32_t channels, std::int32_t grids,
+                            std::span<const WireRoute> routes);
+
+}  // namespace locus

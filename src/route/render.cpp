@@ -1,0 +1,56 @@
+#include "route/render.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace locus {
+
+namespace {
+
+char cell_char(std::int32_t value) {
+  if (value <= 0) return '.';
+  if (value < 10) return static_cast<char>('0' + value);
+  if (value < 36) return static_cast<char>('a' + (value - 10));
+  return '#';
+}
+
+std::string render_window(const CostArray& cost, std::int32_t x_lo,
+                          std::int32_t x_hi,
+                          const std::vector<GridPoint>* highlight) {
+  LOCUS_ASSERT(x_lo >= 0 && x_hi < cost.grids() && x_lo <= x_hi);
+  std::ostringstream os;
+  for (std::int32_t c = 0; c < cost.channels(); ++c) {
+    for (std::int32_t x = x_lo; x <= x_hi; ++x) {
+      const GridPoint p{c, x};
+      if (highlight != nullptr &&
+          std::binary_search(highlight->begin(), highlight->end(), p)) {
+        os << '*';
+      } else {
+        os << cell_char(cost.at(p));
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_cost_array(const CostArray& cost) {
+  return render_window(cost, 0, cost.grids() - 1, nullptr);
+}
+
+std::string render_cost_array(const CostArray& cost, std::int32_t x_lo,
+                              std::int32_t x_hi) {
+  return render_window(cost, x_lo, x_hi, nullptr);
+}
+
+std::string render_route(const CostArray& cost, const WireRoute& route) {
+  // WireRoute::cells is sorted (collect_unique_cells), enabling the binary
+  // search in the renderer.
+  return render_window(cost, 0, cost.grids() - 1, &route.cells);
+}
+
+}  // namespace locus

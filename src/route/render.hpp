@@ -1,0 +1,24 @@
+// ASCII rendering of cost arrays and routes — the textual equivalent of the
+// paper's Figure 1 (a placement and its cost array). Used by examples and
+// handy when debugging routing behaviour.
+#pragma once
+
+#include <string>
+
+#include "grid/cost_array.hpp"
+#include "route/router.hpp"
+
+namespace locus {
+
+/// Renders the array as one text row per channel, one character per routing
+/// grid: '.' for zero, digits 1-9, then letters for 10+ ('a' = 10, capped
+/// at 'z' = 35, '#' beyond). Wide arrays can be windowed with [x_lo, x_hi].
+std::string render_cost_array(const CostArray& cost);
+std::string render_cost_array(const CostArray& cost, std::int32_t x_lo,
+                              std::int32_t x_hi);
+
+/// Renders one wire's committed route on top of the array: route cells show
+/// '*', everything else as in render_cost_array.
+std::string render_route(const CostArray& cost, const WireRoute& route);
+
+}  // namespace locus

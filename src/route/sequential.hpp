@@ -1,0 +1,36 @@
+// Sequential reference implementation of LocusRoute.
+//
+// Routes every wire once per iteration against a single cost array, ripping
+// up the previous iteration's commitment before re-routing (paper §3). This
+// is the uniprocessor baseline: both parallel implementations must converge
+// toward its quality as their consistency improves, and the speedup bench
+// uses its work totals.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "grid/cost_array.hpp"
+#include "route/quality.hpp"
+#include "route/router.hpp"
+
+namespace locus {
+
+struct SequentialParams {
+  RouterParams router;
+  std::int32_t iterations = 2;
+};
+
+struct SequentialResult {
+  std::int64_t circuit_height = 0;
+  std::int64_t occupancy_factor = 0;  ///< sum of final-iteration path costs
+  RouteWorkStats work;
+  CostArray cost;                     ///< final ground-truth cost array
+  std::vector<WireRoute> routes;      ///< final routing of every wire
+};
+
+SequentialResult route_sequential(const Circuit& circuit,
+                                  const SequentialParams& params);
+
+}  // namespace locus

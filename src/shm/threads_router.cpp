@@ -1,0 +1,118 @@
+#include "shm/threads_router.hpp"
+
+#include <atomic>
+#include <barrier>
+#include <memory>
+#include <thread>
+
+#include "route/quality.hpp"
+#include "support/assert.hpp"
+#include "support/stopwatch.hpp"
+
+namespace locus {
+
+namespace {
+
+/// Unlocked shared cost array over atomic cells (relaxed ordering: the
+/// algorithm tolerates stale and lost updates by design).
+class AtomicCostArray {
+ public:
+  AtomicCostArray(std::int32_t channels, std::int32_t grids)
+      : channels_(channels), grids_(grids),
+        cells_(static_cast<std::size_t>(channels) * static_cast<std::size_t>(grids)) {
+    for (auto& c : cells_) c.store(0, std::memory_order_relaxed);
+  }
+
+  std::int32_t read(GridPoint p) const {
+    std::int32_t v = cells_[index(p)].load(std::memory_order_relaxed);
+    return v < 0 ? 0 : v;
+  }
+
+  void add(GridPoint p, std::int32_t d) {
+    cells_[index(p)].fetch_add(d, std::memory_order_relaxed);
+  }
+
+  std::int32_t raw(GridPoint p) const {
+    return cells_[index(p)].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t index(GridPoint p) const {
+    LOCUS_ASSERT(p.channel >= 0 && p.channel < channels_);
+    LOCUS_ASSERT(p.x >= 0 && p.x < grids_);
+    return static_cast<std::size_t>(p.channel) * static_cast<std::size_t>(grids_) +
+           static_cast<std::size_t>(p.x);
+  }
+
+  std::int32_t channels_;
+  std::int32_t grids_;
+  std::vector<std::atomic<std::int32_t>> cells_;
+};
+
+class AtomicView final : public CostView {
+ public:
+  explicit AtomicView(AtomicCostArray& shared) : shared_(shared) {}
+  std::int32_t read(GridPoint p) override { return shared_.read(p); }
+  void add(GridPoint p, std::int32_t d) override { shared_.add(p, d); }
+
+ private:
+  AtomicCostArray& shared_;
+};
+
+}  // namespace
+
+ThreadsRunResult run_threads_shared_memory(const Circuit& circuit,
+                                           const ThreadsConfig& config) {
+  LOCUS_ASSERT(config.threads >= 1);
+  LOCUS_ASSERT(config.iterations >= 1);
+
+  AtomicCostArray shared(circuit.channels(), circuit.grids());
+  ThreadsRunResult result;
+  result.routes.resize(static_cast<std::size_t>(circuit.num_wires()));
+
+  std::atomic<std::int32_t> loop_counter{0};
+  std::atomic<std::int64_t> occupancy{0};
+  std::vector<RouteWorkStats> work(static_cast<std::size_t>(config.threads));
+  std::barrier iteration_barrier(config.threads);
+
+  Stopwatch wall;
+  auto worker = [&](std::int32_t tid) {
+    AtomicView view(shared);
+    WireRouter router(circuit.channels(), config.router);
+    RouteWorkStats& my_work = work[static_cast<std::size_t>(tid)];
+    for (std::int32_t iter = 0; iter < config.iterations; ++iter) {
+      const bool last = (iter + 1 == config.iterations);
+      for (;;) {
+        std::int32_t wire_id = loop_counter.fetch_add(1, std::memory_order_relaxed);
+        if (wire_id >= circuit.num_wires()) break;
+        WireRoute& slot = result.routes[static_cast<std::size_t>(wire_id)];
+        if (slot.routed()) {
+          WireRouter::rip_up(slot, view);
+        }
+        slot = router.route_wire(circuit.wire(wire_id), view, my_work);
+        if (last) {
+          occupancy.fetch_add(slot.path_cost, std::memory_order_relaxed);
+        }
+      }
+      iteration_barrier.arrive_and_wait();
+      if (tid == 0) loop_counter.store(0, std::memory_order_relaxed);
+      iteration_barrier.arrive_and_wait();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(config.threads));
+  for (std::int32_t t = 0; t < config.threads; ++t) {
+    threads.emplace_back(worker, t);
+  }
+  for (std::thread& t : threads) t.join();
+
+  result.wall_seconds = wall.seconds();
+  result.occupancy_factor = occupancy.load();
+  for (const RouteWorkStats& w : work) result.work += w;
+  result.circuit_height =
+      circuit_height(circuit.channels(), circuit.grids(), result.routes);
+  return result;
+}
+
+}  // namespace locus

@@ -1,0 +1,45 @@
+// Real-threads shared memory LocusRoute.
+//
+// This is the paper's original programming model executed natively: one
+// cost array in process memory, unlocked concurrent access from N
+// std::thread workers, dynamic wire distribution through an atomic
+// distributed-loop counter, and a barrier between iterations. Unlike the
+// Tango executor it is *not* deterministic (quality may vary run to run by
+// a few tracks) and produces no trace — it exists to validate that the
+// deterministic executor's behaviour matches a genuine multithreaded run
+// and as the natural starting point for users who want the router itself
+// rather than the 1989 measurement apparatus.
+//
+// Data-race note: the paper deliberately routes with unlocked cost array
+// accesses, accepting lost updates. A C++ program must not race on plain
+// int; we use std::atomic<std::int32_t> cells with relaxed loads/stores,
+// which preserves the algorithm's "no locks, tolerate staleness" semantics
+// without undefined behaviour.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "route/router.hpp"
+
+namespace locus {
+
+struct ThreadsConfig {
+  RouterParams router;
+  std::int32_t iterations = 2;
+  std::int32_t threads = 4;
+};
+
+struct ThreadsRunResult {
+  std::int64_t circuit_height = 0;
+  std::int64_t occupancy_factor = 0;
+  RouteWorkStats work;  ///< summed over threads
+  double wall_seconds = 0.0;
+  std::vector<WireRoute> routes;
+};
+
+ThreadsRunResult run_threads_shared_memory(const Circuit& circuit,
+                                           const ThreadsConfig& config);
+
+}  // namespace locus

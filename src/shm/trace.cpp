@@ -1,0 +1,20 @@
+#include "shm/trace.hpp"
+
+#include <algorithm>
+
+namespace locus {
+
+void RefTrace::sort_by_time() {
+  std::stable_sort(refs_.begin(), refs_.end(),
+                   [](const MemRef& a, const MemRef& b) { return a.time < b.time; });
+}
+
+std::uint64_t RefTrace::count(MemOp op) const {
+  std::uint64_t n = 0;
+  for (const MemRef& r : refs_) {
+    if (r.op == op) ++n;
+  }
+  return n;
+}
+
+}  // namespace locus

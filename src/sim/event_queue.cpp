@@ -1,0 +1,38 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace locus {
+
+void EventQueue::schedule(SimTime time, std::function<void()> fn) {
+  LOCUS_ASSERT_MSG(time >= now_, "cannot schedule into the past");
+  heap_.push(Event{time, next_seq_++, std::move(fn)});
+}
+
+SimTime EventQueue::run() {
+  while (!heap_.empty()) {
+    // Moving out of a priority_queue top requires a const_cast dance; copy
+    // the small members and move the closure via a temporary instead.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+std::size_t EventQueue::run_bounded(std::size_t limit) {
+  std::size_t count = 0;
+  while (!heap_.empty() && count < limit) {
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace locus

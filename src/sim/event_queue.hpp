@@ -1,0 +1,55 @@
+// Deterministic discrete-event core.
+//
+// Events execute in (time, insertion sequence) order, so simultaneous events
+// run FIFO and every simulation is exactly reproducible. Times are
+// nanoseconds of simulated machine time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace locus {
+
+using SimTime = std::int64_t;  // nanoseconds
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute simulated time `time` (must be >= now()).
+  void schedule(SimTime time, std::function<void()> fn);
+
+  /// Runs events until the queue is empty. Returns the time of the last
+  /// event executed (0 if none ran).
+  SimTime run();
+
+  /// Runs until empty or `limit` events, whichever first; returns the number
+  /// executed (a safety valve against accidental non-termination in tests).
+  std::size_t run_bounded(std::size_t limit);
+
+  SimTime now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace locus

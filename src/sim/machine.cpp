@@ -1,0 +1,150 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace locus {
+
+SimTime NodeApi::now() const {
+  return machine_->state(self_).clock;
+}
+
+std::int32_t NodeApi::num_procs() const { return machine_->topology_.num_nodes(); }
+
+void NodeApi::advance(SimTime ns) {
+  LOCUS_ASSERT(ns >= 0);
+  machine_->state(self_).clock += ns;
+}
+
+void NodeApi::send(ProcId dst, std::int32_t type, std::int32_t bytes,
+                   std::shared_ptr<const PacketPayload> payload) {
+  // Send-side ProcessTime: the processor is busy copying the message to the
+  // network interface (paper §2.1).
+  advance(machine_->network_->params().process_time_ns);
+  Packet packet;
+  packet.src = self_;
+  packet.dst = dst;
+  packet.type = type;
+  packet.bytes = bytes;
+  packet.payload = std::move(payload);
+  // The node's local clock can run ahead of global event time (a whole
+  // routing step executes inside one resume event), so the injection is
+  // scheduled at `ready` rather than performed immediately: link and NI
+  // reservations must be claimed in global time order or an early packet
+  // could queue behind a chronologically later one.
+  const SimTime ready = machine_->state(self_).clock;
+  Machine* machine = machine_;
+  machine_->queue_.schedule(ready, [machine, ready, p = std::move(packet)]() mutable {
+    machine->network_->inject(std::move(p), ready);
+  });
+}
+
+Machine::Machine(Topology topology, NetworkParams net_params)
+    : topology_(std::move(topology)),
+      nodes_(static_cast<std::size_t>(topology_.num_nodes())) {
+  network_ = std::make_unique<Network>(
+      topology_, net_params, queue_,
+      [this](const Packet& p, SimTime arrival) { deliver(p, arrival); });
+}
+
+void Machine::set_node(ProcId proc, std::unique_ptr<Node> node) {
+  LOCUS_ASSERT(proc >= 0 && proc < topology_.num_nodes());
+  state(proc).program = std::move(node);
+}
+
+void Machine::deliver(const Packet& packet, SimTime arrival) {
+  NodeState& st = state(packet.dst);
+  st.inbox.push(NodeState::Arrival{arrival, arrival_seq_++, packet});
+  // Wake the node: if it is mid-wire (clock > arrival) the resume lands at
+  // its next between-wires boundary; if idle, at the arrival itself.
+  schedule_resume(packet.dst, std::max(arrival, st.clock));
+}
+
+void Machine::schedule_resume(ProcId proc, SimTime at) {
+  NodeState& st = state(proc);
+  at = std::max(at, queue_.now());
+  if (st.resume_pending && st.resume_at <= at) return;
+  st.resume_pending = true;
+  st.resume_at = at;
+  queue_.schedule(at, [this, proc, at] {
+    NodeState& s = state(proc);
+    if (!s.resume_pending || s.resume_at != at) return;  // superseded
+    resume(proc);
+  });
+}
+
+void Machine::resume(ProcId proc) {
+  NodeState& st = state(proc);
+  st.resume_pending = false;
+  st.clock = std::max(st.clock, queue_.now());
+  NodeApi api(*this, proc);
+  running_ = proc;
+
+  // Deliver everything that has arrived by the node's current local time;
+  // reception handlers advance the clock, which can make further arrivals
+  // due, so re-check.
+  while (!st.inbox.empty() && st.inbox.top().time <= st.clock) {
+    Packet packet = st.inbox.top().packet;
+    st.inbox.pop();
+    st.program->on_packet(api, packet);
+  }
+
+  if (st.program->blocked()) {
+    // Sleep until the next arrival (already queued or delivered later).
+    if (!st.inbox.empty()) {
+      schedule_resume(proc, st.inbox.top().time);
+    }
+    running_ = -1;
+    return;
+  }
+
+  const bool did_work = st.program->on_step(api);
+  if (did_work) {
+    // A node can find new work after having reported none (e.g. a dynamic
+    // wire-queue owner unblocked by an arriving request).
+    st.work_done = false;
+    schedule_resume(proc, st.clock);
+  } else {
+    if (!st.work_done) {
+      st.work_done = true;
+      st.finish_time = st.clock;
+    }
+    // Idle; future arrivals must still wake us (e.g. to answer requests).
+    if (!st.inbox.empty()) {
+      schedule_resume(proc, std::max(st.clock, st.inbox.top().time));
+    }
+  }
+  running_ = -1;
+}
+
+MachineStats Machine::run() {
+  for (std::size_t p = 0; p < nodes_.size(); ++p) {
+    LOCUS_ASSERT_MSG(nodes_[p].program != nullptr, "node program missing");
+    NodeApi api(*this, static_cast<ProcId>(p));
+    running_ = static_cast<ProcId>(p);
+    nodes_[p].program->on_start(api);
+    running_ = -1;
+    schedule_resume(static_cast<ProcId>(p), nodes_[p].clock);
+  }
+  const SimTime last = queue_.run();
+
+  MachineStats stats;
+  stats.finish_time.reserve(nodes_.size());
+  for (NodeState& st : nodes_) {
+    LOCUS_ASSERT_MSG(!st.program->blocked(),
+                     "deadlock: node still blocked at end of simulation");
+    if (!st.work_done) {
+      // Node never reported running out of work (e.g. pure reactive node).
+      st.finish_time = st.clock;
+    }
+    stats.finish_time.push_back(st.finish_time);
+    stats.completion_time = std::max(stats.completion_time, st.finish_time);
+  }
+  stats.drain_time = last;
+  stats.events = queue_.executed();
+  return stats;
+}
+
+}  // namespace locus

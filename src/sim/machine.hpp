@@ -1,0 +1,137 @@
+// The simulated multicomputer: processors + network + execution semantics.
+//
+// Each Node is a sequential processor program executed as a state machine:
+//   * on_step() performs one unit of work (for the router node: route one
+//     wire plus its update sends) and charges time via NodeApi::advance();
+//   * packets are delivered only when the node is between steps — the
+//     paper's "processors only check for newly received messages between
+//     routing wires" semantics (§4.2);
+//   * a node may declare itself blocked() awaiting a specific packet
+//     (blocking receiver-initiated updates); it then sleeps until the next
+//     arrival re-checks the condition.
+// The engine is a sequential DES, so runs are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+#include "sim/packet.hpp"
+#include "sim/topology.hpp"
+
+namespace locus {
+
+class Machine;
+
+/// Per-node handle through which node programs observe and spend time.
+class NodeApi {
+ public:
+  SimTime now() const;
+  ProcId self() const { return self_; }
+  std::int32_t num_procs() const;
+
+  /// Consumes `ns` of local compute time.
+  void advance(SimTime ns);
+
+  /// Sends a packet (src is filled in); charges the send-side ProcessTime
+  /// plus per-byte packing cost supplied by the caller beforehand via
+  /// advance(). Returns immediately (asynchronous send).
+  void send(ProcId dst, std::int32_t type, std::int32_t bytes,
+            std::shared_ptr<const PacketPayload> payload);
+
+ private:
+  friend class Machine;
+  NodeApi(Machine& machine, ProcId self) : machine_(&machine), self_(self) {}
+  Machine* machine_;
+  ProcId self_;
+};
+
+/// A processor program.
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// Called once at time zero, before any step.
+  virtual void on_start(NodeApi& api) { static_cast<void>(api); }
+
+  /// Handles one delivered packet (charge reception cost via api.advance()).
+  virtual void on_packet(NodeApi& api, const Packet& packet) = 0;
+
+  /// Performs one unit of work. Returns false when no work remains (the
+  /// node stays alive to serve future packets).
+  virtual bool on_step(NodeApi& api) = 0;
+
+  /// True while the node must not step (waiting for a response packet).
+  virtual bool blocked() const { return false; }
+};
+
+struct MachineStats {
+  /// Time each node finished its last own work step.
+  std::vector<SimTime> finish_time;
+  /// max over nodes of finish_time — the run's execution time.
+  SimTime completion_time = 0;
+  /// Time the last event (including trailing deliveries) executed.
+  SimTime drain_time = 0;
+  std::uint64_t events = 0;
+};
+
+class Machine {
+ public:
+  /// Takes its own copy of the topology: Machine and its Network outlive
+  /// any caller-side temporary.
+  Machine(Topology topology, NetworkParams net_params);
+
+  /// Installs the program for one node (must cover every node before run()).
+  void set_node(ProcId proc, std::unique_ptr<Node> node);
+
+  /// Runs to completion (event queue empty). Returns stats; network traffic
+  /// is available via network().stats().
+  MachineStats run();
+
+  const Network& network() const { return *network_; }
+  /// The installed program for `proc` (for post-run inspection).
+  Node* node(ProcId proc) { return state(proc).program.get(); }
+  const Topology& topology() const { return topology_; }
+  EventQueue& queue() { return queue_; }
+
+ private:
+  friend class NodeApi;
+
+  struct NodeState {
+    std::unique_ptr<Node> program;
+    SimTime clock = 0;           ///< local time: busy until here
+    bool resume_pending = false;
+    SimTime resume_at = 0;       ///< time of the pending resume event
+    bool work_done = false;      ///< on_step returned false at least once
+    SimTime finish_time = 0;
+    struct Arrival {
+      SimTime time;
+      std::uint64_t seq;
+      Packet packet;
+    };
+    struct LaterArrival {
+      bool operator()(const Arrival& a, const Arrival& b) const {
+        return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+      }
+    };
+    std::priority_queue<Arrival, std::vector<Arrival>, LaterArrival> inbox;
+  };
+
+  void deliver(const Packet& packet, SimTime arrival);
+  void schedule_resume(ProcId proc, SimTime at);
+  void resume(ProcId proc);
+
+  NodeState& state(ProcId proc) { return nodes_[static_cast<std::size_t>(proc)]; }
+
+  Topology topology_;
+  EventQueue queue_;
+  std::unique_ptr<Network> network_;
+  std::vector<NodeState> nodes_;
+  std::uint64_t arrival_seq_ = 0;
+  ProcId running_ = -1;  ///< node currently executing (api target)
+};
+
+}  // namespace locus

@@ -1,0 +1,70 @@
+// Wormhole-routed interconnect with link contention.
+//
+// Packet transport follows the paper's CBS model: with no contention and
+// one-byte-wide channels, a packet of L bytes travelling D hops takes
+//     2·ProcessTime + HopTime·(D + L)
+// (ProcessTime at each network interface crossing, one HopTime per hop for
+// the head, one HopTime per byte of pipeline drain). Contention is modeled
+// at packet granularity: each directed link is busy while a packet's L
+// bytes stream across it, and a later packet's head waits for the link to
+// free — the dominant effect of wormhole blocking at the low loads these
+// workloads generate (flit-level backpressure of upstream links is not
+// modeled; DESIGN.md records this simplification).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/packet.hpp"
+#include "sim/topology.hpp"
+
+namespace locus {
+
+struct NetworkParams {
+  std::int64_t hop_time_ns = 100;       ///< per byte-hop (paper §2.1)
+  std::int64_t process_time_ns = 2000;  ///< per node<->network copy
+};
+
+struct NetworkStats {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;       ///< on-wire bytes, counted once per packet
+  std::uint64_t byte_hops = 0;   ///< bytes x hops travelled
+  std::uint64_t hops = 0;
+  SimTime total_latency_ns = 0;  ///< injection to delivery, summed
+  SimTime total_link_wait_ns = 0;
+  std::map<std::int32_t, std::uint64_t> bytes_by_type;
+};
+
+/// Transports packets between nodes over the topology, charging simulated
+/// time via the shared EventQueue and invoking the delivery callback when a
+/// packet is fully received (tail arrived and copied into the node).
+class Network {
+ public:
+  using DeliverFn = std::function<void(const Packet&, SimTime arrival)>;
+
+  Network(const Topology& topology, NetworkParams params, EventQueue& queue,
+          DeliverFn deliver);
+
+  /// Injects `packet` from its src at time `ready` (the moment the sending
+  /// processor finished the send-side ProcessTime copy). Returns the time
+  /// the sender's network interface is free for the next injection.
+  SimTime inject(Packet packet, SimTime ready);
+
+  const NetworkStats& stats() const { return stats_; }
+  const NetworkParams& params() const { return params_; }
+  const Topology& topology() const { return topology_; }
+
+ private:
+  const Topology& topology_;
+  NetworkParams params_;
+  EventQueue& queue_;
+  DeliverFn deliver_;
+  NetworkStats stats_;
+  std::vector<SimTime> link_free_;  ///< per directed link
+  std::vector<SimTime> ni_free_;    ///< per node injection interface
+};
+
+}  // namespace locus

@@ -1,0 +1,35 @@
+// Network packets.
+//
+// The simulator charges time and traffic from `bytes` only; `payload`
+// carries the application data (update contents) by shared pointer so the
+// simulation does not pay host-memory copies per hop. Applications define
+// their own `type` space.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "geom/partition.hpp"
+
+namespace locus {
+
+/// Base class for application payloads attached to packets.
+struct PacketPayload {
+  virtual ~PacketPayload() = default;
+};
+
+struct Packet {
+  ProcId src = -1;
+  ProcId dst = -1;
+  std::int32_t type = 0;
+  std::int32_t bytes = 0;  ///< total on-wire size including header
+  std::shared_ptr<const PacketPayload> payload;
+
+  template <typename T>
+  const T& payload_as() const {
+    const T* p = dynamic_cast<const T*>(payload.get());
+    return *p;
+  }
+};
+
+}  // namespace locus

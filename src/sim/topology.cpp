@@ -1,0 +1,105 @@
+#include "sim/topology.hpp"
+
+#include "support/assert.hpp"
+
+namespace locus {
+
+Topology::Topology(std::vector<std::int32_t> dims, Edges edges)
+    : dims_(std::move(dims)), edges_(edges) {
+  LOCUS_ASSERT(!dims_.empty());
+  num_nodes_ = 1;
+  stride_.resize(dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    LOCUS_ASSERT(dims_[d] >= 1);
+    stride_[d] = num_nodes_;
+    num_nodes_ *= dims_[d];
+  }
+}
+
+Topology Topology::mesh2d(MeshShape shape) {
+  // Partition numbers processors row-major: proc = row * cols + col, so the
+  // fastest-varying coordinate (dim 0) is the column.
+  return Topology({shape.cols, shape.rows}, Edges::kMesh);
+}
+
+std::vector<std::int32_t> Topology::coords(std::int32_t node) const {
+  LOCUS_ASSERT(node >= 0 && node < num_nodes_);
+  std::vector<std::int32_t> c(dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    c[d] = (node / stride_[d]) % dims_[d];
+  }
+  return c;
+}
+
+std::int32_t Topology::node_at(const std::vector<std::int32_t>& coords_in) const {
+  LOCUS_ASSERT(coords_in.size() == dims_.size());
+  std::int32_t node = 0;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    LOCUS_ASSERT(coords_in[d] >= 0 && coords_in[d] < dims_[d]);
+    node += coords_in[d] * stride_[d];
+  }
+  return node;
+}
+
+std::vector<LinkId> Topology::route(std::int32_t src, std::int32_t dst) const {
+  std::vector<LinkId> links;
+  std::vector<std::int32_t> at = coords(src);
+  const std::vector<std::int32_t> goal = coords(dst);
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    while (at[d] != goal[d]) {
+      bool positive;
+      if (edges_ == Edges::kMesh) {
+        positive = goal[d] > at[d];
+      } else {
+        // Torus: shorter way around; ties go positive.
+        std::int32_t fwd = (goal[d] - at[d] + dims_[d]) % dims_[d];
+        positive = fwd <= dims_[d] - fwd;
+      }
+      LinkId link{node_at(at), static_cast<std::int32_t>(d), positive};
+      links.push_back(link);
+      if (positive) {
+        at[d] = (at[d] + 1) % dims_[d];
+      } else {
+        at[d] = (at[d] - 1 + dims_[d]) % dims_[d];
+      }
+      LOCUS_ASSERT_MSG(edges_ == Edges::kTorus ||
+                           (at[d] >= 0 && at[d] < dims_[d]),
+                       "mesh route stepped off the edge");
+    }
+  }
+  return links;
+}
+
+std::int32_t Topology::distance(std::int32_t src, std::int32_t dst) const {
+  std::int32_t hops = 0;
+  const std::vector<std::int32_t> a = coords(src);
+  const std::vector<std::int32_t> b = coords(dst);
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    std::int32_t diff = b[d] >= a[d] ? b[d] - a[d] : a[d] - b[d];
+    if (edges_ == Edges::kTorus) {
+      diff = std::min(diff, dims_[d] - diff);
+    }
+    hops += diff;
+  }
+  return hops;
+}
+
+std::int32_t Topology::link_index(const LinkId& link) const {
+  LOCUS_ASSERT(link.from >= 0 && link.from < num_nodes_);
+  LOCUS_ASSERT(link.dim >= 0 && link.dim < num_dims());
+  return (link.from * num_dims() + link.dim) * 2 + (link.positive ? 1 : 0);
+}
+
+std::int32_t Topology::link_target(const LinkId& link) const {
+  std::vector<std::int32_t> c = coords(link.from);
+  std::int32_t& v = c[static_cast<std::size_t>(link.dim)];
+  const std::int32_t k = dims_[static_cast<std::size_t>(link.dim)];
+  if (link.positive) {
+    v = (v + 1) % k;
+  } else {
+    v = (v - 1 + k) % k;
+  }
+  return node_at(c);
+}
+
+}  // namespace locus

@@ -1,0 +1,65 @@
+// Interconnect topology: k-ary n-dimensional mesh or torus.
+//
+// CBS simulated k-ary n-dimensional machines; the paper's experiments use a
+// two-dimensional mesh with deterministic (dimension-order / X-Y) wormhole
+// routing. We support any dimensionality and both mesh (no wraparound) and
+// torus (unidirectional-friendly wraparound) edges; the experiment harness
+// uses 2D meshes shaped by MeshShape::for_procs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/partition.hpp"
+
+namespace locus {
+
+/// A directed link identifier: node `from` toward its neighbor in dimension
+/// `dim`, direction `positive` (true) or negative.
+struct LinkId {
+  std::int32_t from = 0;
+  std::int32_t dim = 0;
+  bool positive = true;
+};
+
+class Topology {
+ public:
+  enum class Edges { kMesh, kTorus };
+
+  Topology(std::vector<std::int32_t> dims, Edges edges);
+
+  /// Convenience: 2D mesh with `shape.rows` x `shape.cols` nodes, matching
+  /// the Partition's processor numbering (row-major, dim 0 = column/x moves
+  /// first under dimension-order routing).
+  static Topology mesh2d(MeshShape shape);
+
+  std::int32_t num_nodes() const { return num_nodes_; }
+  std::int32_t num_dims() const { return static_cast<std::int32_t>(dims_.size()); }
+  Edges edges() const { return edges_; }
+
+  std::vector<std::int32_t> coords(std::int32_t node) const;
+  std::int32_t node_at(const std::vector<std::int32_t>& coords) const;
+
+  /// Dimension-order route from src to dst as a sequence of directed links.
+  /// Deterministic; torus edges take the shorter way around (ties positive).
+  std::vector<LinkId> route(std::int32_t src, std::int32_t dst) const;
+
+  /// Hop count of the deterministic route.
+  std::int32_t distance(std::int32_t src, std::int32_t dst) const;
+
+  /// Dense index for a directed link (for contention bookkeeping):
+  /// in [0, num_links()).
+  std::int32_t link_index(const LinkId& link) const;
+  std::int32_t num_links() const { return num_nodes_ * num_dims() * 2; }
+
+  /// The node a link leads to.
+  std::int32_t link_target(const LinkId& link) const;
+
+ private:
+  std::vector<std::int32_t> dims_;
+  std::vector<std::int32_t> stride_;
+  std::int32_t num_nodes_;
+  Edges edges_;
+};
+
+}  // namespace locus

@@ -1,0 +1,36 @@
+// Lightweight always-on assertion macros for invariant checking.
+//
+// Unlike <cassert>, these fire in release builds too: the simulators in this
+// project are deterministic and any invariant violation invalidates every
+// number downstream, so we prefer a crash with context over silent corruption.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace locus::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "LOCUS_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace locus::detail
+
+#define LOCUS_ASSERT(expr)                                                \
+  do {                                                                    \
+    if (!(expr)) [[unlikely]]                                             \
+      ::locus::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr);   \
+  } while (0)
+
+#define LOCUS_ASSERT_MSG(expr, msg)                                       \
+  do {                                                                    \
+    if (!(expr)) [[unlikely]]                                             \
+      ::locus::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));     \
+  } while (0)
+
+// Marks unreachable control flow; aborts if ever reached.
+#define LOCUS_UNREACHABLE(msg) \
+  ::locus::detail::assert_fail("unreachable", __FILE__, __LINE__, (msg))

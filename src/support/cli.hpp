@@ -1,0 +1,49 @@
+// Tiny command-line flag parser for the examples and bench binaries.
+//
+// Supports --name=value, --name value, and boolean --name forms. Unknown
+// flags are an error so typos surface immediately.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace locus {
+
+class Cli {
+ public:
+  /// Registers a flag with a help string and default value; returns *this.
+  Cli& flag(std::string name, std::string help, std::string default_value);
+  /// Needed so string-literal defaults do not decay into the bool overload.
+  Cli& flag(std::string name, std::string help, const char* default_value) {
+    return flag(std::move(name), std::move(help), std::string(default_value));
+  }
+  Cli& flag(std::string name, std::string help, bool default_value);
+
+  /// Parses argv. Returns false (and prints usage) on error or --help.
+  bool parse(int argc, char** argv);
+
+  std::string get(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string value;
+    bool is_bool = false;
+  };
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace locus

@@ -1,0 +1,50 @@
+// Minimal leveled logger.
+//
+// The experiment harness prints its tables on stdout; diagnostics go to
+// stderr through this logger so table output stays machine-parsable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace locus {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Log {
+ public:
+  static LogLevel& threshold() {
+    static LogLevel level = LogLevel::kWarn;
+    return level;
+  }
+
+  static bool enabled(LogLevel level) {
+    return static_cast<int>(level) >= static_cast<int>(threshold());
+  }
+
+  template <typename... Args>
+  static void write(LogLevel level, const char* fmt, Args... args) {
+    if (!enabled(level)) return;
+    std::fprintf(stderr, "[%s] ", name(level));
+    std::fprintf(stderr, fmt, args...);
+    std::fputc('\n', stderr);
+  }
+
+ private:
+  static const char* name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug: return "debug";
+      case LogLevel::kInfo: return "info";
+      case LogLevel::kWarn: return "warn";
+      case LogLevel::kError: return "error";
+      default: return "?";
+    }
+  }
+};
+
+}  // namespace locus
+
+#define LOCUS_LOG_DEBUG(...) ::locus::Log::write(::locus::LogLevel::kDebug, __VA_ARGS__)
+#define LOCUS_LOG_INFO(...) ::locus::Log::write(::locus::LogLevel::kInfo, __VA_ARGS__)
+#define LOCUS_LOG_WARN(...) ::locus::Log::write(::locus::LogLevel::kWarn, __VA_ARGS__)
+#define LOCUS_LOG_ERROR(...) ::locus::Log::write(::locus::LogLevel::kError, __VA_ARGS__)

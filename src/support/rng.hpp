@@ -1,0 +1,109 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the reproduction (synthetic circuit generation,
+// tie-breaking noise) flows through these generators so that a fixed seed
+// yields byte-identical experiment tables on every platform. We avoid
+// std::mt19937 + std::uniform_int_distribution because the distribution
+// algorithms are implementation-defined; xoshiro256** plus explicit bounded
+// sampling is fully specified here.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace locus {
+
+/// SplitMix64: used to seed xoshiro and for cheap hash-like mixing.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Fast, high-quality, tiny state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x1989'07'05ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift rejection.
+  std::uint64_t bounded(std::uint64_t bound) {
+    LOCUS_ASSERT(bound > 0);
+    // Rejection-free fast path is fine for our purposes; debias with one
+    // rejection loop to keep the distribution exactly uniform.
+    std::uint64_t threshold = (-bound) % bound;
+    for (;;) {
+      std::uint64_t r = next();
+      // 128-bit multiply-high.
+      __uint128_t m = static_cast<__uint128_t>(r) * bound;
+      auto low = static_cast<std::uint64_t>(m);
+      if (low >= threshold) return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    LOCUS_ASSERT(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    bounded(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Geometric-ish sample: smallest k >= 0 with failure prob (1-p)^k, capped.
+  int geometric(double p, int cap) {
+    LOCUS_ASSERT(p > 0.0 && p <= 1.0);
+    int k = 0;
+    while (k < cap && !chance(p)) ++k;
+    return k;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace locus

@@ -1,0 +1,24 @@
+// Wall-clock stopwatch for reporting host-side run durations (the simulated
+// times in the tables come from the discrete-event clocks, not from here).
+#pragma once
+
+#include <chrono>
+
+namespace locus {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace locus

@@ -1,0 +1,131 @@
+#include "support/table.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace locus {
+
+Table& Table::column(std::string header, Align align) {
+  LOCUS_ASSERT_MSG(rows_.empty(), "columns must be declared before rows");
+  columns_.push_back(Column{std::move(header), align});
+  return *this;
+}
+
+Table& Table::row() {
+  Row r;
+  r.separator_before = pending_separator_;
+  pending_separator_ = false;
+  rows_.push_back(std::move(r));
+  return *this;
+}
+
+Table& Table::cell(std::string value) {
+  LOCUS_ASSERT_MSG(!rows_.empty(), "cell() before row()");
+  LOCUS_ASSERT_MSG(rows_.back().cells.size() < columns_.size(), "too many cells in row");
+  rows_.back().cells.push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
+Table& Table::cell(long long value) { return cell(std::to_string(value)); }
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+Table& Table::cell(unsigned long long value) { return cell(std::to_string(value)); }
+Table& Table::cell(std::size_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  return cell(format_fixed(value, precision));
+}
+
+Table& Table::separator() {
+  pending_separator_ = true;
+  return *this;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].header.size();
+  for (const Row& r : rows_) {
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      if (r.cells[c].size() > widths[c]) widths[c] = r.cells[c].size();
+    }
+  }
+
+  auto pad = [&](const std::string& s, std::size_t width, Align align) {
+    std::string out;
+    std::size_t fill = width > s.size() ? width - s.size() : 0;
+    if (align == Align::kRight) out.append(fill, ' ');
+    out += s;
+    if (align == Align::kLeft) out.append(fill, ' ');
+    return out;
+  };
+
+  std::ostringstream os;
+  auto hline = [&] {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << '+' << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+
+  hline();
+  os << '|';
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << ' ' << pad(columns_[c].header, widths[c], Align::kLeft) << " |";
+  }
+  os << '\n';
+  hline();
+  for (const Row& r : rows_) {
+    if (r.separator_before) hline();
+    os << '|';
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& value = c < r.cells.size() ? r.cells[c] : std::string();
+      os << ' ' << pad(value, widths[c], columns_[c].align) << " |";
+    }
+    os << '\n';
+  }
+  hline();
+  return os.str();
+}
+
+std::string Table::render_csv() const {
+  std::ostringstream os;
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c != 0) os << ',';
+    os << quote(columns_[c].header);
+  }
+  os << '\n';
+  for (const Row& r : rows_) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (c != 0) os << ',';
+      if (c < r.cells.size()) os << quote(r.cells[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string format_fixed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string format_mbytes(std::uint64_t bytes) {
+  return format_fixed(static_cast<double>(bytes) / 1e6, 3);
+}
+
+}  // namespace locus

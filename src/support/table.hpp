@@ -1,0 +1,63 @@
+// ASCII table formatter used by the benchmark harness to print paper-style
+// tables (Table 1..6) with aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace locus {
+
+enum class Align { kLeft, kRight };
+
+/// Builds a fixed set of columns, accepts rows of stringified cells, and
+/// renders an aligned ASCII table. Cells may be added as strings or via the
+/// numeric helpers which apply consistent formatting.
+class Table {
+ public:
+  Table& column(std::string header, Align align = Align::kRight);
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+
+  Table& cell(std::string value);
+  Table& cell(const char* value);
+  Table& cell(long long value);
+  Table& cell(int value);
+  Table& cell(unsigned long long value);
+  Table& cell(std::size_t value);
+  /// Fixed-precision floating point cell.
+  Table& cell(double value, int precision = 3);
+
+  /// Inserts a horizontal separator before the next row.
+  Table& separator();
+
+  /// Renders the table (header, separator, rows) as a string.
+  std::string render() const;
+
+  /// Renders as comma-separated values (header row + data rows).
+  std::string render_csv() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Column {
+    std::string header;
+    Align align;
+  };
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+
+  std::vector<Column> columns_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+/// Formats a double with the given number of decimal places.
+std::string format_fixed(double value, int precision);
+
+/// Formats a byte count as mega-bytes with three decimals (paper convention).
+std::string format_mbytes(std::uint64_t bytes);
+
+}  // namespace locus

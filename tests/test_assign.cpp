@@ -1,0 +1,147 @@
+// Tests for wire assignment strategies and the locality measure.
+#include <gtest/gtest.h>
+
+#include "assign/assignment.hpp"
+#include "assign/locality.hpp"
+#include "circuit/generator.hpp"
+#include "route/sequential.hpp"
+
+namespace locus {
+namespace {
+
+TEST(AssignRoundRobin, DealsWiresCyclically) {
+  Circuit c = make_tiny_test_circuit();
+  Assignment a = assign_round_robin(c, 4);
+  EXPECT_TRUE(assignment_is_valid(a, c));
+  for (WireId id = 0; id < c.num_wires(); ++id) {
+    EXPECT_EQ(a.proc_of_wire[static_cast<std::size_t>(id)], id % 4);
+  }
+  EXPECT_NEAR(a.count_imbalance(), 1.0, 0.2);
+}
+
+TEST(AssignRoundRobin, SingleProcGetsEverything) {
+  Circuit c = make_tiny_test_circuit();
+  Assignment a = assign_round_robin(c, 1);
+  EXPECT_TRUE(assignment_is_valid(a, c));
+  EXPECT_EQ(a.wires_per_proc[0].size(), static_cast<std::size_t>(c.num_wires()));
+}
+
+TEST(AssignThreshold, InfinityFollowsLeftmostPin) {
+  Circuit c = make_bnre_like();
+  Partition part(c.channels(), c.grids(), MeshShape::for_procs(16));
+  Assignment a = assign_threshold_cost(c, part, kThresholdInfinity);
+  EXPECT_TRUE(assignment_is_valid(a, c));
+  for (const Wire& w : c.wires()) {
+    const Pin& leftmost = w.pins.front();
+    ProcId expected = part.owner({leftmost.channel_above(), leftmost.x});
+    EXPECT_EQ(a.proc_of_wire[static_cast<std::size_t>(w.id)], expected);
+  }
+}
+
+TEST(AssignThreshold, ShortWiresLocalLongWiresBalanced) {
+  Circuit c = make_bnre_like();
+  Partition part(c.channels(), c.grids(), MeshShape::for_procs(16));
+  Assignment a = assign_threshold_cost(c, part, 1000);
+  EXPECT_TRUE(assignment_is_valid(a, c));
+  for (const Wire& w : c.wires()) {
+    if (w.assignment_cost() < 1000) {
+      const Pin& leftmost = w.pins.front();
+      EXPECT_EQ(a.proc_of_wire[static_cast<std::size_t>(w.id)],
+                part.owner({leftmost.channel_above(), leftmost.x}));
+    }
+  }
+}
+
+TEST(AssignThreshold, LowerThresholdImprovesBalance) {
+  // The paper's tradeoff: more locality (higher threshold) means worse load
+  // balance. tc30 must balance at least as well as tc=infinity.
+  Circuit c = make_bnre_like();
+  Partition part(c.channels(), c.grids(), MeshShape::for_procs(16));
+  Assignment tc30 = assign_threshold_cost(c, part, 30);
+  Assignment inf = assign_threshold_cost(c, part, kThresholdInfinity);
+  EXPECT_LE(tc30.cost_imbalance(c), inf.cost_imbalance(c));
+  // And the fully local assignment is measurably imbalanced on the
+  // clustered synthetic circuit (this imbalance drives Table 4's time).
+  EXPECT_GT(inf.cost_imbalance(c), 1.3);
+}
+
+TEST(AssignThreshold, RoutingOrderIsIdOrdered) {
+  Circuit c = make_tiny_test_circuit();
+  Partition part(c.channels(), c.grids(), MeshShape::for_procs(4));
+  Assignment a = assign_threshold_cost(c, part, 30);
+  for (const auto& list : a.wires_per_proc) {
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      EXPECT_LT(list[i - 1], list[i]);
+    }
+  }
+}
+
+TEST(AssignmentValidity, DetectsCorruption) {
+  Circuit c = make_tiny_test_circuit();
+  Assignment a = assign_round_robin(c, 4);
+  EXPECT_TRUE(assignment_is_valid(a, c));
+  Assignment dup = a;
+  dup.wires_per_proc[0].push_back(dup.wires_per_proc[1][0]);
+  EXPECT_FALSE(assignment_is_valid(dup, c));
+  Assignment mismatched = a;
+  mismatched.proc_of_wire[0] = 3;
+  if (a.proc_of_wire[0] == 3) mismatched.proc_of_wire[0] = 2;
+  EXPECT_FALSE(assignment_is_valid(mismatched, c));
+  Assignment missing = a;
+  missing.wires_per_proc[0].clear();
+  EXPECT_FALSE(assignment_is_valid(missing, c));
+}
+
+TEST(Locality, LocalAssignmentBeatsRoundRobin) {
+  Circuit c = make_bnre_like();
+  Partition part(c.channels(), c.grids(), MeshShape::for_procs(16));
+  SequentialResult routed = route_sequential(c, {});
+
+  Assignment rr = assign_round_robin(c, 16);
+  Assignment local = assign_threshold_cost(c, part, kThresholdInfinity);
+  double m_rr = locality_measure(routed.routes, rr, part);
+  double m_local = locality_measure(routed.routes, local, part);
+  EXPECT_LT(m_local, m_rr);
+  // Paper §5.3.3: even the most local assignment cannot reach 0 because
+  // long wires span regions; bnrE measured 1.21.
+  EXPECT_GT(m_local, 0.3);
+  EXPECT_LT(m_local, 2.5);
+}
+
+TEST(Locality, EstimateAgreesDirectionally) {
+  Circuit c = make_bnre_like();
+  Partition part(c.channels(), c.grids(), MeshShape::for_procs(16));
+  Assignment rr = assign_round_robin(c, 16);
+  Assignment local = assign_threshold_cost(c, part, kThresholdInfinity);
+  EXPECT_LT(locality_estimate(c, local, part), locality_estimate(c, rr, part));
+}
+
+TEST(Locality, PerfectLocalityOnSingleProc) {
+  Circuit c = make_tiny_test_circuit();
+  Partition part(c.channels(), c.grids(), MeshShape::for_procs(1));
+  SequentialResult routed = route_sequential(c, {});
+  Assignment a = assign_round_robin(c, 1);
+  EXPECT_DOUBLE_EQ(locality_measure(routed.routes, a, part), 0.0);
+}
+
+/// Property sweep: the threshold knob interpolates between balance and
+/// locality for any processor count.
+class ThresholdProperty : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(ThresholdProperty, ValidAcrossThresholds) {
+  Circuit c = make_bnre_like();
+  Partition part(c.channels(), c.grids(), MeshShape::for_procs(GetParam()));
+  for (std::int64_t threshold : {std::int64_t{1}, std::int64_t{30},
+                                 std::int64_t{300}, std::int64_t{1000},
+                                 kThresholdInfinity}) {
+    Assignment a = assign_threshold_cost(c, part, threshold);
+    EXPECT_TRUE(assignment_is_valid(a, c)) << "procs=" << GetParam()
+                                           << " threshold=" << threshold;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, ThresholdProperty,
+                         ::testing::Values(2, 4, 6, 8, 9, 16));
+
+}  // namespace
+}  // namespace locus

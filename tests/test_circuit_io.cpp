@@ -1,0 +1,122 @@
+// Tests for the .ckt text format: round trips and rejection of every
+// malformed-input class with the right line number.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "circuit/generator.hpp"
+#include "circuit/io.hpp"
+
+namespace locus {
+namespace {
+
+Circuit parse(const std::string& text) {
+  std::istringstream in(text);
+  return read_circuit(in);
+}
+
+TEST(CircuitIo, ParsesMinimalCircuit) {
+  Circuit c = parse(
+      "circuit demo 4 20\n"
+      "wire 2\n"
+      "pin 3 0\n"
+      "pin 9 2\n"
+      "end\n");
+  EXPECT_EQ(c.name(), "demo");
+  EXPECT_EQ(c.channels(), 4);
+  EXPECT_EQ(c.grids(), 20);
+  ASSERT_EQ(c.num_wires(), 1);
+  EXPECT_EQ(c.wire(0).pins.size(), 2u);
+}
+
+TEST(CircuitIo, IgnoresCommentsAndBlankLines) {
+  Circuit c = parse(
+      "# a header comment\n"
+      "\n"
+      "circuit demo 4 20   # trailing comment\n"
+      "  wire 2\n"
+      "\tpin 3 0\n"
+      "pin 9 2 # pin comment\n"
+      "end\n");
+  EXPECT_EQ(c.num_wires(), 1);
+}
+
+TEST(CircuitIo, RoundTripsGeneratedCircuits) {
+  for (std::uint64_t seed : {1ull, 7ull, 99ull}) {
+    Circuit original = make_tiny_test_circuit(seed);
+    std::ostringstream out;
+    write_circuit(out, original);
+    Circuit parsed = parse(out.str());
+    EXPECT_EQ(parsed.name(), original.name());
+    EXPECT_EQ(parsed.channels(), original.channels());
+    EXPECT_EQ(parsed.grids(), original.grids());
+    ASSERT_EQ(parsed.num_wires(), original.num_wires());
+    for (WireId i = 0; i < original.num_wires(); ++i) {
+      EXPECT_EQ(parsed.wire(i).pins, original.wire(i).pins);
+    }
+    // Canonical output is stable: write(read(s)) == s.
+    std::ostringstream again;
+    write_circuit(again, parsed);
+    EXPECT_EQ(again.str(), out.str());
+  }
+}
+
+TEST(CircuitIo, FileRoundTrip) {
+  Circuit original = make_tiny_test_circuit();
+  const std::string path = ::testing::TempDir() + "/roundtrip.ckt";
+  write_circuit_file(path, original);
+  Circuit parsed = read_circuit_file(path);
+  EXPECT_EQ(parsed.num_wires(), original.num_wires());
+}
+
+TEST(CircuitIo, MissingFileThrows) {
+  EXPECT_THROW(read_circuit_file("/nonexistent/nope.ckt"), std::runtime_error);
+}
+
+struct BadInput {
+  const char* label;
+  const char* text;
+  int line;
+};
+
+class CircuitIoErrors : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(CircuitIoErrors, RejectsWithLineNumber) {
+  const BadInput& bad = GetParam();
+  try {
+    parse(bad.text);
+    FAIL() << bad.label << ": expected CircuitParseError";
+  } catch (const CircuitParseError& e) {
+    EXPECT_EQ(e.line(), bad.line) << bad.label << ": " << e.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CircuitIoErrors,
+    ::testing::Values(
+        BadInput{"no header", "wire 2\npin 0 0\npin 1 0\nend\n", 1},
+        BadInput{"bad header", "circuit x\n", 1},
+        BadInput{"bad dims", "circuit x 1 20\nend\n", 1},
+        BadInput{"dup header", "circuit x 4 20\ncircuit y 4 20\nend\n", 2},
+        BadInput{"pin outside wire", "circuit x 4 20\npin 0 0\nend\n", 2},
+        BadInput{"pin out of range", "circuit x 4 20\nwire 2\npin 25 0\n", 3},
+        BadInput{"pin row out of range", "circuit x 4 20\nwire 2\npin 5 3\n", 3},
+        BadInput{"too many pins",
+                 "circuit x 4 20\nwire 2\npin 0 0\npin 1 0\npin 2 0\nend\n", 5},
+        BadInput{"too few pins",
+                 "circuit x 4 20\nwire 3\npin 0 0\npin 1 0\nwire 2\n", 5},
+        BadInput{"one-pin wire", "circuit x 4 20\nwire 1\npin 0 0\nend\n", 2},
+        BadInput{"unknown keyword", "circuit x 4 20\nfrob 1\nend\n", 2},
+        BadInput{"missing end", "circuit x 4 20\nwire 2\npin 0 0\npin 1 0\n", 4},
+        BadInput{"last wire incomplete", "circuit x 4 20\nwire 2\npin 0 0\nend\n",
+                 4}),
+    [](const ::testing::TestParamInfo<BadInput>& param_info) {
+      std::string name = param_info.param.label;
+      for (char& ch : name) {
+        if (ch == ' ' || ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace locus

@@ -1,0 +1,317 @@
+// Tests for the cache coherence simulator: protocol event-by-event
+// scenarios, traffic attribution, and line-size behaviour.
+#include <gtest/gtest.h>
+
+#include "coherence/simulator.hpp"
+#include "shm/trace.hpp"
+#include "support/rng.hpp"
+
+namespace locus {
+namespace {
+
+CoherenceSim make_wbi(std::int32_t line = 8, std::int32_t procs = 4) {
+  CoherenceParams params;
+  params.line_size = line;
+  return CoherenceSim(procs, params);
+}
+
+TEST(Wbi, ColdReadMissFetchesLine) {
+  CoherenceSim sim = make_wbi();
+  sim.access(0, 0, MemOp::kRead);
+  EXPECT_EQ(sim.traffic().cold_fetch_bytes, 8u);
+  EXPECT_EQ(sim.traffic().read_misses, 1u);
+  EXPECT_EQ(sim.traffic().total_bytes(), 8u);
+}
+
+TEST(Wbi, RepeatReadIsFree) {
+  CoherenceSim sim = make_wbi();
+  sim.access(0, 0, MemOp::kRead);
+  sim.access(0, 4, MemOp::kRead);  // same 8-byte line
+  EXPECT_EQ(sim.traffic().total_bytes(), 8u);
+}
+
+TEST(Wbi, FirstWriteToCleanCostsOneWord) {
+  CoherenceSim sim = make_wbi();
+  sim.access(0, 0, MemOp::kRead);
+  sim.access(0, 0, MemOp::kWrite);
+  EXPECT_EQ(sim.traffic().word_write_bytes, 4u);
+  sim.access(0, 0, MemOp::kWrite);  // dirty hit: free
+  sim.access(0, 4, MemOp::kWrite);  // same line, still dirty: free
+  EXPECT_EQ(sim.traffic().word_write_bytes, 4u);
+}
+
+TEST(Wbi, WriteInvalidatesSharers) {
+  CoherenceSim sim = make_wbi();
+  sim.access(0, 0, MemOp::kRead);
+  sim.access(1, 0, MemOp::kRead);
+  sim.access(0, 0, MemOp::kWrite);
+  EXPECT_EQ(sim.traffic().invalidation_msgs, 1u);
+  // Proc 1 lost its copy; proc 0 holds it dirty, so the re-read is served
+  // by a flush (write-attributed traffic either way).
+  sim.access(1, 0, MemOp::kRead);
+  EXPECT_EQ(sim.traffic().read_flush_bytes, 8u);
+}
+
+TEST(Wbi, RefetchAfterInvalidationClassifiedAsWriteTraffic) {
+  // p0 read (cold) / p1 write (invalidates p0, dirty at p1) / p2 read
+  // (flush -> clean at {1,2}) / p0 read: line is memory-clean but p0 held
+  // it before the invalidation -> refetch, attributed to writes.
+  CoherenceSim sim = make_wbi();
+  sim.access(0, 0, MemOp::kRead);
+  sim.access(1, 0, MemOp::kWrite);
+  sim.access(2, 0, MemOp::kRead);
+  std::uint64_t writes_before = sim.traffic().write_bytes();
+  sim.access(0, 0, MemOp::kRead);
+  EXPECT_EQ(sim.traffic().refetch_bytes, 8u);
+  EXPECT_EQ(sim.traffic().write_bytes(), writes_before + 8u);
+  EXPECT_EQ(sim.traffic().cold_fetch_bytes, 8u);  // only p0's first read
+}
+
+TEST(Wbi, RemoteReadOfDirtyLineFlushes) {
+  CoherenceSim sim = make_wbi();
+  sim.access(0, 0, MemOp::kWrite);  // write miss: fill + word write
+  EXPECT_EQ(sim.traffic().write_fetch_bytes, 8u);
+  sim.access(1, 0, MemOp::kRead);   // dirty in 0: flush supplies 1
+  EXPECT_EQ(sim.traffic().read_flush_bytes, 8u);
+  // Both clean now: proc 0 re-reading is free.
+  sim.access(0, 0, MemOp::kRead);
+  EXPECT_EQ(sim.traffic().total_bytes(), 8u + 4u + 8u);
+}
+
+TEST(Wbi, WriteToRemoteDirtyFlushesAndTakesOwnership) {
+  CoherenceSim sim = make_wbi();
+  sim.access(0, 0, MemOp::kWrite);
+  std::uint64_t before = sim.traffic().total_bytes();
+  sim.access(1, 0, MemOp::kWrite);
+  const CoherenceTraffic& t = sim.traffic();
+  EXPECT_EQ(t.write_flush_bytes, 8u);
+  EXPECT_EQ(t.total_bytes(), before + 8u + 4u);  // flush + word write
+  // Proc 1 now dirty-owns it.
+  sim.access(1, 0, MemOp::kWrite);
+  EXPECT_EQ(sim.traffic().total_bytes(), before + 12u);
+}
+
+TEST(Wbi, PingPongScalesWithLineSize) {
+  // Alternating writers: each handoff costs flush(line) + word. This is
+  // the mechanism behind Table 3's growth with line size.
+  for (std::int32_t line : {4, 8, 16, 32}) {
+    CoherenceSim sim = make_wbi(line);
+    sim.access(0, 0, MemOp::kWrite);
+    std::uint64_t start = sim.traffic().total_bytes();
+    for (int i = 0; i < 10; ++i) {
+      sim.access(i % 2 == 0 ? 1 : 0, 0, MemOp::kWrite);
+    }
+    EXPECT_EQ(sim.traffic().total_bytes() - start,
+              10u * (static_cast<std::uint64_t>(line) + 4u))
+        << "line=" << line;
+  }
+}
+
+TEST(Wbi, WriteFractionHighUnderPingPong) {
+  CoherenceSim sim = make_wbi();
+  for (int i = 0; i < 100; ++i) {
+    sim.access(i % 4, static_cast<std::uint32_t>((i * 12) % 64), MemOp::kWrite);
+  }
+  EXPECT_GT(sim.traffic().write_fraction(), 0.8);
+}
+
+TEST(Wbi, DistinctLinesAreIndependent) {
+  CoherenceSim sim = make_wbi(8);
+  sim.access(0, 0, MemOp::kRead);
+  sim.access(0, 8, MemOp::kRead);   // next line
+  sim.access(0, 16, MemOp::kRead);  // next line
+  EXPECT_EQ(sim.traffic().cold_fetch_bytes, 24u);
+  EXPECT_EQ(sim.lines_touched(), 3u);
+}
+
+TEST(WriteThrough, EveryWriteCostsAWord) {
+  CoherenceParams params;
+  params.line_size = 8;
+  params.protocol = ProtocolKind::kWriteThrough;
+  CoherenceSim sim(4, params);
+  sim.access(0, 0, MemOp::kWrite);  // miss fill + word
+  sim.access(0, 0, MemOp::kWrite);  // word again (no dirty state)
+  sim.access(0, 0, MemOp::kWrite);
+  EXPECT_EQ(sim.traffic().word_write_bytes, 12u);
+  EXPECT_EQ(sim.traffic().write_fetch_bytes, 8u);
+}
+
+TEST(Mesi, SilentUpgradeFromExclusive) {
+  CoherenceParams params;
+  params.line_size = 8;
+  params.protocol = ProtocolKind::kMesi;
+  CoherenceSim sim(4, params);
+  sim.access(0, 0, MemOp::kRead);   // E state (alone)
+  std::uint64_t before = sim.traffic().total_bytes();
+  sim.access(0, 0, MemOp::kWrite);  // E -> M: silent
+  EXPECT_EQ(sim.traffic().total_bytes(), before);
+}
+
+TEST(Mesi, SharedUpgradeCostsInvalidation) {
+  CoherenceParams params;
+  params.line_size = 8;
+  params.protocol = ProtocolKind::kMesi;
+  CoherenceSim sim(4, params);
+  sim.access(0, 0, MemOp::kRead);
+  sim.access(1, 0, MemOp::kRead);   // now shared: no E for either
+  std::uint64_t before = sim.traffic().total_bytes();
+  sim.access(0, 0, MemOp::kWrite);
+  EXPECT_GT(sim.traffic().total_bytes(), before);
+  EXPECT_EQ(sim.traffic().invalidation_msgs, 1u);
+}
+
+TEST(Mesi, CheaperThanWbiOnPrivateData) {
+  // A single processor reading then writing its own data: MESI's E state
+  // removes the word writes WBI pays.
+  RefTrace trace;
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    trace.append({static_cast<SimTime>(2 * i), i * 8, 0, MemOp::kRead});
+    trace.append({static_cast<SimTime>(2 * i + 1), i * 8, 0, MemOp::kWrite});
+  }
+  CoherenceParams wbi_params;
+  wbi_params.line_size = 8;
+  CoherenceParams mesi_params = wbi_params;
+  mesi_params.protocol = ProtocolKind::kMesi;
+  CoherenceSim wbi(4, wbi_params);
+  CoherenceSim mesi(4, mesi_params);
+  wbi.replay(trace);
+  mesi.replay(trace);
+  EXPECT_LT(mesi.traffic().total_bytes(), wbi.traffic().total_bytes());
+}
+
+TEST(Replay, CountsAccesses) {
+  RefTrace trace;
+  trace.append({0, 0, 0, MemOp::kRead});
+  trace.append({1, 8, 1, MemOp::kWrite});
+  CoherenceSim sim = make_wbi();
+  sim.replay(trace);
+  EXPECT_EQ(sim.traffic().accesses, 2u);
+}
+
+TEST(Sweep, ReturnsOneResultPerLineSize) {
+  RefTrace trace;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    trace.append({static_cast<SimTime>(i), (i * 4) % 256,
+                  static_cast<std::int16_t>(i % 4),
+                  i % 3 == 0 ? MemOp::kWrite : MemOp::kRead});
+  }
+  auto results = sweep_line_sizes(trace, 4, {4, 8, 16, 32});
+  ASSERT_EQ(results.size(), 4u);
+  for (const CoherenceTraffic& t : results) {
+    EXPECT_GT(t.total_bytes(), 0u);
+    EXPECT_EQ(t.accesses, 100u);
+  }
+}
+
+TEST(TraceUtils, SortAndCount) {
+  RefTrace trace;
+  trace.append({5, 0, 0, MemOp::kWrite});
+  trace.append({1, 4, 1, MemOp::kRead});
+  trace.append({3, 8, 2, MemOp::kRead});
+  trace.sort_by_time();
+  EXPECT_EQ(trace.refs()[0].time, 1);
+  EXPECT_EQ(trace.refs()[2].time, 5);
+  EXPECT_EQ(trace.count(MemOp::kRead), 2u);
+  EXPECT_EQ(trace.count(MemOp::kWrite), 1u);
+}
+
+TEST(FiniteCache, EvictsLruAndWritesBackDirty) {
+  CoherenceParams params;
+  params.line_size = 8;
+  params.capacity_lines = 2;
+  CoherenceSim sim(2, params);
+  sim.access(0, 0, MemOp::kWrite);    // line 0, dirty
+  sim.access(0, 8, MemOp::kRead);     // line 1
+  std::uint64_t before = sim.traffic().eviction_writeback_bytes;
+  sim.access(0, 16, MemOp::kRead);    // line 2: evicts line 0 (LRU, dirty)
+  EXPECT_EQ(sim.traffic().capacity_evictions, 1u);
+  EXPECT_EQ(sim.traffic().eviction_writeback_bytes, before + 8);
+  // Re-reading line 0 is now a (capacity) refetch.
+  std::uint64_t misses = sim.traffic().read_misses;
+  sim.access(0, 0, MemOp::kRead);
+  EXPECT_EQ(sim.traffic().read_misses, misses + 1);
+}
+
+TEST(FiniteCache, HitRefreshesLru) {
+  CoherenceParams params;
+  params.line_size = 8;
+  params.capacity_lines = 2;
+  CoherenceSim sim(2, params);
+  sim.access(0, 0, MemOp::kRead);   // line 0
+  sim.access(0, 8, MemOp::kRead);   // line 1
+  sim.access(0, 0, MemOp::kRead);   // hit: line 0 becomes MRU
+  sim.access(0, 16, MemOp::kRead);  // evicts line 1, not line 0
+  std::uint64_t misses = sim.traffic().read_misses;
+  sim.access(0, 0, MemOp::kRead);   // still resident
+  EXPECT_EQ(sim.traffic().read_misses, misses);
+}
+
+TEST(FiniteCache, CleanEvictionCostsNothing) {
+  CoherenceParams params;
+  params.line_size = 8;
+  params.capacity_lines = 1;
+  CoherenceSim sim(2, params);
+  sim.access(0, 0, MemOp::kRead);
+  sim.access(0, 8, MemOp::kRead);  // evicts clean line 0
+  EXPECT_EQ(sim.traffic().capacity_evictions, 1u);
+  EXPECT_EQ(sim.traffic().eviction_writeback_bytes, 0u);
+}
+
+TEST(FiniteCache, CachesAreIndependentPerProcessor) {
+  CoherenceParams params;
+  params.line_size = 8;
+  params.capacity_lines = 1;
+  CoherenceSim sim(2, params);
+  sim.access(0, 0, MemOp::kRead);
+  sim.access(1, 8, MemOp::kRead);  // different proc: no eviction of proc 0
+  EXPECT_EQ(sim.traffic().capacity_evictions, 0u);
+  std::uint64_t misses = sim.traffic().read_misses;
+  sim.access(0, 0, MemOp::kRead);  // still a hit for proc 0
+  EXPECT_EQ(sim.traffic().read_misses, misses);
+}
+
+TEST(FiniteCache, LargeCapacityMatchesInfinite) {
+  RefTrace trace;
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    trace.append({static_cast<SimTime>(i),
+                  static_cast<std::uint32_t>(rng.bounded(400)) * 4,
+                  static_cast<std::int16_t>(rng.bounded(4)),
+                  rng.chance(0.3) ? MemOp::kWrite : MemOp::kRead});
+  }
+  CoherenceParams infinite;
+  infinite.line_size = 8;
+  CoherenceParams finite = infinite;
+  finite.capacity_lines = 100000;
+  CoherenceSim a(4, infinite), b(4, finite);
+  a.replay(trace);
+  b.replay(trace);
+  EXPECT_EQ(a.traffic().total_bytes(), b.traffic().total_bytes());
+}
+
+/// Property: on a false-sharing workload, WBI traffic is monotone
+/// non-decreasing in line size (the paper's Table 3 direction).
+class LineSizeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LineSizeProperty, FalseSharingGrowsWithLineSize) {
+  RefTrace trace;
+  std::uint64_t seed = GetParam();
+  // Strided writers: proc p repeatedly updates cells p, p+4, p+8... with
+  // stride 4 words = 16 bytes, so larger lines create false sharing.
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    auto proc = static_cast<std::int16_t>((i + seed) % 4);
+    std::uint32_t addr = ((i * 7 + static_cast<std::uint32_t>(seed)) % 50) * 16 +
+                         static_cast<std::uint32_t>(proc) * 4;
+    trace.append({static_cast<SimTime>(i), addr, proc,
+                  i % 2 == 0 ? MemOp::kRead : MemOp::kWrite});
+  }
+  auto results = sweep_line_sizes(trace, 4, {4, 8, 16, 32});
+  EXPECT_LE(results[0].total_bytes(), results[1].total_bytes());
+  EXPECT_LE(results[1].total_bytes(), results[2].total_bytes());
+  EXPECT_LE(results[2].total_bytes(), results[3].total_bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LineSizeProperty, ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace locus

@@ -1,0 +1,189 @@
+// Integration tests: the paper's qualitative claims, asserted end-to-end on
+// the bnrE-like benchmark circuit through the same code paths the bench
+// binaries use. These are the "does the reproduction reproduce" tests.
+#include <gtest/gtest.h>
+
+#include "assign/assignment.hpp"
+#include "circuit/generator.hpp"
+#include "coherence/simulator.hpp"
+#include "msg/driver.hpp"
+#include "route/sequential.hpp"
+#include "shm/shm_router.hpp"
+
+namespace locus {
+namespace {
+
+/// Shared fixture: run the expensive simulations once for the whole suite.
+class PaperClaims : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    circuit_ = new Circuit(make_bnre_like());
+
+    MpConfig sender_config;
+    sender_config.schedule = UpdateSchedule::sender(2, 10);
+    sender_ = new MpRunResult(run_message_passing(*circuit_, 16, sender_config));
+
+    MpConfig receiver_config;
+    receiver_config.schedule = UpdateSchedule::receiver(1, 30);
+    receiver_ = new MpRunResult(run_message_passing(*circuit_, 16, receiver_config));
+
+    ShmConfig shm_config;
+    shm_config.procs = 16;
+    const Partition partition(circuit_->channels(), circuit_->grids(),
+                              MeshShape::for_procs(16));
+    shm_config.assignment = assign_threshold_cost(*circuit_, partition, 1000);
+    shm_ = new ShmRunResult(run_shared_memory(*circuit_, shm_config));
+    shm_traffic_ = new std::vector<CoherenceTraffic>(
+        sweep_line_sizes(shm_->trace, 16, {4, 8, 16, 32}));
+
+    sequential_ = new SequentialResult(route_sequential(*circuit_, {}));
+  }
+
+  static void TearDownTestSuite() {
+    delete circuit_;
+    delete sender_;
+    delete receiver_;
+    delete shm_;
+    delete shm_traffic_;
+    delete sequential_;
+  }
+
+  static Circuit* circuit_;
+  static MpRunResult* sender_;
+  static MpRunResult* receiver_;
+  static ShmRunResult* shm_;
+  static std::vector<CoherenceTraffic>* shm_traffic_;
+  static SequentialResult* sequential_;
+};
+
+Circuit* PaperClaims::circuit_ = nullptr;
+MpRunResult* PaperClaims::sender_ = nullptr;
+MpRunResult* PaperClaims::receiver_ = nullptr;
+ShmRunResult* PaperClaims::shm_ = nullptr;
+std::vector<CoherenceTraffic>* PaperClaims::shm_traffic_ = nullptr;
+SequentialResult* PaperClaims::sequential_ = nullptr;
+
+TEST_F(PaperClaims, TrafficHierarchyShmOverSenderOverReceiver) {
+  // §5.2 / Conclusions: shm traffic ~10x sender MP, sender ~10x receiver.
+  const std::uint64_t shm_bytes = (*shm_traffic_)[1].total_bytes();  // 8B lines
+  EXPECT_GT(shm_bytes, 3 * sender_->bytes_transferred);
+  EXPECT_GT(sender_->bytes_transferred, 3 * receiver_->bytes_transferred);
+  // Overall: 1-3 orders of magnitude between shm and receiver MP.
+  EXPECT_GT(shm_bytes, 10 * receiver_->bytes_transferred);
+}
+
+TEST_F(PaperClaims, ShmQualityIsBest) {
+  // §5.2: the shared memory version gives the best quality (more
+  // consistency => better routing); MP within ~15% of it.
+  EXPECT_LE(shm_->circuit_height, sender_->circuit_height);
+  EXPECT_LE(shm_->circuit_height, receiver_->circuit_height);
+  EXPECT_LT(static_cast<double>(sender_->circuit_height),
+            static_cast<double>(shm_->circuit_height) * 1.20);
+}
+
+TEST_F(PaperClaims, ParallelQualityWorseThanSequential) {
+  EXPECT_GE(sender_->circuit_height, sequential_->circuit_height);
+  EXPECT_GE(shm_->circuit_height, sequential_->circuit_height);
+}
+
+TEST_F(PaperClaims, ShmTrafficGrowsWithLineSize) {
+  // Table 3: monotone growth, substantial overall (paper: 6.3x for 4->32).
+  const auto& t = *shm_traffic_;
+  EXPECT_LE(t[0].total_bytes(), t[1].total_bytes());
+  EXPECT_LE(t[1].total_bytes(), t[2].total_bytes());
+  EXPECT_LE(t[2].total_bytes(), t[3].total_bytes());
+  EXPECT_GT(static_cast<double>(t[3].total_bytes()),
+            2.5 * static_cast<double>(t[0].total_bytes()));
+}
+
+TEST_F(PaperClaims, WritesDominateShmTraffic) {
+  // §5.2: over 80% of the bytes transferred are caused by writes.
+  EXPECT_GT((*shm_traffic_)[1].write_fraction(), 0.80);
+}
+
+TEST_F(PaperClaims, OccupancyDegradesWithStalerViews) {
+  // §5.1.2: quality is sensitive to ReqRmtData; rarer requests => worse
+  // occupancy factor.
+  MpConfig fresh_config;
+  fresh_config.schedule = UpdateSchedule::receiver(1, 5);
+  MpRunResult fresh = run_message_passing(*circuit_, 16, fresh_config);
+  EXPECT_LT(fresh.occupancy_factor, receiver_->occupancy_factor);
+}
+
+TEST_F(PaperClaims, BlockingSlowerThanNonBlockingAtSimilarQuality) {
+  MpConfig nb_config;
+  nb_config.schedule = UpdateSchedule::receiver(1, 5, false);
+  MpConfig b_config;
+  b_config.schedule = UpdateSchedule::receiver(1, 5, true);
+  MpRunResult nb = run_message_passing(*circuit_, 16, nb_config);
+  MpRunResult b = run_message_passing(*circuit_, 16, b_config);
+  EXPECT_GT(b.completion_ns, nb.completion_ns);
+  // "up to 75% larger": bounded well above, quality not worse than ~10%.
+  EXPECT_LT(static_cast<double>(b.completion_ns),
+            2.0 * static_cast<double>(nb.completion_ns));
+  EXPECT_LT(static_cast<double>(b.circuit_height),
+            1.10 * static_cast<double>(nb.circuit_height));
+}
+
+TEST_F(PaperClaims, LocalityCutsReceiverTraffic) {
+  // §5.3.1: receiver initiated traffic drops substantially (paper: up to
+  // 63%) going from round robin to a fully local assignment.
+  const Partition partition(circuit_->channels(), circuit_->grids(),
+                            MeshShape::for_procs(16));
+  MpConfig config;
+  config.schedule = UpdateSchedule::receiver(1, 5);
+  MpRunResult rr = run_message_passing(
+      *circuit_, partition, assign_round_robin(*circuit_, 16), config);
+  MpRunResult local = run_message_passing(
+      *circuit_, partition,
+      assign_threshold_cost(*circuit_, partition, kThresholdInfinity), config);
+  EXPECT_LT(static_cast<double>(local.bytes_transferred),
+            0.75 * static_cast<double>(rr.bytes_transferred));
+}
+
+TEST_F(PaperClaims, FullLocalityCostsExecutionTime) {
+  // §5.3.3 / Table 4: ThresholdCost = infinity creates load imbalance; the
+  // balanced tc30 assignment runs faster.
+  const Partition partition(circuit_->channels(), circuit_->grids(),
+                            MeshShape::for_procs(16));
+  MpConfig config;
+  config.schedule = UpdateSchedule::sender(2, 10);
+  MpRunResult tc30 = run_message_passing(
+      *circuit_, partition, assign_threshold_cost(*circuit_, partition, 30),
+      config);
+  MpRunResult inf = run_message_passing(
+      *circuit_, partition,
+      assign_threshold_cost(*circuit_, partition, kThresholdInfinity), config);
+  EXPECT_GT(inf.completion_ns, tc30.completion_ns);
+}
+
+TEST_F(PaperClaims, ScalingDegradesQualityAndTime) {
+  // Table 6: more processors => faster but worse quality.
+  MpConfig config;
+  config.schedule = UpdateSchedule::sender(2, 10);
+  MpRunResult p2 = run_message_passing(*circuit_, 2, config);
+  MpRunResult p16 = run_message_passing(*circuit_, 16, config);
+  EXPECT_LT(p16.completion_ns, p2.completion_ns / 4);
+  EXPECT_GE(p16.circuit_height, p2.circuit_height);
+  EXPECT_GE(p16.occupancy_factor, p2.occupancy_factor);
+  // §5.4: speedup at 16 procs is strong (paper: 12).
+  const double speedup = 2.0 * static_cast<double>(p2.completion_ns) /
+                         static_cast<double>(p16.completion_ns);
+  EXPECT_GT(speedup, 8.0);
+  EXPECT_LT(speedup, 16.0);
+}
+
+TEST_F(PaperClaims, SenderTimeFallsWithRarerUpdates) {
+  // Table 1: execution time is a clear function of update frequency.
+  MpConfig frequent_config;
+  frequent_config.schedule = UpdateSchedule::sender(2, 1);
+  MpConfig rare_config;
+  rare_config.schedule = UpdateSchedule::sender(10, 20);
+  MpRunResult frequent = run_message_passing(*circuit_, 16, frequent_config);
+  MpRunResult rare = run_message_passing(*circuit_, 16, rare_config);
+  EXPECT_GT(frequent.completion_ns, rare.completion_ns);
+  EXPECT_GT(frequent.bytes_transferred, 3 * rare.bytes_transferred);
+}
+
+}  // namespace
+}  // namespace locus

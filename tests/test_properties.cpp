@@ -1,0 +1,185 @@
+// Cross-module property tests: exhaustive small-grid sweeps and randomized
+// invariants that tie the pieces together.
+#include <gtest/gtest.h>
+
+#include "circuit/generator.hpp"
+#include "grid/cost_array.hpp"
+#include "route/explorer.hpp"
+#include "route/quality.hpp"
+#include "route/router.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+#include "sim/topology.hpp"
+#include "support/rng.hpp"
+
+namespace locus {
+namespace {
+
+/// Exhaustive sweep of pin placements on a small grid: the chosen route
+/// always starts/ends at a valid entry channel of each pin, stays in
+/// bounds, and its reported cost matches an independent re-pricing.
+TEST(ExplorerProperty, ExhaustiveSmallGridSweep) {
+  const std::int32_t channels = 4;
+  const std::int32_t grids = 9;
+  CostArray cost(channels, grids);
+  // A deterministic, non-uniform cost landscape.
+  Rng rng(123);
+  for (std::int32_t c = 0; c < channels; ++c) {
+    for (std::int32_t x = 0; x < grids; ++x) {
+      cost.set({c, x}, static_cast<std::int32_t>(rng.bounded(4)));
+    }
+  }
+  ExplorerParams params;
+  for (std::int32_t ax = 0; ax < grids; ax += 2) {
+    for (std::int32_t arow = 0; arow < channels - 1; ++arow) {
+      for (std::int32_t bx = 0; bx < grids; bx += 2) {
+        for (std::int32_t brow = 0; brow < channels - 1; ++brow) {
+          Pin a{ax, arow}, b{bx, brow};
+          ExploreResult res = explore_connection(a, b, channels, cost, params);
+          ASSERT_FALSE(res.route.empty());
+          const Segment& first = res.route.segments().front();
+          const Segment& last = res.route.segments().back();
+          ASSERT_EQ(first.from.x, a.x);
+          ASSERT_TRUE(first.from.channel == a.channel_above() ||
+                      first.from.channel == a.channel_below());
+          ASSERT_EQ(last.to.x, b.x);
+          ASSERT_TRUE(last.to.channel == b.channel_above() ||
+                      last.to.channel == b.channel_below());
+          std::int64_t repriced = 0;
+          res.route.for_each_cell([&](GridPoint p) {
+            ASSERT_GE(p.channel, 0);
+            ASSERT_LT(p.channel, channels);
+            ASSERT_GE(p.x, 0);
+            ASSERT_LT(p.x, grids);
+            repriced += cost.read(p);
+          });
+          ASSERT_EQ(repriced, res.cost)
+              << "a=(" << ax << "," << arow << ") b=(" << bx << "," << brow << ")";
+        }
+      }
+    }
+  }
+}
+
+/// The chosen route is never more expensive than the direct single-channel
+/// route through either pin channel (those are always in the candidate set).
+TEST(ExplorerProperty, NeverWorseThanDirectRoute) {
+  CostArray cost(5, 40);
+  Rng rng(77);
+  for (std::int32_t c = 0; c < 5; ++c) {
+    for (std::int32_t x = 0; x < 40; ++x) {
+      cost.set({c, x}, static_cast<std::int32_t>(rng.bounded(6)));
+    }
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    Pin a{static_cast<std::int32_t>(rng.bounded(40)),
+          static_cast<std::int32_t>(rng.bounded(4))};
+    Pin b{static_cast<std::int32_t>(rng.bounded(40)),
+          static_cast<std::int32_t>(rng.bounded(4))};
+    ExploreResult res = explore_connection(a, b, 5, cost, {});
+    // Direct route in the channel above pin a.
+    std::int64_t direct = 0;
+    const std::int32_t c = a.channel_above();
+    const std::int32_t lo = std::min(a.x, b.x);
+    const std::int32_t hi = std::max(a.x, b.x);
+    for (std::int32_t x = lo; x <= hi; ++x) direct += cost.read({c, x});
+    // Plus the vertical tail at b to reach channel c from b's row options.
+    const std::int32_t eb = c <= b.row ? b.row : b.row + 1;
+    for (std::int32_t ch = std::min(c, eb) ; ch <= std::max(c, eb); ++ch) {
+      if (ch != c) direct += cost.read({ch, b.x});
+    }
+    ASSERT_LE(res.cost, direct);
+  }
+}
+
+/// Rip-up is the exact inverse of commit: any interleaving of route and
+/// rip-up operations that ends with all routes ripped leaves a zero array.
+TEST(RouterProperty2, ArbitraryRipUpOrderRestoresZero) {
+  Circuit c = make_tiny_test_circuit(3);
+  CostArray cost(c.channels(), c.grids());
+  CostArray zero(c.channels(), c.grids());
+  WireRouter router(c.channels(), {});
+  RouteWorkStats stats;
+  Rng rng(9);
+
+  std::vector<WireRoute> live;
+  for (int step = 0; step < 200; ++step) {
+    if (!live.empty() && rng.chance(0.4)) {
+      std::size_t pick = rng.bounded(live.size());
+      WireRouter::rip_up(live[pick], cost);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      WireId id = static_cast<WireId>(rng.bounded(
+          static_cast<std::uint64_t>(c.num_wires())));
+      live.push_back(router.route_wire(c.wire(id), cost, stats));
+    }
+  }
+  for (const WireRoute& r : live) WireRouter::rip_up(r, cost);
+  EXPECT_TRUE(cost == zero);
+}
+
+/// Network: without contention, every delivery matches the closed-form
+/// latency, for random packets on random meshes.
+class NetworkFormulaProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NetworkFormulaProperty, ClosedFormHolds) {
+  Rng rng(GetParam());
+  const std::int32_t cols = 2 + static_cast<std::int32_t>(rng.bounded(4));
+  const std::int32_t rows = 2 + static_cast<std::int32_t>(rng.bounded(3));
+  Topology topo({cols, rows}, Topology::Edges::kMesh);
+  EventQueue queue;
+  std::vector<std::pair<Packet, SimTime>> delivered;
+  Network net(topo, {}, queue,
+              [&](const Packet& p, SimTime at) { delivered.push_back({p, at}); });
+
+  // Packets widely spaced in time so no two ever contend.
+  SimTime t = 0;
+  std::vector<std::pair<SimTime, std::int64_t>> expect;  // (ready, D + L)
+  for (int i = 0; i < 20; ++i) {
+    Packet p;
+    p.src = static_cast<ProcId>(rng.bounded(
+        static_cast<std::uint64_t>(topo.num_nodes())));
+    do {
+      p.dst = static_cast<ProcId>(rng.bounded(
+          static_cast<std::uint64_t>(topo.num_nodes())));
+    } while (p.dst == p.src);
+    p.type = 1;
+    p.bytes = 1 + static_cast<std::int32_t>(rng.bounded(500));
+    const std::int64_t d = topo.distance(p.src, p.dst);
+    expect.push_back({t, d + p.bytes});
+    net.inject(std::move(p), t);
+    t += 10'000'000;  // 10 ms apart
+  }
+  queue.run();
+  ASSERT_EQ(delivered.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(delivered[i].second,
+              expect[i].first + 100 * expect[i].second + 2000);
+  }
+  EXPECT_EQ(net.stats().total_link_wait_ns, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkFormulaProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+/// Quality invariant: circuit height from track profile equals the sum of
+/// per-channel maxima for random arrays.
+TEST(QualityProperty, HeightMatchesProfileSum) {
+  Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    CostArray cost(1 + static_cast<std::int32_t>(rng.bounded(8)),
+                   1 + static_cast<std::int32_t>(rng.bounded(60)));
+    for (std::int32_t c = 0; c < cost.channels(); ++c) {
+      for (std::int32_t x = 0; x < cost.grids(); ++x) {
+        cost.set({c, x}, static_cast<std::int32_t>(rng.bounded(12)));
+      }
+    }
+    auto profile = track_profile(cost);
+    std::int64_t sum = 0;
+    for (std::int32_t v : profile) sum += v;
+    EXPECT_EQ(sum, circuit_height(cost));
+  }
+}
+
+}  // namespace
+}  // namespace locus

@@ -1,0 +1,194 @@
+// Tests for the shared memory implementations: the Tango-like deterministic
+// executor (trace capture, deferred commits, barriers) and the real-threads
+// router.
+#include <gtest/gtest.h>
+
+#include "assign/assignment.hpp"
+#include "circuit/generator.hpp"
+#include "route/quality.hpp"
+#include "route/sequential.hpp"
+#include "shm/shm_router.hpp"
+#include "shm/threads_router.hpp"
+
+namespace locus {
+namespace {
+
+class ShmRunTest : public ::testing::Test {
+ protected:
+  ShmRunTest() : circuit_(make_tiny_test_circuit()) {}
+
+  ShmRunResult run(std::int32_t procs, bool dynamic = true) {
+    ShmConfig config;
+    config.procs = procs;
+    if (!dynamic) {
+      config.assignment = assign_round_robin(circuit_, procs);
+    }
+    return run_shared_memory(circuit_, config);
+  }
+
+  Circuit circuit_;
+};
+
+TEST_F(ShmRunTest, RoutesEveryWire) {
+  ShmRunResult r = run(4);
+  for (const WireRoute& route : r.routes) {
+    EXPECT_TRUE(route.routed());
+  }
+  EXPECT_EQ(r.work.wires_routed, circuit_.num_wires() * 2);
+}
+
+TEST_F(ShmRunTest, FinalArrayMatchesRoutes) {
+  ShmRunResult r = run(4);
+  EXPECT_TRUE(r.cost == rebuild_cost(circuit_.channels(), circuit_.grids(), r.routes));
+  EXPECT_EQ(r.circuit_height, circuit_height(r.cost));
+}
+
+TEST_F(ShmRunTest, Deterministic) {
+  ShmRunResult a = run(4);
+  ShmRunResult b = run(4);
+  EXPECT_EQ(a.circuit_height, b.circuit_height);
+  EXPECT_EQ(a.occupancy_factor, b.occupancy_factor);
+  EXPECT_EQ(a.completion_ns, b.completion_ns);
+  EXPECT_EQ(a.trace.size(), b.trace.size());
+}
+
+TEST_F(ShmRunTest, OneProcessorEqualsSequential) {
+  ShmRunResult shm = run(1);
+  SequentialResult seq = route_sequential(circuit_, {});
+  EXPECT_EQ(shm.circuit_height, seq.circuit_height);
+  EXPECT_EQ(shm.occupancy_factor, seq.occupancy_factor);
+  EXPECT_EQ(shm.work.probes, seq.work.probes);
+}
+
+TEST_F(ShmRunTest, TraceIsTimeOrdered) {
+  ShmRunResult r = run(4);
+  ASSERT_GT(r.trace.size(), 0u);
+  SimTime last = 0;
+  for (const MemRef& ref : r.trace.refs()) {
+    EXPECT_GE(ref.time, last);
+    last = ref.time;
+    EXPECT_GE(ref.proc, 0);
+    EXPECT_LT(ref.proc, 4);
+  }
+}
+
+TEST_F(ShmRunTest, TraceWritesMatchCommitVolume) {
+  ShmRunResult r = run(4);
+  // Writes = commits + rip-ups + loop-counter updates. Two iterations:
+  // commit twice, rip up once per wire.
+  std::uint64_t cost_writes = 0;
+  std::uint64_t counter_writes = 0;
+  for (const MemRef& ref : r.trace.refs()) {
+    if (ref.op != MemOp::kWrite) continue;
+    if (ref.addr == kLoopCounterAddr) ++counter_writes;
+    else ++cost_writes;
+  }
+  std::uint64_t committed = 0;
+  for (const WireRoute& route : r.routes) committed += route.cells.size();
+  // Final-iteration commits = committed; plus first-iteration commits and
+  // rip-ups (unknown split) => at least 2x committed writes.
+  EXPECT_GE(cost_writes, 2 * committed);
+  EXPECT_GT(counter_writes, 0u);
+}
+
+TEST_F(ShmRunTest, DedupShrinksTrace) {
+  ShmConfig full;
+  full.procs = 4;
+  ShmConfig dedup = full;
+  dedup.trace_dedup_reads = true;
+  ShmRunResult rf = run_shared_memory(circuit_, full);
+  ShmRunResult rd = run_shared_memory(circuit_, dedup);
+  EXPECT_LT(rd.trace.size(), rf.trace.size() / 2);
+  // Identical routing outcome: the trace mode must not affect decisions.
+  EXPECT_EQ(rf.circuit_height, rd.circuit_height);
+}
+
+TEST_F(ShmRunTest, CaptureOffYieldsEmptyTrace) {
+  ShmConfig config;
+  config.procs = 4;
+  config.capture_trace = false;
+  ShmRunResult r = run_shared_memory(circuit_, config);
+  EXPECT_EQ(r.trace.size(), 0u);
+  EXPECT_GT(r.circuit_height, 0);
+}
+
+TEST_F(ShmRunTest, StaticAssignmentRespected) {
+  ShmConfig config;
+  config.procs = 4;
+  config.assignment = assign_round_robin(circuit_, 4);
+  ShmRunResult r = run_shared_memory(circuit_, config);
+  for (const WireRoute& route : r.routes) {
+    EXPECT_TRUE(route.routed());
+  }
+}
+
+TEST_F(ShmRunTest, ParallelismDegradesQuality) {
+  // Simultaneously routed wires do not see each other (deferred commits),
+  // so more processors cannot improve quality. Compare 1 vs 8 on the
+  // larger circuit where the effect is visible.
+  Circuit bnre = make_bnre_like();
+  ShmConfig one;
+  one.procs = 1;
+  one.capture_trace = false;
+  ShmConfig eight;
+  eight.procs = 8;
+  eight.capture_trace = false;
+  ShmRunResult r1 = run_shared_memory(bnre, one);
+  ShmRunResult r8 = run_shared_memory(bnre, eight);
+  EXPECT_GE(r8.circuit_height, r1.circuit_height);
+}
+
+TEST_F(ShmRunTest, CompletionIsMaxOfFinishTimes) {
+  ShmRunResult r = run(4);
+  SimTime max_finish = 0;
+  for (SimTime t : r.proc_finish_ns) max_finish = std::max(max_finish, t);
+  EXPECT_EQ(r.completion_ns, max_finish);
+}
+
+TEST(ThreadsRouter, RoutesEverythingAndAgreesRoughly) {
+  Circuit circuit = make_tiny_test_circuit();
+  ThreadsConfig config;
+  config.threads = 4;
+  ThreadsRunResult r = run_threads_shared_memory(circuit, config);
+  for (const WireRoute& route : r.routes) {
+    ASSERT_TRUE(route.routed());
+  }
+  EXPECT_EQ(r.work.wires_routed, circuit.num_wires() * 2);
+  // Against the deterministic executor: same ballpark quality (threads are
+  // nondeterministic; allow a wide band).
+  ShmConfig shm_config;
+  shm_config.procs = 4;
+  shm_config.capture_trace = false;
+  ShmRunResult tango = run_shared_memory(circuit, shm_config);
+  EXPECT_NEAR(static_cast<double>(r.circuit_height),
+              static_cast<double>(tango.circuit_height),
+              static_cast<double>(tango.circuit_height) * 0.5);
+}
+
+TEST(ThreadsRouter, SingleThreadMatchesSequential) {
+  Circuit circuit = make_tiny_test_circuit();
+  ThreadsConfig config;
+  config.threads = 1;
+  ThreadsRunResult r = run_threads_shared_memory(circuit, config);
+  SequentialResult seq = route_sequential(circuit, {});
+  EXPECT_EQ(r.circuit_height, seq.circuit_height);
+  EXPECT_EQ(r.occupancy_factor, seq.occupancy_factor);
+}
+
+/// Property sweep over processor counts: executor invariants.
+class ShmProcsProperty : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(ShmProcsProperty, Invariants) {
+  Circuit circuit = make_tiny_test_circuit();
+  ShmConfig config;
+  config.procs = GetParam();
+  ShmRunResult r = run_shared_memory(circuit, config);
+  EXPECT_TRUE(r.cost == rebuild_cost(circuit.channels(), circuit.grids(), r.routes));
+  EXPECT_GT(r.completion_ns, 0);
+  EXPECT_EQ(r.proc_finish_ns.size(), static_cast<std::size_t>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, ShmProcsProperty, ::testing::Values(1, 2, 3, 4, 8));
+
+}  // namespace
+}  // namespace locus

@@ -1,0 +1,78 @@
+// Tests for the native-threads message passing backend.
+#include <gtest/gtest.h>
+
+#include "circuit/generator.hpp"
+#include "msg/driver.hpp"
+#include "msg/threads_mp.hpp"
+#include "route/quality.hpp"
+
+namespace locus {
+namespace {
+
+ThreadsMpResult run_native(const Circuit& circuit, std::int32_t procs) {
+  const Partition partition(circuit.channels(), circuit.grids(),
+                            MeshShape::for_procs(procs));
+  const Assignment assignment = assign_threshold_cost(circuit, partition, 1000);
+  ThreadsMpConfig config;
+  return run_threads_message_passing(circuit, partition, assignment, config);
+}
+
+TEST(ThreadsMp, RoutesEveryWire) {
+  Circuit circuit = make_tiny_test_circuit();
+  ThreadsMpResult r = run_native(circuit, 4);
+  for (const WireRoute& route : r.routes) {
+    ASSERT_TRUE(route.routed());
+  }
+  EXPECT_EQ(r.work.wires_routed, circuit.num_wires() * 2);
+  EXPECT_EQ(r.circuit_height,
+            circuit_height(circuit.channels(), circuit.grids(), r.routes));
+}
+
+TEST(ThreadsMp, SendsUpdateMessages) {
+  Circuit circuit = make_tiny_test_circuit();
+  ThreadsMpResult r = run_native(circuit, 4);
+  EXPECT_GT(r.messages_sent, 0u);
+  EXPECT_GT(r.bytes_sent, 16u * r.messages_sent / 2);  // headers at least
+}
+
+TEST(ThreadsMp, SingleThreadMatchesSimulatedSingleProc) {
+  // With one region there is no messaging at all; both backends reduce to
+  // the sequential router with identical decisions.
+  Circuit circuit = make_tiny_test_circuit();
+  ThreadsMpResult native = run_native(circuit, 1);
+  MpConfig sim_config;
+  MpRunResult sim = run_message_passing(circuit, 1, sim_config);
+  EXPECT_EQ(native.circuit_height, sim.circuit_height);
+  EXPECT_EQ(native.messages_sent, 0u);
+}
+
+TEST(ThreadsMp, QualityInSimulatedBand) {
+  // Nondeterministic scheduling, but the algorithm is the simulator's:
+  // quality must land near the simulated sender-initiated result.
+  Circuit circuit = make_bnre_like();
+  ThreadsMpResult native = run_native(circuit, 16);
+  MpConfig sim_config;
+  sim_config.schedule = UpdateSchedule::sender(2, 5);
+  MpRunResult sim = run_message_passing(circuit, 16, sim_config);
+  EXPECT_NEAR(static_cast<double>(native.circuit_height),
+              static_cast<double>(sim.circuit_height),
+              static_cast<double>(sim.circuit_height) * 0.20);
+}
+
+TEST(ThreadsMp, FourIterationsDoubleTheWork) {
+  Circuit circuit = make_tiny_test_circuit();
+  const Partition partition(circuit.channels(), circuit.grids(),
+                            MeshShape::for_procs(4));
+  const Assignment assignment = assign_threshold_cost(circuit, partition, 1000);
+  ThreadsMpConfig two;
+  two.iterations = 2;
+  ThreadsMpConfig four;
+  four.iterations = 4;
+  ThreadsMpResult r2 = run_threads_message_passing(circuit, partition, assignment, two);
+  ThreadsMpResult r4 =
+      run_threads_message_passing(circuit, partition, assignment, four);
+  EXPECT_EQ(r4.work.wires_routed, 2 * r2.work.wires_routed);
+}
+
+}  // namespace
+}  // namespace locus
