@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite, then
+# run the checking-subsystem tests (`ctest -L check`) explicitly so a label
+# regression (tests silently dropping out of the label) is caught.
+#
+#   scripts/verify.sh             # tier-1
+#   scripts/verify.sh --sanitize  # same suite under ASan + UBSan
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+CMAKE_FLAGS=()
+if [[ "${1:-}" == "--sanitize" ]]; then
+  BUILD_DIR=build-sanitize
+  CMAKE_FLAGS+=(-DLOCUS_SANITIZE=address,undefined)
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_FLAGS[@]}"
+cmake --build "$BUILD_DIR" -j
+
+cd "$BUILD_DIR"
+ctest --output-on-failure -j "$(nproc)"
+
+# The check label must exist and pass on its own.
+ctest -L check --output-on-failure -j "$(nproc)"

@@ -1,0 +1,159 @@
+#include "check/consistency.hpp"
+
+#include "grid/cost_array.hpp"
+#include "msg/node.hpp"
+#include "msg/packets.hpp"
+#include "support/assert.hpp"
+
+namespace locus {
+
+namespace {
+
+/// Content key of a delta packet: the owner region, bbox, and values fully
+/// identify what on_delta_applied will later observe.
+std::string packet_key(ProcId region, const Rect& bbox,
+                       std::span<const std::int32_t> values) {
+  std::string key;
+  key.reserve(20 + values.size() * 4);
+  const auto append_i32 = [&key](std::int32_t v) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      key.push_back(static_cast<char>((static_cast<std::uint32_t>(v) >> shift) & 0xFF));
+    }
+  };
+  append_i32(region);
+  append_i32(bbox.channel_lo);
+  append_i32(bbox.channel_hi);
+  append_i32(bbox.x_lo);
+  append_i32(bbox.x_hi);
+  for (std::int32_t v : values) append_i32(v);
+  return key;
+}
+
+}  // namespace
+
+void ViewConsistencyChecker::on_run_start(const MpRunView& run) {
+  LOCUS_ASSERT(run.partition != nullptr && run.truth != nullptr);
+  LOCUS_ASSERT(static_cast<std::int32_t>(run.nodes.size()) ==
+               run.partition->num_regions());
+  run_ = run;
+  inflight_.assign(static_cast<std::size_t>(run.truth->size()), 0);
+  outstanding_.clear();
+  wires_routed_ = 0;
+  report_ = ConsistencyReport{};
+}
+
+void ViewConsistencyChecker::on_delta_sent(ProcId from, ProcId region,
+                                           const Rect& bbox,
+                                           std::span<const std::int32_t> values) {
+  ++report_.deltas_sent;
+  std::size_t i = 0;
+  for (std::int32_t c = bbox.channel_lo; c <= bbox.channel_hi; ++c) {
+    for (std::int32_t x = bbox.x_lo; x <= bbox.x_hi; ++x, ++i) {
+      inflight_[static_cast<std::size_t>(run_.truth->index(GridPoint{c, x}))] +=
+          values[i];
+    }
+  }
+  ++outstanding_[packet_key(region, bbox, values)];
+  if (options_.roundtrip_codec) {
+    WirePacket packet;
+    packet.type = kMsgSendRmtData;
+    packet.region = region;
+    packet.bbox = bbox;
+    packet.absolute = false;
+    packet.values.assign(values.begin(), values.end());
+    ++report_.codec_roundtrips;
+    const auto bytes = encode_packet(packet);
+    std::optional<WirePacket> back;
+    if (bytes.has_value()) back = decode_packet(*bytes);
+    if (!back.has_value() || *back != packet) ++report_.codec_mismatches;
+  }
+  static_cast<void>(from);
+}
+
+void ViewConsistencyChecker::on_delta_applied(ProcId owner, const Rect& bbox,
+                                              std::span<const std::int32_t> values) {
+  ++report_.deltas_applied;
+  std::size_t i = 0;
+  for (std::int32_t c = bbox.channel_lo; c <= bbox.channel_hi; ++c) {
+    for (std::int32_t x = bbox.x_lo; x <= bbox.x_hi; ++x, ++i) {
+      inflight_[static_cast<std::size_t>(run_.truth->index(GridPoint{c, x}))] -=
+          values[i];
+    }
+  }
+  // Deltas are addressed to the owner of their region, so the applied
+  // (owner, bbox, values) triple must match a sent packet. A miss means the
+  // network delivered something twice — the per-cell books still balance
+  // then (extra view increment and extra inflight decrement cancel), which
+  // is exactly why the ledger check exists.
+  auto it = outstanding_.find(packet_key(owner, bbox, values));
+  if (it == outstanding_.end() || it->second <= 0) {
+    ++report_.unmatched_applies;
+    record(ConsistencyViolation{wires_routed_,
+                                GridPoint{bbox.channel_lo, bbox.x_lo}, owner,
+                                /*truth=*/0, /*accounted=*/0});
+  } else if (--it->second == 0) {
+    outstanding_.erase(it);
+  }
+}
+
+void ViewConsistencyChecker::on_wire_routed(ProcId proc, WireId wire,
+                                            std::int32_t iteration) {
+  static_cast<void>(proc);
+  static_cast<void>(wire);
+  static_cast<void>(iteration);
+  ++wires_routed_;
+  if (options_.checkpoint_period > 0 &&
+      wires_routed_ % options_.checkpoint_period == 0) {
+    check_conservation();
+  }
+}
+
+void ViewConsistencyChecker::on_run_end(const MpRunView& run) {
+  static_cast<void>(run);
+  report_.run_ended = true;
+  check_conservation();
+  for (std::int64_t v : inflight_) {
+    if (v != 0) {
+      ++report_.final_inflight_cells;
+      report_.final_inflight_sum += v < 0 ? -v : v;
+    }
+  }
+  for (const auto& [key, count] : outstanding_) {
+    report_.final_outstanding_packets += count;
+  }
+}
+
+void ViewConsistencyChecker::check_conservation() {
+  ++report_.checkpoints;
+  const Partition& partition = *run_.partition;
+  const CostArray& truth = *run_.truth;
+  for (ProcId owner = 0; owner < partition.num_regions(); ++owner) {
+    const Rect& region = partition.region(owner);
+    const CostArray& view = run_.nodes[static_cast<std::size_t>(owner)]->view();
+    for (std::int32_t c = region.channel_lo; c <= region.channel_hi; ++c) {
+      for (std::int32_t x = region.x_lo; x <= region.x_hi; ++x) {
+        const GridPoint q{c, x};
+        ++report_.cells_checked;
+        std::int64_t accounted = view.at(q);
+        for (ProcId r = 0; r < partition.num_regions(); ++r) {
+          if (r == owner) continue;
+          accounted += run_.nodes[static_cast<std::size_t>(r)]->delta().at(q);
+        }
+        accounted += inflight_[static_cast<std::size_t>(truth.index(q))];
+        if (accounted != truth.at(q)) {
+          ++report_.violations;
+          record(ConsistencyViolation{wires_routed_, q, owner, truth.at(q),
+                                      accounted});
+        }
+      }
+    }
+  }
+}
+
+void ViewConsistencyChecker::record(const ConsistencyViolation& violation) {
+  if (report_.samples.size() < options_.max_samples) {
+    report_.samples.push_back(violation);
+  }
+}
+
+}  // namespace locus

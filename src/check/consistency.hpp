@@ -1,0 +1,114 @@
+// View-consistency checking for the message passing router.
+//
+// The checker rides along a run as an MpObserver and maintains an external
+// ledger of every delta handed to the network ("in flight"). At configurable
+// checkpoints (every N routed wires) it asserts the conservation law
+//
+//     truth(q) == view_owner(q) + sum_{r != owner} delta_r(q) + inflight(q)
+//
+// for every cost-array cell q: the true occupancy of a cell equals what its
+// owner believes, plus every remote processor's not-yet-propagated delta,
+// plus deltas on the wire. In a fault-free run this holds at every
+// inter-event instant of the sequential DES; each fault class leaves a
+// distinct signature:
+//   * dropped SendRmtData  -> inflight(q) stays nonzero forever, reported
+//     as non-convergence at run end;
+//   * duplicated SendRmtData -> the second application finds no matching
+//     outstanding packet in the send ledger, flagged immediately (the
+//     per-cell equality alone cannot see a duplicate: the extra view
+//     increment and the extra inflight decrement cancel);
+//   * delayed / reordered packets -> no violation: the law is closed under
+//     any delivery schedule, which is itself a useful meta-check.
+// Every observed delta is additionally round-tripped through the byte-level
+// wire codec (msg/packets.hpp) so the on-wire format stays honest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/partition.hpp"
+#include "geom/point.hpp"
+#include "msg/observer.hpp"
+
+namespace locus {
+
+struct ConsistencyOptions {
+  /// Run the full conservation check every N routed wires (0: only at run
+  /// end). Each check scans the whole array, so small circuits can afford 1.
+  std::int32_t checkpoint_period = 1;
+  /// Encode + decode every observed delta through the wire codec and compare.
+  bool roundtrip_codec = true;
+  /// Cap on recorded violation samples (counters keep exact totals).
+  std::size_t max_samples = 16;
+};
+
+/// One cell whose books did not balance at a checkpoint.
+struct ConsistencyViolation {
+  std::int64_t checkpoint = 0;  ///< routed-wire count when detected
+  GridPoint cell;
+  ProcId owner = -1;
+  std::int64_t truth = 0;
+  std::int64_t accounted = 0;  ///< owner view + pending deltas + inflight
+};
+
+struct ConsistencyReport {
+  std::int64_t checkpoints = 0;
+  std::int64_t cells_checked = 0;
+  std::int64_t violations = 0;            ///< cells failing the equality
+  std::int64_t unmatched_applies = 0;     ///< duplicate-delivery detections
+  std::vector<ConsistencyViolation> samples;
+
+  std::int64_t deltas_sent = 0;
+  std::int64_t deltas_applied = 0;
+  std::int64_t final_inflight_cells = 0;  ///< cells with inflight != 0 at end
+  std::int64_t final_inflight_sum = 0;    ///< sum of |inflight| at end
+  std::int64_t final_outstanding_packets = 0;  ///< sent but never applied
+
+  std::int64_t codec_roundtrips = 0;
+  std::int64_t codec_mismatches = 0;
+
+  bool run_ended = false;
+
+  /// The conservation law held at every checkpoint and no duplicate was seen.
+  bool consistent() const {
+    return violations == 0 && unmatched_applies == 0 && codec_mismatches == 0;
+  }
+  /// The run drained with every sent delta accounted for at its owner.
+  bool converged() const {
+    return run_ended && consistent() && final_inflight_cells == 0 &&
+           final_outstanding_packets == 0;
+  }
+};
+
+class ViewConsistencyChecker final : public MpObserver {
+ public:
+  explicit ViewConsistencyChecker(ConsistencyOptions options = {})
+      : options_(options) {}
+
+  void on_run_start(const MpRunView& run) override;
+  void on_delta_sent(ProcId from, ProcId region, const Rect& bbox,
+                     std::span<const std::int32_t> values) override;
+  void on_delta_applied(ProcId owner, const Rect& bbox,
+                        std::span<const std::int32_t> values) override;
+  void on_wire_routed(ProcId proc, WireId wire, std::int32_t iteration) override;
+  void on_run_end(const MpRunView& run) override;
+
+  const ConsistencyReport& report() const { return report_; }
+
+ private:
+  void check_conservation();
+  void record(const ConsistencyViolation& violation);
+
+  ConsistencyOptions options_;
+  ConsistencyReport report_;
+  MpRunView run_;                       ///< valid between run start and end
+  std::vector<std::int64_t> inflight_;  ///< per cell, row-major like truth
+  /// Outstanding sent-but-not-applied packets, keyed by serialized content.
+  /// An apply that finds no outstanding match is a duplicated delivery.
+  std::unordered_map<std::string, std::int64_t> outstanding_;
+  std::int64_t wires_routed_ = 0;
+};
+
+}  // namespace locus

@@ -1,0 +1,137 @@
+#include "check/oracle.hpp"
+
+#include <utility>
+
+#include "msg/driver.hpp"
+#include "route/sequential.hpp"
+#include "shm/shm_router.hpp"
+#include "support/assert.hpp"
+
+namespace locus {
+
+namespace {
+
+bool in_band(std::int64_t value, std::int64_t base, double rel, std::int64_t abs) {
+  return static_cast<double>(value) <=
+         static_cast<double>(base) * (1.0 + rel) + static_cast<double>(abs);
+}
+
+void apply_bands(OracleVariant& variant, const OracleConfig& config,
+                 std::int64_t seq_height, std::int64_t seq_occupancy) {
+  variant.height_in_band = in_band(variant.circuit_height, seq_height,
+                                   config.height_rel, config.height_abs);
+  variant.occupancy_in_band =
+      in_band(variant.occupancy_factor, seq_occupancy, config.occupancy_rel,
+              config.occupancy_abs);
+}
+
+}  // namespace
+
+std::string OracleResult::describe() const {
+  std::string out = "seq h=" + std::to_string(seq_height) +
+                    " occ=" + std::to_string(seq_occupancy);
+  for (const OracleVariant& v : variants) {
+    out += " | " + v.name + (v.ok() ? " OK" : " FAIL");
+    if (!v.ok()) {
+      if (!v.legality.legal()) out += " illegal";
+      if (!v.height_in_band) out += " height=" + std::to_string(v.circuit_height);
+      if (!v.occupancy_in_band) {
+        out += " occ=" + std::to_string(v.occupancy_factor);
+      }
+      if (!v.consistency.consistent()) {
+        out += " violations=" + std::to_string(v.consistency.violations +
+                                               v.consistency.unmatched_applies);
+      }
+      if (v.is_message_passing && !v.consistency.converged()) {
+        out += " inflight=" + std::to_string(v.consistency.final_inflight_cells);
+      }
+    }
+  }
+  return out;
+}
+
+OracleResult run_differential_oracle(const Circuit& circuit,
+                                     const OracleConfig& config) {
+  OracleResult result;
+
+  SequentialParams seq_params;
+  seq_params.router = config.router;
+  seq_params.iterations = config.iterations;
+  const SequentialResult seq = route_sequential(circuit, seq_params);
+  result.seq_height = seq.circuit_height;
+  result.seq_occupancy = seq.occupancy_factor;
+
+  {
+    OracleVariant variant;
+    variant.name = "sequential";
+    variant.circuit_height = seq.circuit_height;
+    variant.occupancy_factor = seq.occupancy_factor;
+    variant.legality = check_route_legality(circuit, seq.routes);
+    apply_bands(variant, config, result.seq_height, result.seq_occupancy);
+    result.variants.push_back(std::move(variant));
+  }
+
+  {
+    ShmConfig shm;
+    shm.router = config.router;
+    shm.time = config.time;
+    shm.iterations = config.iterations;
+    shm.procs = config.procs;
+    shm.capture_trace = false;
+    const ShmRunResult run = run_shared_memory(circuit, shm);
+    OracleVariant variant;
+    variant.name = "shm";
+    variant.circuit_height = run.circuit_height;
+    variant.occupancy_factor = run.occupancy_factor;
+    variant.legality = check_route_legality(circuit, run.routes);
+    apply_bands(variant, config, result.seq_height, result.seq_occupancy);
+    result.variants.push_back(std::move(variant));
+  }
+
+  // The message passing schedules: both sender-initiated transaction types,
+  // both receiver-initiated ones (non-blocking and blocking), and all four
+  // combined. Parameters follow the paper's Table 1/2 mid-range rows.
+  struct MsgCase {
+    const char* name;
+    UpdateSchedule schedule;
+  };
+  UpdateSchedule mixed;
+  mixed.send_loc_period = 10;
+  mixed.send_rmt_period = 5;
+  mixed.req_rmt_touches = 3;
+  mixed.req_loc_requests = 2;
+  const MsgCase cases[] = {
+      {"msg sender(10,5)", UpdateSchedule::sender(10, 5)},
+      {"msg receiver(5,2)", UpdateSchedule::receiver(5, 2, /*blocking=*/false)},
+      {"msg receiver-blk(5,2)", UpdateSchedule::receiver(5, 2, /*blocking=*/true)},
+      {"msg mixed", mixed},
+  };
+
+  for (const MsgCase& msg_case : cases) {
+    ConsistencyOptions check_options;
+    check_options.checkpoint_period = config.checkpoint_period;
+    ViewConsistencyChecker checker(check_options);
+
+    MpConfig mp;
+    mp.schedule = msg_case.schedule;
+    mp.router = config.router;
+    mp.time = config.time;
+    mp.iterations = config.iterations;
+    mp.faults = config.faults;
+    mp.observer = &checker;
+    const MpRunResult run = run_message_passing(circuit, config.procs, mp);
+
+    OracleVariant variant;
+    variant.name = msg_case.name;
+    variant.is_message_passing = true;
+    variant.circuit_height = run.circuit_height;
+    variant.occupancy_factor = run.occupancy_factor;
+    variant.legality = check_route_legality(circuit, run.routes);
+    variant.consistency = checker.report();
+    apply_bands(variant, config, result.seq_height, result.seq_occupancy);
+    result.variants.push_back(std::move(variant));
+  }
+  return result;
+}
+
+}  // namespace locus

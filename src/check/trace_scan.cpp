@@ -1,0 +1,75 @@
+#include "check/trace_scan.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/assert.hpp"
+
+namespace locus {
+
+TraceScanReport scan_trace_conflicts(const RefTrace& trace,
+                                     TraceScanOptions options) {
+  LOCUS_ASSERT(options.line_bytes > 0);
+  TraceScanReport report;
+  report.refs = static_cast<std::int64_t>(trace.size());
+
+  // The trace may arrive unsorted (the executor emits per-processor runs);
+  // replay needs the global time order the coherence simulator also uses.
+  std::vector<MemRef> refs = trace.refs();
+  std::stable_sort(refs.begin(), refs.end(),
+                   [](const MemRef& a, const MemRef& b) { return a.time < b.time; });
+
+  struct LineState {
+    std::int16_t last_proc = -1;
+    MemOp last_op = MemOp::kRead;
+    LineConflicts conflicts;
+  };
+  std::unordered_map<std::uint32_t, LineState> lines;
+  lines.reserve(1024);
+
+  for (const MemRef& ref : refs) {
+    const auto line = ref.addr / static_cast<std::uint32_t>(options.line_bytes);
+    LineState& state = lines[line];
+    state.conflicts.line = line;
+    if (state.last_proc >= 0 && state.last_proc != ref.proc) {
+      const bool prev_write = state.last_op == MemOp::kWrite;
+      const bool cur_write = ref.op == MemOp::kWrite;
+      if (prev_write && cur_write) {
+        ++state.conflicts.ww;
+        ++report.ww;
+      } else if (prev_write) {
+        ++state.conflicts.wr;
+        ++report.wr;
+      } else if (cur_write) {
+        ++state.conflicts.rw;
+        ++report.rw;
+      }
+    }
+    state.last_proc = ref.proc;
+    state.last_op = ref.op;
+  }
+
+  report.lines_touched = static_cast<std::int64_t>(lines.size());
+  std::vector<LineConflicts> conflicted;
+  for (const auto& [line, state] : lines) {
+    const std::int64_t total = state.conflicts.total();
+    if (total == 0) continue;
+    ++report.lines_with_conflicts;
+    conflicted.push_back(state.conflicts);
+    std::size_t bucket = 0;
+    while ((std::int64_t{2} << bucket) <= total) ++bucket;
+    if (report.histogram.size() <= bucket) report.histogram.resize(bucket + 1, 0);
+    ++report.histogram[bucket];
+  }
+
+  std::sort(conflicted.begin(), conflicted.end(),
+            [](const LineConflicts& a, const LineConflicts& b) {
+              if (a.total() != b.total()) return a.total() > b.total();
+              return a.line < b.line;
+            });
+  if (conflicted.size() > options.top_lines) conflicted.resize(options.top_lines);
+  report.hottest = std::move(conflicted);
+  return report;
+}
+
+}  // namespace locus

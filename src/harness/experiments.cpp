@@ -5,10 +5,14 @@
 #include <optional>
 
 #include "assign/locality.hpp"
+#include "check/consistency.hpp"
+#include "check/oracle.hpp"
+#include "check/trace_scan.hpp"
 #include "circuit/generator.hpp"
 #include "coherence/bus.hpp"
 #include "coherence/simulator.hpp"
 #include "harness/paper_data.hpp"
+#include "msg/packets.hpp"
 #include "route/sequential.hpp"
 #include "shm/numa.hpp"
 #include "support/assert.hpp"
@@ -766,6 +770,150 @@ Table run_ablation_topology(const Circuit& circuit, const ExperimentConfig& conf
         .cell(r.mbytes(), 3)
         .cell(static_cast<unsigned long long>(r.network.byte_hops))
         .cell(r.seconds(), 3).cell(mean_latency_us, 1);
+  }
+  return t;
+}
+
+Table run_check_oracle(const Circuit& circuit, const ExperimentConfig& config,
+                       const FaultPlan* faults) {
+  OracleConfig oracle;
+  oracle.procs = config.procs;
+  oracle.iterations = config.iterations;
+  oracle.router = config.mp_base.router;
+  oracle.time = config.mp_base.time;
+  oracle.faults = faults;
+  const OracleResult result = run_differential_oracle(circuit, oracle);
+
+  Table t;
+  t.column("implementation", Align::kLeft).column("CktHt").column("Occup.")
+      .column("legal", Align::kLeft).column("bands", Align::kLeft)
+      .column("checkpoints").column("consistent", Align::kLeft)
+      .column("converged", Align::kLeft).column("verdict", Align::kLeft);
+  for (const OracleVariant& v : result.variants) {
+    t.row().cell(v.name)
+        .cell(static_cast<long long>(v.circuit_height))
+        .cell(static_cast<long long>(v.occupancy_factor))
+        .cell(v.legality.legal() ? "yes" : "NO")
+        .cell(v.height_in_band && v.occupancy_in_band ? "in" : "OUT")
+        .cell(static_cast<long long>(v.consistency.checkpoints))
+        .cell(v.is_message_passing ? (v.consistency.consistent() ? "yes" : "NO")
+                                   : "-")
+        .cell(v.is_message_passing ? (v.consistency.converged() ? "yes" : "NO")
+                                   : "-")
+        .cell(v.ok() ? "OK" : "FAIL");
+  }
+  return t;
+}
+
+Table run_check_faults(const Circuit& circuit, const ExperimentConfig& config) {
+  Table t;
+  t.column("fault plan", Align::kLeft).column("injected").column("violations")
+      .column("unmatched").column("inflight").column("lost pkts")
+      .column("converged", Align::kLeft).column("detected", Align::kLeft);
+
+  struct Case {
+    const char* name;
+    FaultPlan plan;
+    bool expect_divergence;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"none", FaultPlan{}, false});
+  {
+    // Drops target the owner-bound delta updates: those are what the
+    // conservation ledger tracks (losing a response would instead park a
+    // blocking receiver — a deadlock, not a consistency divergence).
+    FaultPlan p;
+    p.drop_rate = 0.05;
+    p.packet_types = {kMsgSendRmtData};
+    cases.push_back({"drop 0.05 (deltas)", p, true});
+  }
+  {
+    FaultPlan p;
+    p.dup_rate = 0.10;
+    p.packet_types = {kMsgSendRmtData};
+    cases.push_back({"dup 0.10 (deltas)", p, true});
+  }
+  {
+    FaultPlan p;
+    p.delay_rate = 0.3;
+    p.delay_ns = 500'000;
+    cases.push_back({"delay 500us@0.3", p, false});
+  }
+  {
+    FaultPlan p;
+    p.reorder_rate = 0.2;
+    cases.push_back({"reorder 0.2", p, false});
+  }
+  {
+    FaultPlan p;
+    p.stall_rate = 0.05;
+    p.stall_ns = 200'000;
+    cases.push_back({"stall 200us@0.05", p, false});
+  }
+
+  for (const Case& c : cases) {
+    ConsistencyOptions opts;
+    opts.checkpoint_period = 8;
+    ViewConsistencyChecker checker(opts);
+    // Frequent updates (periods 2/2) so even small circuits put enough
+    // packets on the wire for the configured rates to fire.
+    MpConfig mp = config.mp(UpdateSchedule::sender(2, 2));
+    mp.faults = &c.plan;
+    mp.observer = &checker;
+    const MpRunResult run = run_message_passing(circuit, config.procs, mp);
+    const ConsistencyReport& rep = checker.report();
+    const std::uint64_t injected = run.faults.dropped + run.faults.duplicated +
+                                   run.faults.delayed + run.faults.reordered +
+                                   run.faults.stalls;
+    const bool diverged = !rep.consistent() || !rep.converged();
+    // Divergence is only owed when a divergence-class fault actually fired.
+    const bool expect = c.expect_divergence &&
+                        run.faults.dropped + run.faults.duplicated > 0;
+    const bool detected_correctly = diverged == expect;
+    t.row().cell(c.name)
+        .cell(static_cast<unsigned long long>(injected))
+        .cell(static_cast<long long>(rep.violations))
+        .cell(static_cast<long long>(rep.unmatched_applies))
+        .cell(static_cast<long long>(rep.final_inflight_cells))
+        .cell(static_cast<long long>(rep.final_outstanding_packets))
+        .cell(rep.converged() ? "yes" : "NO")
+        .cell(!detected_correctly ? "WRONG" : diverged ? "divergence" : "clean");
+  }
+  return t;
+}
+
+Table run_check_trace_scan(const Circuit& circuit, const ExperimentConfig& config) {
+  ShmConfig shm = config.shm();
+  shm.capture_trace = true;
+  const ShmRunResult run = run_shared_memory(circuit, shm);
+
+  Table t;
+  t.column("line B").column("refs").column("lines").column("conflicted")
+      .column("ww").column("wr").column("rw")
+      .column("hottest", Align::kLeft).column("histogram", Align::kLeft);
+  for (std::int32_t line : {4, 8, 16, 32}) {
+    TraceScanOptions opts;
+    opts.line_bytes = line;
+    const TraceScanReport rep = scan_trace_conflicts(run.trace, opts);
+    std::string hottest = "-";
+    if (!rep.hottest.empty()) {
+      hottest = "line " + std::to_string(rep.hottest.front().line) + " x" +
+                std::to_string(rep.hottest.front().total());
+    }
+    std::string histogram;
+    for (std::size_t b = 0; b < rep.histogram.size(); ++b) {
+      if (b > 0) histogram += "/";
+      histogram += std::to_string(rep.histogram[b]);
+    }
+    t.row().cell(static_cast<long long>(line))
+        .cell(static_cast<long long>(rep.refs))
+        .cell(static_cast<long long>(rep.lines_touched))
+        .cell(static_cast<long long>(rep.lines_with_conflicts))
+        .cell(static_cast<long long>(rep.ww))
+        .cell(static_cast<long long>(rep.wr))
+        .cell(static_cast<long long>(rep.rw))
+        .cell(hottest)
+        .cell(histogram.empty() ? "-" : histogram);
   }
   return t;
 }

@@ -137,4 +137,17 @@ Table run_ablation_cache_size(const Circuit& circuit,
 /// MP) across independently seeded synthetic circuits.
 Table run_seed_robustness(const ExperimentConfig& config = {});
 
+// --- C1/C2/C3: checking subsystem (src/check) ---
+/// Differential oracle: sequential vs shm vs the four message passing
+/// schedules, with legality, quality-band, and view-consistency verdicts.
+/// `faults` (optional) is installed into the message passing machines.
+Table run_check_oracle(const Circuit& circuit, const ExperimentConfig& config = {},
+                       const FaultPlan* faults = nullptr);
+/// Fault-injection sweep: one row per fault class showing what the network
+/// injected and which checker signature detected it.
+Table run_check_faults(const Circuit& circuit, const ExperimentConfig& config = {});
+/// Unlocked write-conflict scan of the shm reference trace per line size.
+Table run_check_trace_scan(const Circuit& circuit,
+                           const ExperimentConfig& config = {});
+
 }  // namespace locus

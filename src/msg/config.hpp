@@ -23,6 +23,9 @@
 
 namespace locus {
 
+struct FaultPlan;  // sim/fault.hpp
+class MpObserver;  // msg/observer.hpp
+
 /// How wires reach processors (paper §4.2). The paper evaluates only the
 /// static ThresholdCost assignment because "CBS does not support the notion
 /// of interrupts occurring on message reception"; our engine does not have
@@ -102,6 +105,13 @@ struct MpConfig {
   /// product must equal the processor count; the cost-array partition
   /// stays 2D and processor ids map by index.
   std::vector<std::int32_t> topology_dims;
+  /// Optional fault-injection plan installed into the simulated machine
+  /// (src/sim/fault.hpp). Null or all-zero rates: byte-for-byte identical
+  /// behavior to an unfaulted run. Not owned.
+  const FaultPlan* faults = nullptr;
+  /// Optional protocol-event observer (msg/observer.hpp) for correctness
+  /// checkers; hooks fire synchronously inside the DES. Not owned.
+  MpObserver* observer = nullptr;
 };
 
 }  // namespace locus

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "msg/node.hpp"
+#include "msg/observer.hpp"
 #include "route/quality.hpp"
 #include "sim/topology.hpp"
 #include "support/assert.hpp"
@@ -37,6 +38,9 @@ MpRunResult run_message_passing(const Circuit& circuit, const Partition& partiti
   net.hop_time_ns = config.time.hop_time_ns;
   net.process_time_ns = config.time.process_time_ns;
   Machine machine(topology, net);
+  if (config.faults != nullptr && config.faults->any()) {
+    machine.set_fault_plan(*config.faults);
+  }
 
   MpShared shared(circuit);
   shared.final_routes.resize(static_cast<std::size_t>(circuit.num_wires()));
@@ -51,9 +55,26 @@ MpRunResult run_message_passing(const Circuit& circuit, const Partition& partiti
                             p, shared));
   }
 
+  MpRunView run_view;
+  if (config.observer != nullptr) {
+    run_view.partition = &partition;
+    run_view.truth = &shared.truth;
+    run_view.nodes.reserve(static_cast<std::size_t>(partition.num_regions()));
+    for (ProcId p = 0; p < partition.num_regions(); ++p) {
+      const auto* node = dynamic_cast<const RouterNode*>(machine.node(p));
+      LOCUS_ASSERT(node != nullptr);
+      run_view.nodes.push_back(node);
+    }
+    config.observer->on_run_start(run_view);
+  }
+
   MpRunResult result;
   result.machine = machine.run();
   result.network = machine.network().stats();
+  result.faults = machine.fault_stats();
+  if (config.observer != nullptr) {
+    config.observer->on_run_end(run_view);
+  }
 
   result.completion_ns = result.machine.completion_time;
   result.bytes_transferred = result.network.bytes;

@@ -14,6 +14,7 @@
 #include "msg/config.hpp"
 #include "msg/node.hpp"
 #include "route/router.hpp"
+#include "sim/fault.hpp"
 #include "sim/machine.hpp"
 #include "sim/network.hpp"
 
@@ -33,6 +34,7 @@ struct MpRunResult {
   TimeBreakdown time_breakdown;         ///< summed over processors
   std::int64_t updates_suppressed = 0;
   std::int64_t requests_sent = 0;
+  FaultStats faults;                    ///< all-zero when no plan installed
   std::vector<WireRoute> routes;        ///< final routing, indexed by wire id
 
   /// Mean absolute error of the processors' final cost-array views against

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "msg/observer.hpp"
 #include "support/assert.hpp"
 
 namespace locus {
@@ -51,8 +52,9 @@ void RouterNode::on_packet(NodeApi& api, const Packet& packet) {
       // (paper §4.3.2: "receiving processors replace their view").
       view_.write_rect(update.bbox, update.values);
       if (packet.type == kMsgRspRmtData) {
-        --pending_responses_;
-        LOCUS_ASSERT(pending_responses_ >= 0);
+        // A duplicated response (fault injection) must not drive the count
+        // negative; the extra copy is just a redundant view refresh.
+        if (pending_responses_ > 0) --pending_responses_;
         ++shared_.responses_received;
       }
       break;
@@ -63,6 +65,9 @@ void RouterNode::on_packet(NodeApi& api, const Packet& packet) {
       LOCUS_ASSERT_MSG(update.region == self_,
                        "delta updates are addressed to the region owner");
       view_.add_rect(update.bbox, update.values);
+      if (config_.observer != nullptr) {
+        config_.observer->on_delta_applied(self_, update.bbox, update.values);
+      }
       // These changes are now part of our own region's state and must reach
       // the neighbors in the next SendLocData: mark the own-region delta
       // bounding box (values there are never sent; absolute data is).
@@ -233,6 +238,9 @@ SimTime RouterNode::route_wire_id(NodeApi& api, WireId wire_id,
     shared_.occupancy[static_cast<std::size_t>(self_)] += true_cost;
   }
   for (const GridPoint& p : slot.cells) shared_.truth.add(p, +1);
+  if (config_.observer != nullptr) {
+    config_.observer->on_wire_routed(self_, wire_id, iteration);
+  }
   return cost;
 }
 
@@ -403,6 +411,9 @@ void RouterNode::send_data_update(NodeApi& api, ProcId dst, std::int32_t type,
   if (config_.packet_structure == PacketStructure::kWireBased &&
       type != kMsgSendLocData) {
     segments_changed_[r] = 0;
+  }
+  if (type == kMsgSendRmtData && config_.observer != nullptr) {
+    config_.observer->on_delta_sent(self_, region, bbox, values);
   }
   auto payload = std::make_shared<RegionUpdatePayload>();
   payload->region = region;

@@ -1,0 +1,77 @@
+// Instrumentation hooks for message passing runs.
+//
+// The run driver and RouterNode invoke these callbacks at protocol-level
+// events so a correctness checker (src/check) can account for every delta
+// in the system without perturbing the simulation: because the engine is a
+// sequential DES, each hook fires at a globally consistent instant, and a
+// checker may inspect any node's view/delta state from inside a hook.
+//
+// The conservation law this enables (asserted by ViewConsistencyChecker):
+// for every cell q owned by processor o,
+//     truth(q) == view_o(q) + sum_{r != o} delta_r(q) + inflight(q)
+// where inflight(q) accumulates SendRmtData payloads handed to the network
+// but not yet applied at the owner. Dropped packets leave inflight nonzero
+// forever (detected as non-convergence); duplicated or corrupted deltas
+// break the equality itself (detected at the next checkpoint).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "geom/partition.hpp"
+#include "geom/rect.hpp"
+
+namespace locus {
+
+class RouterNode;
+class CostArray;
+
+/// Read-only handles to one run's state, valid from on_run_start() through
+/// on_run_end(). Nodes are indexed by ProcId.
+struct MpRunView {
+  const Partition* partition = nullptr;
+  const CostArray* truth = nullptr;
+  std::vector<const RouterNode*> nodes;
+};
+
+class MpObserver {
+ public:
+  virtual ~MpObserver() = default;
+
+  /// Nodes are installed and the machine is about to run.
+  virtual void on_run_start(const MpRunView& run) { static_cast<void>(run); }
+
+  /// `from` handed a delta update (SendRmtData, scheduled or solicited via
+  /// ReqLocData) for `region` to the network. `values` is the row-major
+  /// payload over `bbox`.
+  virtual void on_delta_sent(ProcId from, ProcId region, const Rect& bbox,
+                             std::span<const std::int32_t> values) {
+    static_cast<void>(from);
+    static_cast<void>(region);
+    static_cast<void>(bbox);
+    static_cast<void>(values);
+  }
+
+  /// A delta update arrived at `owner` and was applied to its view.
+  virtual void on_delta_applied(ProcId owner, const Rect& bbox,
+                                std::span<const std::int32_t> values) {
+    static_cast<void>(owner);
+    static_cast<void>(bbox);
+    static_cast<void>(values);
+  }
+
+  /// `proc` finished ripping up and re-routing `wire` (commit included).
+  /// This is the checkpoint hook: state is globally consistent here.
+  virtual void on_wire_routed(ProcId proc, WireId wire, std::int32_t iteration) {
+    static_cast<void>(proc);
+    static_cast<void>(wire);
+    static_cast<void>(iteration);
+  }
+
+  /// The machine drained; final state is readable through `run`.
+  virtual void on_run_end(const MpRunView& run) { static_cast<void>(run); }
+};
+
+}  // namespace locus

@@ -1,5 +1,7 @@
 #include "msg/packets.hpp"
 
+#include <limits>
+
 #include "support/assert.hpp"
 
 namespace locus {
@@ -27,5 +29,174 @@ std::int32_t update_packet_bytes(PacketStructure structure, const Rect& bbox,
 std::int32_t request_packet_bytes() { return kUpdateHeaderBytes; }
 
 std::int32_t grant_packet_bytes() { return kUpdateHeaderBytes + 8; }
+
+namespace {
+
+bool is_update_type(std::int32_t type) {
+  return type == kMsgSendLocData || type == kMsgSendRmtData ||
+         type == kMsgRspRmtData;
+}
+
+bool is_known_type(std::int32_t type) {
+  return is_update_type(type) || type == kMsgReqLocData ||
+         type == kMsgReqRmtData || type == kMsgWireRequest ||
+         type == kMsgWireGrant;
+}
+
+/// Absolute payloads carry i16 cells (occupancy fits 16 bits; drifted views
+/// can go transiently negative, hence signed); deltas carry i8 cells.
+bool fits_cell(std::int32_t value, bool absolute) {
+  if (absolute) {
+    return value >= std::numeric_limits<std::int16_t>::min() &&
+           value <= std::numeric_limits<std::int16_t>::max();
+  }
+  return value >= std::numeric_limits<std::int8_t>::min() &&
+         value <= std::numeric_limits<std::int8_t>::max();
+}
+
+void put_i16(std::vector<std::uint8_t>& out, std::int32_t v) {
+  const auto u = static_cast<std::uint16_t>(static_cast<std::int16_t>(v));
+  out.push_back(static_cast<std::uint8_t>(u & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(u >> 8));
+}
+
+void put_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
+  const auto u = static_cast<std::uint32_t>(v);
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((u >> shift) & 0xFF));
+  }
+}
+
+std::int32_t get_i16(std::span<const std::uint8_t> in, std::size_t at) {
+  const auto u = static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(in[at]) |
+      (static_cast<std::uint16_t>(in[at + 1]) << 8));
+  return static_cast<std::int16_t>(u);
+}
+
+std::int32_t get_i32(std::span<const std::uint8_t> in, std::size_t at) {
+  std::uint32_t u = 0;
+  for (int b = 3; b >= 0; --b) {
+    u = (u << 8) | in[at + static_cast<std::size_t>(b)];
+  }
+  return static_cast<std::int32_t>(u);
+}
+
+bool fits_i16(std::int32_t v) {
+  return v >= std::numeric_limits<std::int16_t>::min() &&
+         v <= std::numeric_limits<std::int16_t>::max();
+}
+
+}  // namespace
+
+std::optional<std::vector<std::uint8_t>> encode_packet(const WirePacket& packet) {
+  if (!is_known_type(packet.type)) return std::nullopt;
+  if (packet.type < 0 || packet.type > 255) return std::nullopt;
+  if (!fits_i16(packet.region)) return std::nullopt;
+  if (!fits_i16(packet.bbox.channel_lo) || !fits_i16(packet.bbox.channel_hi) ||
+      !fits_i16(packet.bbox.x_lo) || !fits_i16(packet.bbox.x_hi)) {
+    return std::nullopt;
+  }
+
+  const bool update = is_update_type(packet.type);
+  std::uint32_t payload_bytes = 0;
+  if (update) {
+    // Updates must carry exactly one value per bbox cell, each in range.
+    if (packet.bbox.is_empty()) return std::nullopt;
+    const std::int64_t area = packet.bbox.area();
+    if (area > kMaxUpdateCells) return std::nullopt;
+    if (static_cast<std::int64_t>(packet.values.size()) != area) return std::nullopt;
+    // SendLocData / responses are absolute by protocol; SendRmtData is delta.
+    if (packet.absolute != (packet.type != kMsgSendRmtData)) return std::nullopt;
+    for (std::int32_t v : packet.values) {
+      if (!fits_cell(v, packet.absolute)) return std::nullopt;
+    }
+    payload_bytes = static_cast<std::uint32_t>(
+        area * (packet.absolute ? kAbsoluteBytesPerCell : kDeltaBytesPerCell));
+  } else {
+    if (packet.absolute || !packet.values.empty()) return std::nullopt;
+    if (packet.type == kMsgWireGrant) payload_bytes = 8;
+  }
+
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(kUpdateHeaderBytes) + payload_bytes);
+  out.push_back(static_cast<std::uint8_t>(packet.type));
+  out.push_back(packet.absolute ? 1 : 0);
+  put_i16(out, packet.region);
+  put_i16(out, packet.bbox.channel_lo);
+  put_i16(out, packet.bbox.channel_hi);
+  put_i16(out, packet.bbox.x_lo);
+  put_i16(out, packet.bbox.x_hi);
+  put_i32(out, static_cast<std::int32_t>(payload_bytes));
+
+  if (update) {
+    for (std::int32_t v : packet.values) {
+      if (packet.absolute) {
+        put_i16(out, v);
+      } else {
+        out.push_back(static_cast<std::uint8_t>(static_cast<std::int8_t>(v)));
+      }
+    }
+  } else if (packet.type == kMsgWireGrant) {
+    put_i32(out, packet.wire);
+    put_i32(out, packet.iteration);
+  }
+  LOCUS_ASSERT(out.size() ==
+               static_cast<std::size_t>(kUpdateHeaderBytes) + payload_bytes);
+  return out;
+}
+
+std::optional<WirePacket> decode_packet(std::span<const std::uint8_t> buffer) {
+  if (buffer.size() < static_cast<std::size_t>(kUpdateHeaderBytes)) {
+    return std::nullopt;
+  }
+  WirePacket packet;
+  packet.type = buffer[0];
+  if (!is_known_type(packet.type)) return std::nullopt;
+  const std::uint8_t flags = buffer[1];
+  if ((flags & ~0x01u) != 0) return std::nullopt;
+  packet.absolute = (flags & 1u) != 0;
+  packet.region = get_i16(buffer, 2);
+  packet.bbox.channel_lo = get_i16(buffer, 4);
+  packet.bbox.channel_hi = get_i16(buffer, 6);
+  packet.bbox.x_lo = get_i16(buffer, 8);
+  packet.bbox.x_hi = get_i16(buffer, 10);
+  const std::int64_t payload_bytes = static_cast<std::uint32_t>(get_i32(buffer, 12));
+  if (static_cast<std::int64_t>(buffer.size()) !=
+      kUpdateHeaderBytes + payload_bytes) {
+    return std::nullopt;  // truncated or trailing garbage
+  }
+
+  if (is_update_type(packet.type)) {
+    if (packet.absolute != (packet.type != kMsgSendRmtData)) return std::nullopt;
+    if (packet.bbox.is_empty()) return std::nullopt;
+    const std::int64_t area = packet.bbox.area();
+    if (area > kMaxUpdateCells) return std::nullopt;
+    const std::int32_t per_cell =
+        packet.absolute ? kAbsoluteBytesPerCell : kDeltaBytesPerCell;
+    if (payload_bytes != area * per_cell) return std::nullopt;
+    packet.values.reserve(static_cast<std::size_t>(area));
+    std::size_t at = kUpdateHeaderBytes;
+    for (std::int64_t i = 0; i < area; ++i) {
+      if (packet.absolute) {
+        packet.values.push_back(get_i16(buffer, at));
+        at += 2;
+      } else {
+        packet.values.push_back(static_cast<std::int8_t>(buffer[at]));
+        at += 1;
+      }
+    }
+    return packet;
+  }
+  if (packet.absolute) return std::nullopt;
+  if (packet.type == kMsgWireGrant) {
+    if (payload_bytes != 8) return std::nullopt;
+    packet.wire = get_i32(buffer, kUpdateHeaderBytes);
+    packet.iteration = get_i32(buffer, kUpdateHeaderBytes + 4);
+    return packet;
+  }
+  if (payload_bytes != 0) return std::nullopt;  // requests are header-only
+  return packet;
+}
 
 }  // namespace locus

@@ -16,6 +16,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "geom/partition.hpp"
@@ -74,5 +76,49 @@ std::int32_t request_packet_bytes();
 
 /// On-wire size of a wire grant (header + id + iteration).
 std::int32_t grant_packet_bytes();
+
+// --- byte-level wire codec ---
+//
+// The DES transports payloads by shared pointer (sim/packet.hpp) so routing
+// runs never pay serialization; this codec defines the *actual* wire format
+// behind the byte counts above and is exercised by the view-consistency
+// checker (every observed delta packet is round-tripped) and the fuzz
+// tests. Layout, little-endian:
+//   [0]      u8  packet type (MsgType)
+//   [1]      u8  flags (bit 0: absolute payload)
+//   [2..3]   i16 region id
+//   [4..11]  4 x i16 bounding box (channel_lo, channel_hi, x_lo, x_hi)
+//   [12..15] u32 payload byte count
+// followed by the payload: i16 per cell for absolute data, i8 per cell for
+// deltas (row-major over the bbox), 8 bytes (i32 wire, i32 iteration) for a
+// grant, nothing for requests. decode_packet() validates everything and
+// returns nullopt on malformed input — truncated or corrupted buffers must
+// fail cleanly, never invoke UB.
+
+/// Sanity ceiling on cells per update packet (larger than any real region).
+inline constexpr std::int64_t kMaxUpdateCells = 1 << 22;
+
+/// A decoded (or to-be-encoded) packet in wire terms.
+struct WirePacket {
+  std::int32_t type = 0;
+  ProcId region = -1;
+  Rect bbox;
+  bool absolute = false;
+  std::vector<std::int32_t> values;  ///< update payload, row-major over bbox
+  WireId wire = -1;                  ///< grant only
+  std::int32_t iteration = 0;        ///< grant only
+
+  friend bool operator==(const WirePacket&, const WirePacket&) = default;
+};
+
+/// Serializes `packet`. Returns nullopt when the packet cannot be
+/// represented on the wire (unknown type, value outside the per-cell range,
+/// payload size not matching the bbox) rather than emitting garbage.
+std::optional<std::vector<std::uint8_t>> encode_packet(const WirePacket& packet);
+
+/// Parses a wire buffer. Returns nullopt on any malformed input: short
+/// header, unknown type, inconsistent flags, bbox/payload size mismatch, or
+/// trailing bytes. Never reads out of bounds.
+std::optional<WirePacket> decode_packet(std::span<const std::uint8_t> buffer);
 
 }  // namespace locus

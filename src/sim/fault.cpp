@@ -1,0 +1,188 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+
+namespace locus {
+
+bool FaultPlan::applies_to(std::int32_t type) const {
+  return packet_types.empty() ||
+         std::find(packet_types.begin(), packet_types.end(), type) !=
+             packet_types.end();
+}
+
+namespace {
+
+std::optional<double> parse_rate(std::string_view v) {
+  // std::from_chars<double> is not universally available; go through stod
+  // with explicit validation.
+  try {
+    std::size_t used = 0;
+    const double d = std::stod(std::string(v), &used);
+    if (used != v.size() || d < 0.0 || d > 1.0) return std::nullopt;
+    return d;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::int64_t> parse_int(std::string_view v) {
+  std::int64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc() || ptr != v.data() + v.size() || out < 0) return std::nullopt;
+  return out;
+}
+
+}  // namespace
+
+std::optional<FaultPlan> FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  bool delay_rate_set = false;
+  bool stall_rate_set = false;
+  while (!spec.empty()) {
+    const std::size_t comma = spec.find(',');
+    std::string_view item = spec.substr(0, comma);
+    spec = comma == std::string_view::npos ? std::string_view{}
+                                           : spec.substr(comma + 1);
+    if (item.empty()) continue;
+    const std::size_t colon = item.find(':');
+    if (colon == std::string_view::npos) return std::nullopt;
+    const std::string_view key = item.substr(0, colon);
+    const std::string_view value = item.substr(colon + 1);
+
+    if (key == "drop") {
+      auto r = parse_rate(value);
+      if (!r) return std::nullopt;
+      plan.drop_rate = *r;
+    } else if (key == "dup") {
+      auto r = parse_rate(value);
+      if (!r) return std::nullopt;
+      plan.dup_rate = *r;
+    } else if (key == "reorder") {
+      auto r = parse_rate(value);
+      if (!r) return std::nullopt;
+      plan.reorder_rate = *r;
+    } else if (key == "delay") {
+      auto n = parse_int(value);
+      if (!n) return std::nullopt;
+      plan.delay_ns = *n;
+    } else if (key == "delayp") {
+      auto r = parse_rate(value);
+      if (!r) return std::nullopt;
+      plan.delay_rate = *r;
+      delay_rate_set = true;
+    } else if (key == "stall") {
+      auto n = parse_int(value);
+      if (!n) return std::nullopt;
+      plan.stall_ns = *n;
+    } else if (key == "stallp") {
+      auto r = parse_rate(value);
+      if (!r) return std::nullopt;
+      plan.stall_rate = *r;
+      stall_rate_set = true;
+    } else if (key == "seed") {
+      auto n = parse_int(value);
+      if (!n) return std::nullopt;
+      plan.seed = static_cast<std::uint64_t>(*n);
+    } else if (key == "types") {
+      std::string_view list = value;
+      while (!list.empty()) {
+        const std::size_t plus = list.find('+');
+        auto t = parse_int(list.substr(0, plus));
+        if (!t) return std::nullopt;
+        plan.packet_types.push_back(static_cast<std::int32_t>(*t));
+        list = plus == std::string_view::npos ? std::string_view{}
+                                              : list.substr(plus + 1);
+      }
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (plan.delay_ns > 0 && !delay_rate_set) {
+    // "delay:<ns>" without an explicit probability delays every packet that
+    // no other fault claims: the rates are mutually exclusive per packet,
+    // so default to the remaining probability mass.
+    plan.delay_rate = std::max(
+        0.0, 1.0 - plan.drop_rate - plan.dup_rate - plan.reorder_rate);
+  }
+  if (plan.stall_ns > 0 && !stall_rate_set) plan.stall_rate = 0.05;
+  if (plan.drop_rate + plan.dup_rate + plan.delay_rate + plan.reorder_rate > 1.0) {
+    return std::nullopt;  // rates are mutually exclusive per packet
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ", ";
+    first = false;
+  };
+  if (drop_rate > 0) {
+    sep();
+    os << "drop " << drop_rate;
+  }
+  if (dup_rate > 0) {
+    sep();
+    os << "dup " << dup_rate;
+  }
+  if (delay_rate > 0 && delay_ns > 0) {
+    sep();
+    os << "delay " << delay_ns << "ns@" << delay_rate;
+  }
+  if (reorder_rate > 0) {
+    sep();
+    os << "reorder " << reorder_rate;
+  }
+  if (stall_rate > 0 && stall_ns > 0) {
+    sep();
+    os << "stall " << stall_ns << "ns@" << stall_rate;
+  }
+  if (first) os << "none";
+  return os.str();
+}
+
+FaultInjector::Action FaultInjector::packet_action(std::int32_t type) {
+  if (!plan_.packet_faults_enabled() || !plan_.applies_to(type)) {
+    return Action::kDeliver;
+  }
+  ++stats_.packets_seen;
+  // One draw decides among the mutually exclusive packet faults (rates sum
+  // to <= 1; parse() enforces it, programmatic plans share the contract).
+  const double u = rng_.uniform();
+  double edge = plan_.drop_rate;
+  if (u < edge) {
+    ++stats_.dropped;
+    return Action::kDrop;
+  }
+  edge += plan_.dup_rate;
+  if (u < edge) {
+    ++stats_.duplicated;
+    return Action::kDuplicate;
+  }
+  edge += plan_.delay_rate;
+  if (u < edge) {
+    if (plan_.delay_ns <= 0) return Action::kDeliver;
+    ++stats_.delayed;
+    stats_.injected_delay_ns += plan_.delay_ns;
+    return Action::kDelay;
+  }
+  edge += plan_.reorder_rate;
+  if (u < edge) {
+    ++stats_.reordered;
+    return Action::kReorder;
+  }
+  return Action::kDeliver;
+}
+
+SimTime FaultInjector::stall() {
+  if (plan_.stall_rate <= 0.0 || plan_.stall_ns <= 0) return 0;
+  if (!rng_.chance(plan_.stall_rate)) return 0;
+  ++stats_.stalls;
+  stats_.stall_time_ns += plan_.stall_ns;
+  return plan_.stall_ns;
+}
+
+}  // namespace locus

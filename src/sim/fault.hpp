@@ -1,0 +1,123 @@
+// Deterministic fault injection for the simulated multicomputer.
+//
+// A FaultPlan perturbs a run in the ways a real message passing machine can
+// misbehave — update packets dropped, duplicated, delayed or reordered in
+// the network, processors stalled for stretches of simulated time — while
+// keeping the run reproducible: every fault decision flows through one
+// seeded PRNG consumed in deterministic (event-order) sequence, so the same
+// plan on the same workload produces the identical fault pattern.
+//
+// The plan exists to *test* the paper's loose-consistency story: the view
+// checker in src/check must prove that a zero-fault run keeps the owner /
+// view / delta conservation invariant, and that an injected fault (say a 5%
+// drop of SendRmtData packets) is actually detected as view divergence
+// rather than silently absorbed. Faults are therefore scoped by packet type
+// so experiments can target one protocol transaction at a time (dropping a
+// blocking-mode response would deadlock the router by design — that is a
+// finding, not a bug, and tests opt into it deliberately).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "support/rng.hpp"
+
+namespace locus {
+
+struct FaultPlan {
+  std::uint64_t seed = 0xFA017ULL;
+
+  /// Per-packet probability that the packet vanishes after transit (its
+  /// on-wire traffic is still counted: the bytes crossed the network).
+  double drop_rate = 0.0;
+  /// Per-packet probability that a second copy is delivered shortly after
+  /// the first (duplicate delivery, e.g. a retransmit race).
+  double dup_rate = 0.0;
+  /// Per-packet probability of an extra `delay_ns` of delivery latency.
+  double delay_rate = 0.0;
+  SimTime delay_ns = 0;
+  /// Per-packet probability the packet is held back and released only after
+  /// the *next* packet to the same destination is delivered (true pairwise
+  /// reordering), with `reorder_hold_ns` as the release fallback when no
+  /// later packet comes.
+  double reorder_rate = 0.0;
+  SimTime reorder_hold_ns = 1'000'000;
+
+  /// Per-scheduling-point probability that a node stalls for `stall_ns`
+  /// before doing any work (models OS noise / a slow processor).
+  double stall_rate = 0.0;
+  SimTime stall_ns = 0;
+
+  /// Packet types the network faults apply to; empty = every type. Node
+  /// stalls are unaffected by this filter.
+  std::vector<std::int32_t> packet_types;
+
+  bool packet_faults_enabled() const {
+    return drop_rate > 0.0 || dup_rate > 0.0 || delay_rate > 0.0 ||
+           reorder_rate > 0.0;
+  }
+  bool any() const { return packet_faults_enabled() || stall_rate > 0.0; }
+  bool applies_to(std::int32_t type) const;
+
+  /// Parses a `--faults=` spec: comma-separated `key:value` pairs.
+  ///   drop:<rate>     dup:<rate>     reorder:<rate>
+  ///   delay:<ns>      (sets delay_ns; delay_rate defaults to 1.0)
+  ///   delayp:<rate>   (override the delay probability)
+  ///   stall:<ns>      (sets stall_ns; stall_rate defaults to 0.05)
+  ///   stallp:<rate>   seed:<n>       types:<t>[+<t>...]
+  /// Returns nullopt (instead of asserting) on malformed input so CLI typos
+  /// surface as usage errors.
+  static std::optional<FaultPlan> parse(std::string_view spec);
+
+  /// Human-readable one-line summary of the active faults.
+  std::string describe() const;
+};
+
+struct FaultStats {
+  std::uint64_t packets_seen = 0;  ///< packets the filter matched
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t stalls = 0;
+  SimTime injected_delay_ns = 0;
+  SimTime stall_time_ns = 0;
+};
+
+/// Draws fault decisions from the plan's seeded PRNG. Owned by the Machine;
+/// consulted by the Network per packet and by the engine per node resume.
+class FaultInjector {
+ public:
+  enum class Action : std::uint8_t {
+    kDeliver,
+    kDrop,
+    kDuplicate,
+    kDelay,
+    kReorder,
+  };
+
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+  /// Decides the fate of one packet of `type`. Consumes PRNG state only when
+  /// a packet fault could fire, so a zero-rate plan is draw-for-draw
+  /// identical to no plan at all.
+  Action packet_action(std::int32_t type);
+
+  /// Simulated time a node about to be scheduled loses to a stall (0 = no
+  /// stall this time).
+  SimTime stall();
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  FaultStats stats_;
+};
+
+}  // namespace locus

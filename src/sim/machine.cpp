@@ -54,6 +54,15 @@ void Machine::set_node(ProcId proc, std::unique_ptr<Node> node) {
   state(proc).program = std::move(node);
 }
 
+void Machine::set_fault_plan(const FaultPlan& plan) {
+  injector_ = std::make_unique<FaultInjector>(plan);
+  network_->set_fault_injector(injector_.get());
+}
+
+FaultStats Machine::fault_stats() const {
+  return injector_ ? injector_->stats() : FaultStats{};
+}
+
 void Machine::deliver(const Packet& packet, SimTime arrival) {
   NodeState& st = state(packet.dst);
   st.inbox.push(NodeState::Arrival{arrival, arrival_seq_++, packet});
@@ -79,6 +88,12 @@ void Machine::resume(ProcId proc) {
   NodeState& st = state(proc);
   st.resume_pending = false;
   st.clock = std::max(st.clock, queue_.now());
+  if (injector_ != nullptr) {
+    // An injected stall costs the node simulated time before it does any
+    // work this scheduling round (packets that arrive meanwhile queue up
+    // normally and are delivered below once the stall has passed).
+    st.clock += injector_->stall();
+  }
   NodeApi api(*this, proc);
   running_ = proc;
 

@@ -87,6 +87,15 @@ class Machine {
   /// Installs the program for one node (must cover every node before run()).
   void set_node(ProcId proc, std::unique_ptr<Node> node);
 
+  /// Arms deterministic fault injection for this run (call before run()).
+  /// Packet faults hit the network's delivery end; node stalls are applied
+  /// whenever a node is scheduled. A all-zero-rate plan is behaviourally
+  /// identical to never calling this.
+  void set_fault_plan(const FaultPlan& plan);
+
+  /// Fault decisions taken so far (zeroes when no plan was armed).
+  FaultStats fault_stats() const;
+
   /// Runs to completion (event queue empty). Returns stats; network traffic
   /// is available via network().stats().
   MachineStats run();
@@ -129,6 +138,7 @@ class Machine {
   Topology topology_;
   EventQueue queue_;
   std::unique_ptr<Network> network_;
+  std::unique_ptr<FaultInjector> injector_;
   std::vector<NodeState> nodes_;
   std::uint64_t arrival_seq_ = 0;
   ProcId running_ = -1;  ///< node currently executing (api target)

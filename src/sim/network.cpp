@@ -11,7 +11,26 @@ Network::Network(const Topology& topology, NetworkParams params, EventQueue& que
     : topology_(topology), params_(params), queue_(queue),
       deliver_(std::move(deliver)),
       link_free_(static_cast<std::size_t>(topology.num_links()), 0),
-      ni_free_(static_cast<std::size_t>(topology.num_nodes()), 0) {}
+      ni_free_(static_cast<std::size_t>(topology.num_nodes()), 0),
+      held_(static_cast<std::size_t>(topology.num_nodes())) {}
+
+void Network::set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
+void Network::schedule_delivery(Packet packet, SimTime at) {
+  queue_.schedule(at, [this, p = std::move(packet), at]() { deliver_(p, at); });
+}
+
+void Network::release_held(ProcId dst, SimTime at) {
+  std::optional<HeldPacket>& slot = held_[static_cast<std::size_t>(dst)];
+  if (!slot) return;
+  HeldPacket held = std::move(*slot);
+  slot.reset();
+  queue_.schedule(at, [this, h = std::move(held), at]() {
+    if (*h.released) return;
+    *h.released = true;
+    deliver_(h.packet, at);
+  });
+}
 
 SimTime Network::inject(Packet packet, SimTime ready) {
   LOCUS_ASSERT(packet.src >= 0 && packet.src < topology_.num_nodes());
@@ -56,9 +75,51 @@ SimTime Network::inject(Packet packet, SimTime ready) {
   stats_.total_link_wait_ns += waited;
   stats_.bytes_by_type[packet.type] += static_cast<std::uint64_t>(L);
 
-  queue_.schedule(delivered, [this, p = std::move(packet), delivered]() {
-    deliver_(p, delivered);
-  });
+  // Fault injection happens at the delivery end; the traffic above was
+  // already charged (the bytes crossed the network before the fault).
+  FaultInjector::Action action = FaultInjector::Action::kDeliver;
+  if (injector_ != nullptr) action = injector_->packet_action(packet.type);
+
+  const ProcId dst = packet.dst;
+  switch (action) {
+    case FaultInjector::Action::kDrop:
+      break;  // no delivery event: the packet is gone
+    case FaultInjector::Action::kDuplicate: {
+      Packet copy = packet;
+      schedule_delivery(std::move(packet), delivered);
+      schedule_delivery(std::move(copy), delivered + params_.process_time_ns);
+      break;
+    }
+    case FaultInjector::Action::kDelay:
+      schedule_delivery(std::move(packet), delivered + injector_->plan().delay_ns);
+      break;
+    case FaultInjector::Action::kReorder: {
+      // Hold the packet until the next delivery to this destination (it is
+      // released just after, swapping their order), or until the fallback
+      // timeout when no later packet ever comes.
+      auto released = std::make_shared<bool>(false);
+      std::optional<HeldPacket>& slot = held_[static_cast<std::size_t>(dst)];
+      if (slot) release_held(dst, delivered);  // at most one held per dst
+      slot = HeldPacket{packet, released};
+      const SimTime fallback = delivered + injector_->plan().reorder_hold_ns;
+      queue_.schedule(fallback, [this, p = std::move(packet), released, fallback]() {
+        if (*released) return;
+        *released = true;
+        deliver_(p, fallback);
+      });
+      break;
+    }
+    case FaultInjector::Action::kDeliver:
+      schedule_delivery(std::move(packet), delivered);
+      break;
+  }
+  if (action != FaultInjector::Action::kReorder &&
+      action != FaultInjector::Action::kDrop &&
+      held_[static_cast<std::size_t>(dst)]) {
+    // An actual delivery to this destination releases any held packet right
+    // after itself, completing the reorder swap.
+    release_held(dst, delivered + 1);
+  }
   return ni;
 }
 

@@ -15,9 +15,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "sim/event_queue.hpp"
+#include "sim/fault.hpp"
 #include "sim/packet.hpp"
 #include "sim/topology.hpp"
 
@@ -53,18 +56,36 @@ class Network {
   /// the sender's network interface is free for the next injection.
   SimTime inject(Packet packet, SimTime ready);
 
+  /// Installs a fault injector (not owned; may be null). Drops, duplicates,
+  /// delays and reorders are applied at the delivery end: the packet's
+  /// on-wire traffic and link occupancy are charged normally — the bytes
+  /// crossed the network before the fault struck.
+  void set_fault_injector(FaultInjector* injector);
+
   const NetworkStats& stats() const { return stats_; }
   const NetworkParams& params() const { return params_; }
   const Topology& topology() const { return topology_; }
 
  private:
+  /// A reorder-held packet waiting for the next delivery to its dst (or the
+  /// fallback timeout, whichever fires first).
+  struct HeldPacket {
+    Packet packet;
+    std::shared_ptr<bool> released;
+  };
+
+  void schedule_delivery(Packet packet, SimTime at);
+  void release_held(ProcId dst, SimTime at);
+
   const Topology& topology_;
   NetworkParams params_;
   EventQueue& queue_;
   DeliverFn deliver_;
   NetworkStats stats_;
+  FaultInjector* injector_ = nullptr;
   std::vector<SimTime> link_free_;  ///< per directed link
   std::vector<SimTime> ni_free_;    ///< per node injection interface
+  std::vector<std::optional<HeldPacket>> held_;  ///< per dst node
 };
 
 }  // namespace locus

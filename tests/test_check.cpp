@@ -1,0 +1,257 @@
+// Tests for the src/check subsystem: the view-consistency checker, the
+// differential oracle, route legality, the trace conflict scanner, and the
+// golden coherence claims they rest on. These carry the ctest label `check`
+// (run just them with `ctest -L check`).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "check/consistency.hpp"
+#include "check/legality.hpp"
+#include "check/oracle.hpp"
+#include "check/trace_scan.hpp"
+#include "coherence/simulator.hpp"
+#include "msg/driver.hpp"
+#include "msg/packets.hpp"
+#include "route/sequential.hpp"
+#include "shm/shm_router.hpp"
+#include "sim/fault.hpp"
+#include "test_util.hpp"
+
+namespace locus {
+namespace {
+
+MpConfig receiver_config(bool blocking) {
+  MpConfig config;
+  config.schedule = UpdateSchedule::receiver(5, 2, blocking);
+  return config;
+}
+
+/// Zero-fault oracle: every implementation agrees within the bands, every
+/// message passing run is consistent at all checkpoints and converged.
+TEST(CheckOracle, ZeroFaultAllVariantsPass) {
+  OracleConfig config;
+  config.procs = 4;
+  const OracleResult result =
+      run_differential_oracle(test::make_seeded_circuit(), config);
+  ASSERT_EQ(result.variants.size(), 6u);
+  for (const OracleVariant& v : result.variants) {
+    EXPECT_TRUE(v.ok()) << result.describe();
+    if (v.is_message_passing) {
+      EXPECT_GT(v.consistency.checkpoints, 0) << v.name;
+      EXPECT_EQ(v.consistency.violations, 0) << v.name;
+      EXPECT_EQ(v.consistency.unmatched_applies, 0) << v.name;
+      EXPECT_EQ(v.consistency.codec_mismatches, 0) << v.name;
+      EXPECT_TRUE(v.consistency.converged()) << v.name;
+    }
+  }
+  EXPECT_TRUE(result.all_ok());
+}
+
+/// Dropping sender-initiated updates leaves in-flight deltas unaccounted:
+/// the run still terminates, but the checker reports non-convergence.
+TEST(CheckOracle, DroppedUpdatesDetectedAsDivergence) {
+  FaultPlan plan;
+  plan.drop_rate = 0.25;
+  plan.packet_types = {kMsgSendLocData, kMsgSendRmtData};
+
+  ConsistencyOptions options;
+  ViewConsistencyChecker checker(options);
+  MpConfig config;
+  config.schedule = UpdateSchedule::sender(2, 2);
+  config.faults = &plan;
+  config.observer = &checker;
+  const MpRunResult run =
+      run_message_passing(test::make_seeded_circuit(), 4, config);
+
+  EXPECT_GT(run.faults.dropped, 0u);
+  EXPECT_GT(run.circuit_height, 0);  // terminated with a result
+  const ConsistencyReport& report = checker.report();
+  EXPECT_TRUE(report.run_ended);
+  EXPECT_FALSE(report.converged());
+  EXPECT_GT(report.final_inflight_cells + report.final_outstanding_packets, 0);
+}
+
+/// Duplicated deltas cancel in the per-cell conservation equality, so the
+/// packet ledger is what must catch them: unmatched applies.
+TEST(CheckOracle, DuplicatedDeltasDetectedByLedger) {
+  FaultPlan plan;
+  plan.dup_rate = 0.5;
+  plan.packet_types = {kMsgSendRmtData};
+
+  ViewConsistencyChecker checker;
+  MpConfig config;
+  config.schedule = UpdateSchedule::sender(2, 2);
+  config.faults = &plan;
+  config.observer = &checker;
+  const MpRunResult run =
+      run_message_passing(test::make_seeded_circuit(), 4, config);
+
+  EXPECT_GT(run.faults.duplicated, 0u);
+  EXPECT_GT(checker.report().unmatched_applies, 0);
+  EXPECT_FALSE(checker.report().consistent());
+}
+
+/// The conservation law is closed under delivery schedule: delaying and
+/// reordering packets (no loss, no duplication) must stay clean.
+TEST(CheckOracle, DelayAndReorderStayConsistent) {
+  FaultPlan plan;
+  plan.delay_rate = 0.4;
+  plan.delay_ns = 500'000;
+  plan.reorder_rate = 0.3;
+  plan.stall_rate = 0.1;
+  plan.stall_ns = 100'000;
+
+  ViewConsistencyChecker checker;
+  MpConfig config;
+  config.schedule = UpdateSchedule::sender(2, 2);
+  config.faults = &plan;
+  config.observer = &checker;
+  const MpRunResult run =
+      run_message_passing(test::make_seeded_circuit(), 4, config);
+
+  EXPECT_GT(run.faults.delayed + run.faults.reordered + run.faults.stalls, 0u);
+  EXPECT_TRUE(checker.report().consistent()) << checker.report().violations;
+  EXPECT_TRUE(checker.report().converged());
+}
+
+/// Legality: sequential routes pass; a tampered route (segment chain broken)
+/// is flagged.
+TEST(CheckLegality, SequentialRoutesLegalTamperCaught) {
+  const Circuit circuit = test::make_seeded_circuit();
+  const SequentialResult seq = route_sequential(circuit, {});
+  const LegalityReport clean = check_route_legality(circuit, seq.routes);
+  EXPECT_TRUE(clean.legal()) << (clean.issues.empty()
+                                     ? ""
+                                     : clean.issues.front().what);
+  EXPECT_GT(clean.cells_checked, 0);
+
+  std::vector<WireRoute> tampered = seq.routes;
+  bool broke_one = false;
+  for (WireRoute& route : tampered) {
+    if (route.cells.size() < 2) continue;
+    // Drop a committed cell so the route no longer covers its connections.
+    route.cells.pop_back();
+    broke_one = true;
+    break;
+  }
+  ASSERT_TRUE(broke_one);
+  EXPECT_FALSE(check_route_legality(circuit, tampered).legal());
+}
+
+/// Trace scanner basics: the shm trace of a real run has references on
+/// shared lines, counts are internally consistent, and coarser lines fold
+/// more addresses together (never more distinct lines than finer ones).
+TEST(CheckTraceScan, CountsConsistentAcrossLineSizes) {
+  ShmConfig config;
+  config.procs = 4;
+  config.capture_trace = true;
+  const ShmRunResult run =
+      run_shared_memory(test::make_seeded_circuit(), config);
+  ASSERT_GT(run.trace.size(), 0u);
+
+  std::int64_t prev_lines = -1;
+  for (std::int32_t line : {4, 8, 16, 32}) {
+    TraceScanOptions options;
+    options.line_bytes = line;
+    const TraceScanReport report = scan_trace_conflicts(run.trace, options);
+    EXPECT_EQ(report.refs, static_cast<std::int64_t>(run.trace.size()));
+    EXPECT_EQ(report.conflicts(), report.ww + report.wr + report.rw);
+    std::int64_t bucketed = 0;
+    for (std::int64_t count : report.histogram) bucketed += count;
+    EXPECT_EQ(bucketed, report.lines_with_conflicts);
+    EXPECT_LE(report.lines_with_conflicts, report.lines_touched);
+    if (prev_lines >= 0) {
+      EXPECT_LE(report.lines_touched, prev_lines);
+    }
+    prev_lines = report.lines_touched;
+    for (const LineConflicts& hot : report.hottest) EXPECT_GT(hot.total(), 0);
+  }
+}
+
+/// Golden coherence claim (paper Table 3 in miniature): bus traffic grows
+/// with the line size on the write-shared cost array, and the overwhelming
+/// share of the bytes is write-caused (>80% in the paper's Table 3).
+TEST(CheckGolden, LineSizeSweepTrafficGrowsAndWritesDominate) {
+  ShmConfig config;
+  config.procs = 4;
+  config.capture_trace = true;
+  const ShmRunResult run =
+      run_shared_memory(test::make_seeded_circuit(), config);
+  ASSERT_GT(run.trace.size(), 0u);
+
+  const std::vector<std::int32_t> sizes = {4, 8, 16, 32};
+  const std::vector<CoherenceTraffic> sweep =
+      sweep_line_sizes(run.trace, config.procs, sizes);
+  ASSERT_EQ(sweep.size(), sizes.size());
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GT(sweep[i].total_bytes(), sweep[i - 1].total_bytes())
+        << sizes[i] << "B vs " << sizes[i - 1] << "B";
+  }
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    EXPECT_GT(sweep[i].write_fraction(), 0.8) << sizes[i] << "B";
+  }
+}
+
+/// Delayed ReqRmtData responses: the blocking receiver schedule eats the
+/// full latency (completion strictly worse than fault-free), while the
+/// non-blocking one continues routing on its stale view and loses less.
+TEST(CheckGolden, BlockingStallsOnDelayedResponsesNonBlockingProceeds) {
+  const Circuit circuit = test::make_seeded_circuit();
+
+  const MpRunResult blocking_base =
+      run_message_passing(circuit, 4, receiver_config(true));
+  const MpRunResult nonblocking_base =
+      run_message_passing(circuit, 4, receiver_config(false));
+
+  FaultPlan plan;
+  plan.delay_rate = 1.0;
+  plan.delay_ns = 2'000'000;  // 2 ms on every ReqRmtData response
+  plan.packet_types = {kMsgRspRmtData};
+
+  MpConfig blocking = receiver_config(true);
+  blocking.faults = &plan;
+  const MpRunResult blocking_faulted = run_message_passing(circuit, 4, blocking);
+
+  ViewConsistencyChecker checker;
+  MpConfig nonblocking = receiver_config(false);
+  nonblocking.faults = &plan;
+  nonblocking.observer = &checker;
+  const MpRunResult nonblocking_faulted =
+      run_message_passing(circuit, 4, nonblocking);
+
+  EXPECT_GT(blocking_faulted.faults.delayed, 0u);
+  // Blocking: the stall is on the critical path.
+  EXPECT_GT(blocking_faulted.completion_ns, blocking_base.completion_ns);
+  // Non-blocking: still terminates, views stay conservation-consistent.
+  EXPECT_GT(nonblocking_faulted.circuit_height, 0);
+  EXPECT_TRUE(checker.report().consistent());
+  // And the injected latency hurts it strictly less than the blocking run.
+  const SimTime blocking_loss =
+      blocking_faulted.completion_ns - blocking_base.completion_ns;
+  const SimTime nonblocking_loss =
+      nonblocking_faulted.completion_ns - nonblocking_base.completion_ns;
+  EXPECT_LT(nonblocking_loss, blocking_loss);
+}
+
+/// FaultPlan::parse round-trips the CLI syntax used by the examples.
+TEST(CheckFaultPlan, ParseCliSyntax) {
+  const auto plan = FaultPlan::parse("drop:0.01,delay:500,types:1+2,seed:9");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_DOUBLE_EQ(plan->drop_rate, 0.01);
+  EXPECT_EQ(plan->delay_ns, 500);
+  EXPECT_DOUBLE_EQ(plan->delay_rate, 0.99);  // remaining probability mass
+  EXPECT_EQ(plan->seed, 9u);
+  ASSERT_EQ(plan->packet_types.size(), 2u);
+  EXPECT_TRUE(plan->applies_to(kMsgSendLocData));
+  EXPECT_TRUE(plan->applies_to(kMsgSendRmtData));
+  EXPECT_FALSE(plan->applies_to(kMsgRspRmtData));
+
+  EXPECT_FALSE(FaultPlan::parse("drop:2").has_value());
+  EXPECT_FALSE(FaultPlan::parse("bogus:1").has_value());
+  EXPECT_FALSE(FaultPlan::parse("drop:0.9,dup:0.9").has_value());
+  EXPECT_TRUE(FaultPlan::parse("").has_value());
+}
+
+}  // namespace
+}  // namespace locus

@@ -8,27 +8,28 @@
 #include "msg/driver.hpp"
 #include "route/sequential.hpp"
 #include "shm/shm_router.hpp"
+#include "test_util.hpp"
 
 namespace locus {
 namespace {
 
 TEST(Golden, TinyCircuitShape) {
-  Circuit c = make_tiny_test_circuit();
+  Circuit c = test::make_seeded_circuit();
   EXPECT_EQ(c.num_wires(), 24);
   // First wire's pins are a stable function of the seed.
   const Wire& w0 = c.wire(0);
   ASSERT_GE(w0.pins.size(), 2u);
   // Identical regeneration.
-  Circuit again = make_tiny_test_circuit();
+  Circuit again = test::make_seeded_circuit();
   for (WireId i = 0; i < c.num_wires(); ++i) {
     ASSERT_EQ(c.wire(i).pins, again.wire(i).pins);
   }
 }
 
 TEST(Golden, SequentialTiny) {
-  SequentialResult r = route_sequential(make_tiny_test_circuit(), {});
+  SequentialResult r = route_sequential(test::make_seeded_circuit(), {});
   // Snapshot of the deterministic pipeline (seed 7, 2 iterations).
-  SequentialResult again = route_sequential(make_tiny_test_circuit(), {});
+  SequentialResult again = route_sequential(test::make_seeded_circuit(), {});
   EXPECT_EQ(r.circuit_height, again.circuit_height);
   EXPECT_EQ(r.occupancy_factor, again.occupancy_factor);
   EXPECT_EQ(r.work.probes, again.work.probes);
@@ -46,7 +47,7 @@ TEST(Golden, BnreSequentialHeightBand) {
 }
 
 TEST(Golden, MpRunReproducesExactly) {
-  Circuit c = make_tiny_test_circuit();
+  Circuit c = test::make_seeded_circuit();
   MpConfig config;
   config.schedule = UpdateSchedule::sender(2, 5);
   MpRunResult a = run_message_passing(c, 4, config);
@@ -61,7 +62,7 @@ TEST(Golden, MpRunReproducesExactly) {
 }
 
 TEST(Golden, ShmRunReproducesExactly) {
-  Circuit c = make_tiny_test_circuit();
+  Circuit c = test::make_seeded_circuit();
   ShmConfig config;
   config.procs = 4;
   ShmRunResult a = run_shared_memory(c, config);
@@ -91,7 +92,7 @@ TEST(Golden, StalenessInvariants) {
 }
 
 TEST(Golden, SingleProcViewIsTruth) {
-  Circuit c = make_tiny_test_circuit();
+  Circuit c = test::make_seeded_circuit();
   MpConfig config;
   MpRunResult r = run_message_passing(c, 1, config);
   EXPECT_DOUBLE_EQ(r.view_staleness, 0.0);

@@ -11,6 +11,7 @@
 #include "sim/network.hpp"
 #include "sim/topology.hpp"
 #include "support/rng.hpp"
+#include "test_util.hpp"
 
 namespace locus {
 namespace {
@@ -21,14 +22,8 @@ namespace {
 TEST(ExplorerProperty, ExhaustiveSmallGridSweep) {
   const std::int32_t channels = 4;
   const std::int32_t grids = 9;
-  CostArray cost(channels, grids);
   // A deterministic, non-uniform cost landscape.
-  Rng rng(123);
-  for (std::int32_t c = 0; c < channels; ++c) {
-    for (std::int32_t x = 0; x < grids; ++x) {
-      cost.set({c, x}, static_cast<std::int32_t>(rng.bounded(4)));
-    }
-  }
+  CostArray cost = test::make_random_landscape(channels, grids, 123, 4);
   ExplorerParams params;
   for (std::int32_t ax = 0; ax < grids; ax += 2) {
     for (std::int32_t arow = 0; arow < channels - 1; ++arow) {
@@ -64,13 +59,8 @@ TEST(ExplorerProperty, ExhaustiveSmallGridSweep) {
 /// The chosen route is never more expensive than the direct single-channel
 /// route through either pin channel (those are always in the candidate set).
 TEST(ExplorerProperty, NeverWorseThanDirectRoute) {
-  CostArray cost(5, 40);
+  CostArray cost = test::make_random_landscape(5, 40, 77, 6);
   Rng rng(77);
-  for (std::int32_t c = 0; c < 5; ++c) {
-    for (std::int32_t x = 0; x < 40; ++x) {
-      cost.set({c, x}, static_cast<std::int32_t>(rng.bounded(6)));
-    }
-  }
   for (int trial = 0; trial < 200; ++trial) {
     Pin a{static_cast<std::int32_t>(rng.bounded(40)),
           static_cast<std::int32_t>(rng.bounded(4))};
@@ -167,13 +157,10 @@ INSTANTIATE_TEST_SUITE_P(Seeds, NetworkFormulaProperty,
 TEST(QualityProperty, HeightMatchesProfileSum) {
   Rng rng(31);
   for (int trial = 0; trial < 50; ++trial) {
-    CostArray cost(1 + static_cast<std::int32_t>(rng.bounded(8)),
-                   1 + static_cast<std::int32_t>(rng.bounded(60)));
-    for (std::int32_t c = 0; c < cost.channels(); ++c) {
-      for (std::int32_t x = 0; x < cost.grids(); ++x) {
-        cost.set({c, x}, static_cast<std::int32_t>(rng.bounded(12)));
-      }
-    }
+    CostArray cost = test::make_random_landscape(
+        1 + static_cast<std::int32_t>(rng.bounded(8)),
+        1 + static_cast<std::int32_t>(rng.bounded(60)),
+        31'000 + static_cast<std::uint64_t>(trial), 12);
     auto profile = track_profile(cost);
     std::int64_t sum = 0;
     for (std::int32_t v : profile) sum += v;

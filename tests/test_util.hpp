@@ -1,0 +1,36 @@
+// Shared test builders: the seeded inputs several test files need are
+// defined once here so "a small deterministic circuit" and "a random cost
+// landscape" mean the same thing everywhere.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/circuit.hpp"
+#include "circuit/generator.hpp"
+#include "grid/cost_array.hpp"
+#include "support/rng.hpp"
+
+namespace locus::test {
+
+/// Deterministic non-uniform cost landscape: every cell drawn from
+/// [0, max_cost) with the given seed.
+inline CostArray make_random_landscape(std::int32_t channels,
+                                       std::int32_t grids, std::uint64_t seed,
+                                       std::uint64_t max_cost) {
+  CostArray cost(channels, grids);
+  Rng rng(seed);
+  for (std::int32_t c = 0; c < channels; ++c) {
+    for (std::int32_t x = 0; x < grids; ++x) {
+      cost.set({c, x}, static_cast<std::int32_t>(rng.bounded(max_cost)));
+    }
+  }
+  return cost;
+}
+
+/// The 24-wire tiny circuit used across the golden, property, and check
+/// tests. Different seeds give structurally similar but distinct circuits.
+inline Circuit make_seeded_circuit(std::uint64_t seed = 7) {
+  return make_tiny_test_circuit(seed);
+}
+
+}  // namespace locus::test
