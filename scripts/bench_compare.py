@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json records and fail on performance regressions.
+
+Usage: bench_compare.py BASELINE.json CURRENT.json [--tolerance=0.15]
+
+Counter conventions (see bench/bench_main.hpp): names ending in `_s` are
+wall-clock seconds (lower is better; regression = current > baseline by more
+than the tolerance), names ending in `_x` are speedup ratios (higher is
+better; regression = current < baseline by more than the tolerance). All
+other counters are work counts and must match exactly — the benches assert
+engine equivalence, so a drifting work count means the workload changed and
+the baseline should be re-recorded.
+
+Exit status: 0 when no counter regressed, 1 otherwise.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        record = json.load(f)
+    counters = {}
+    for section in record.get("sections", []):
+        title = section.get("title", "?")
+        for name, value in section.get("counters", {}).items():
+            counters[f"{title} / {name}"] = value
+    return record.get("bench", path), counters
+
+
+def main(argv):
+    tolerance = 0.15
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--tolerance="):
+            tolerance = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        sys.stderr.write(__doc__)
+        return 2
+
+    base_name, base = load(paths[0])
+    _, curr = load(paths[1])
+
+    failures = []
+    notes = []
+    for key, base_value in sorted(base.items()):
+        if key not in curr:
+            failures.append(f"{key}: missing from current run")
+            continue
+        curr_value = curr[key]
+        name = key.rsplit("/", 1)[-1].strip()
+        if name.endswith("_s"):
+            if base_value > 0 and curr_value > base_value * (1 + tolerance):
+                failures.append(
+                    f"{key}: {curr_value:.6f}s vs baseline {base_value:.6f}s "
+                    f"(+{(curr_value / base_value - 1) * 100:.1f}%, "
+                    f"tolerance {tolerance * 100:.0f}%)"
+                )
+            else:
+                notes.append(f"{key}: {curr_value:.6f}s (baseline {base_value:.6f}s) ok")
+        elif name.endswith("_x"):
+            if base_value > 0 and curr_value < base_value * (1 - tolerance):
+                failures.append(
+                    f"{key}: {curr_value:.2f}x vs baseline {base_value:.2f}x "
+                    f"(-{(1 - curr_value / base_value) * 100:.1f}%, "
+                    f"tolerance {tolerance * 100:.0f}%)"
+                )
+            else:
+                notes.append(f"{key}: {curr_value:.2f}x (baseline {base_value:.2f}x) ok")
+        else:
+            if curr_value != base_value:
+                failures.append(
+                    f"{key}: work count {curr_value} != baseline {base_value} "
+                    "(workload changed; re-record the baseline if intended)"
+                )
+            else:
+                notes.append(f"{key}: {curr_value} ok")
+
+    for extra in sorted(set(curr) - set(base)):
+        notes.append(f"{extra}: new counter (not in baseline)")
+
+    print(f"bench_compare: {base_name}")
+    for line in notes:
+        print(f"  {line}")
+    if failures:
+        print(f"REGRESSIONS ({len(failures)}):", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"no regressions ({len(base)} counters, tolerance {tolerance * 100:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

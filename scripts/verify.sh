@@ -5,14 +5,20 @@
 #
 #   scripts/verify.sh             # tier-1
 #   scripts/verify.sh --sanitize  # same suite under ASan + UBSan
+#   scripts/verify.sh --bench     # tier-1 + benchmark regression gate
+#                                 # (Release run diffed against the checked-in
+#                                 # BENCH_*.json via scripts/bench_compare.py)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
 CMAKE_FLAGS=()
+RUN_BENCH=0
 if [[ "${1:-}" == "--sanitize" ]]; then
   BUILD_DIR=build-sanitize
   CMAKE_FLAGS+=(-DLOCUS_SANITIZE=address,undefined)
+elif [[ "${1:-}" == "--bench" ]]; then
+  RUN_BENCH=1
 fi
 
 cmake -B "$BUILD_DIR" -S . "${CMAKE_FLAGS[@]}"
@@ -23,3 +29,12 @@ ctest --output-on-failure -j "$(nproc)"
 
 # The check label must exist and pass on its own.
 ctest -L check --output-on-failure -j "$(nproc)"
+
+# Optional benchmark regression gate: re-run the microbenchmarks in Release
+# and diff against the checked-in baselines.
+if [[ "$RUN_BENCH" == 1 ]]; then
+  cd ..
+  scripts/bench_smoke.sh /tmp/locus-bench
+  scripts/bench_compare.py BENCH_explorer.json /tmp/locus-bench/BENCH_explorer.json
+  scripts/bench_compare.py BENCH_network.json /tmp/locus-bench/BENCH_network.json
+fi

@@ -19,6 +19,20 @@ std::size_t CostArray::checked_index(GridPoint p) const {
   return static_cast<std::size_t>(index(p));
 }
 
+void CostArray::read_row(std::int32_t channel, std::int32_t x_lo, std::int32_t x_hi,
+                         std::span<std::int32_t> span_out) {
+  LOCUS_ASSERT_MSG(channel >= 0 && channel < channels_, "channel out of range");
+  LOCUS_ASSERT_MSG(x_lo >= 0 && x_lo <= x_hi && x_hi < grids_, "span out of range");
+  const auto count = static_cast<std::size_t>(x_hi - x_lo + 1);
+  LOCUS_ASSERT(span_out.size() >= count);
+  const std::int32_t* row = cells_.data() +
+                            static_cast<std::size_t>(channel) * grids_ + x_lo;
+  std::int32_t* out = span_out.data();
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = row[i] < 0 ? 0 : row[i];
+  }
+}
+
 void CostArray::read_rect(const Rect& box, std::vector<std::int32_t>& out) const {
   LOCUS_ASSERT(bounds().contains(box));
   out.clear();

@@ -93,7 +93,9 @@ class RouterNode final : public Node {
   std::int32_t pending_responses() const { return pending_responses_; }
 
  private:
-  /// CostView that mirrors every write into the delta array.
+  /// CostView that mirrors every write into the delta array. Reads go
+  /// straight to the (possibly drifted) private view, so bulk span reads
+  /// forward to the CostArray fast path — clamping included.
   class ViewWithDelta final : public CostView {
    public:
     ViewWithDelta(CostArray& view, DeltaArray& delta) : view_(view), delta_(delta) {}
@@ -102,6 +104,11 @@ class RouterNode final : public Node {
       view_.add(p, d);
       delta_.add(p, d);
     }
+    void read_row(std::int32_t channel, std::int32_t x_lo, std::int32_t x_hi,
+                  std::span<std::int32_t> span_out) override {
+      view_.read_row(channel, x_lo, x_hi, span_out);
+    }
+    bool supports_bulk_read() const override { return true; }
 
    private:
     CostArray& view_;

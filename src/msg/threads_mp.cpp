@@ -115,6 +115,11 @@ ThreadsMpResult run_threads_message_passing(const Circuit& circuit,
             v_.add(p, d);
             d_.add(p, d);
           }
+          void read_row(std::int32_t channel, std::int32_t x_lo, std::int32_t x_hi,
+                        std::span<std::int32_t> span_out) override {
+            v_.read_row(channel, x_lo, x_hi, span_out);
+          }
+          bool supports_bulk_read() const override { return true; }
 
          private:
           CostArray& v_;

@@ -6,9 +6,18 @@
 //   * the single shared array wrapped in a reference tracer (shared memory).
 // Implementations must return non-negative values from read() — drifted
 // message passing views clamp — because route costs feed a minimization.
+//
+// Bulk span API: read_row() fills a caller buffer with one channel row's
+// clamped values in a single virtual call, so pricing kernels touch memory
+// at span granularity instead of paying one dispatch per cell. The default
+// implementation falls back to per-cell read(); backings with side-effecting
+// reads (the shared memory tracer while capturing) keep that fallback and
+// report supports_bulk_read() == false so the router stays on the exact
+// per-cell pricing path.
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "geom/point.hpp"
 
@@ -23,6 +32,23 @@ class CostView {
 
   /// Applies a commit (+1 per cell of a chosen path) or rip-up (-1).
   virtual void add(GridPoint p, std::int32_t delta) = 0;
+
+  /// Bulk read of row `channel`, columns [x_lo, x_hi] inclusive, clamped
+  /// like read(). Writes (x_hi - x_lo + 1) values into `span_out` (which
+  /// must be at least that large). Default: per-cell read() loop.
+  virtual void read_row(std::int32_t channel, std::int32_t x_lo, std::int32_t x_hi,
+                        std::span<std::int32_t> span_out) {
+    for (std::int32_t x = x_lo; x <= x_hi; ++x) {
+      span_out[static_cast<std::size_t>(x - x_lo)] = read(GridPoint{channel, x});
+    }
+  }
+
+  /// True when reads carry no per-cell side effects and bulk window scans
+  /// are observationally equivalent to per-cell probing — the contract the
+  /// prefix-sum pricing kernel needs (it reads whole candidate windows once,
+  /// in row order, rather than each candidate's cells). Views that trace or
+  /// otherwise account individual reads must return false.
+  virtual bool supports_bulk_read() const { return false; }
 };
 
 }  // namespace locus

@@ -1,6 +1,9 @@
 #include "route/explorer.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <span>
+#include <vector>
 
 #include "support/assert.hpp"
 
@@ -14,31 +17,53 @@ std::int32_t entry_channel(const Pin& pin, std::int32_t target) {
   return target <= pin.row ? pin.channel_above() : pin.channel_below();
 }
 
-/// Builds the single-channel shape: drop from each pin into channel `c` and
-/// run horizontally between the pin columns.
-Route make_single_channel(const Pin& a, const Pin& b, std::int32_t c) {
-  Route route;
-  const std::int32_t ea = entry_channel(a, c);
-  const std::int32_t eb = entry_channel(b, c);
-  route.append(Segment{GridPoint{ea, a.x}, GridPoint{c, a.x}});
-  route.append(Segment{GridPoint{c, a.x}, GridPoint{c, b.x}});
-  route.append(Segment{GridPoint{c, b.x}, GridPoint{eb, b.x}});
-  return route;
-}
-
-/// Builds the Z shape: channel c1 from a.x to the jog column xj, cross to
-/// channel c2, continue to b.x.
-Route make_z(const Pin& a, const Pin& b, std::int32_t c1, std::int32_t c2,
-             std::int32_t xj) {
-  Route route;
+/// Shared shape construction for both candidate families: drop from pin `a`
+/// into channel c1, run horizontally (jogging into c2 at column xj when
+/// c1 != c2), and rise into pin `b`'s entry channel. c1 == c2 yields the
+/// single-channel shape (xj ignored). Builds into a caller-owned scratch
+/// route so the pricing loop performs no per-candidate heap allocation.
+void build_candidate(Route& route, const Pin& a, const Pin& b, std::int32_t c1,
+                     std::int32_t c2, std::int32_t xj) {
+  route.clear();
   const std::int32_t ea = entry_channel(a, c1);
   const std::int32_t eb = entry_channel(b, c2);
   route.append(Segment{GridPoint{ea, a.x}, GridPoint{c1, a.x}});
-  route.append(Segment{GridPoint{c1, a.x}, GridPoint{c1, xj}});
-  route.append(Segment{GridPoint{c1, xj}, GridPoint{c2, xj}});
-  route.append(Segment{GridPoint{c2, xj}, GridPoint{c2, b.x}});
+  if (c1 == c2) {
+    route.append(Segment{GridPoint{c1, a.x}, GridPoint{c1, b.x}});
+  } else {
+    route.append(Segment{GridPoint{c1, a.x}, GridPoint{c1, xj}});
+    route.append(Segment{GridPoint{c1, xj}, GridPoint{c2, xj}});
+    route.append(Segment{GridPoint{c2, xj}, GridPoint{c2, b.x}});
+  }
   route.append(Segment{GridPoint{c2, b.x}, GridPoint{eb, b.x}});
-  return route;
+}
+
+/// The candidate window both engines enumerate over. All candidate cells lie
+/// inside [c_lo, c_hi] x [x_lo, x_hi]: entry channels sit between the pins'
+/// own channels (contained in the unclamped range), horizontal runs between
+/// the pin columns, jogs strictly inside them.
+struct CandidateWindow {
+  std::int32_t c_lo, c_hi;  ///< channel range (pins' range + slack, clamped)
+  std::int32_t x_lo, x_hi;  ///< column range (pin columns, inclusive)
+  std::int32_t stride = 0;  ///< jog sampling stride; 0 when Z-routes are off
+};
+
+CandidateWindow candidate_window(const Pin& a, const Pin& b, std::int32_t channels,
+                                 const ExplorerParams& params) {
+  const std::int32_t pin_lo = std::min({a.channel_above(), b.channel_above()});
+  const std::int32_t pin_hi = std::max({a.channel_below(), b.channel_below()});
+  CandidateWindow w;
+  w.c_lo = std::max<std::int32_t>(0, pin_lo - params.channel_slack);
+  w.c_hi = std::min<std::int32_t>(channels - 1, pin_hi + params.channel_slack);
+  w.x_lo = std::min(a.x, b.x);
+  w.x_hi = std::max(a.x, b.x);
+  // Z candidates: only meaningful when the pins are in different columns.
+  if (w.x_hi - w.x_lo >= 2) {
+    const std::int32_t span = w.x_hi - w.x_lo;
+    w.stride = std::max<std::int32_t>(
+        1, span / std::max<std::int32_t>(1, params.jog_samples));
+  }
+  return w;
 }
 
 std::int64_t price(const Route& route, CostView& view, std::int32_t bend_penalty,
@@ -64,48 +89,173 @@ std::int64_t price(const Route& route, CostView& view, std::int32_t bend_penalty
   return cost;
 }
 
-}  // namespace
+/// Reusable buffers for the prefix-sum engine. One instance per thread: the
+/// threaded routers price concurrently, and capacity persists across calls
+/// so steady-state pricing allocates nothing.
+struct PricingScratch {
+  std::vector<std::int64_t> pv;    ///< priced value per window cell (C x W)
+  std::vector<std::int64_t> rowp;  ///< per-channel prefix sums (C x (W+1))
+  std::vector<std::int64_t> colp;  ///< per-column prefix sums (W x (C+1))
+  std::vector<std::int32_t> rowbuf;  ///< read_row staging (W)
+};
 
-ExploreResult explore_connection(const Pin& a, const Pin& b, std::int32_t channels,
-                                 CostView& view, const ExplorerParams& params) {
-  LOCUS_ASSERT(channels >= 2);
-  const std::int32_t pin_lo =
-      std::min({a.channel_above(), b.channel_above()});
-  const std::int32_t pin_hi =
-      std::max({a.channel_below(), b.channel_below()});
-  const std::int32_t c_lo = std::max<std::int32_t>(0, pin_lo - params.channel_slack);
-  const std::int32_t c_hi =
-      std::min<std::int32_t>(channels - 1, pin_hi + params.channel_slack);
+thread_local PricingScratch g_scratch;
+
+/// Prefix-sum engine: load the window once, then price every candidate in
+/// O(1) as a sum of segment spans minus junction-cell corrections — the
+/// exact decomposition for_each_cell implies (each segment after the first
+/// skips its first cell, which is the previous segment's last).
+ExploreResult explore_bulk(const Pin& a, const Pin& b, CostView& view,
+                           const ExplorerParams& params, const CandidateWindow& w) {
+  const std::int32_t C = w.c_hi - w.c_lo + 1;
+  const std::int32_t W = w.x_hi - w.x_lo + 1;
+  const bool squared = params.congestion_power == 2;
+
+  PricingScratch& s = g_scratch;
+  s.pv.resize(static_cast<std::size_t>(C) * W);
+  s.rowp.resize(static_cast<std::size_t>(C) * (W + 1));
+  s.colp.resize(static_cast<std::size_t>(W) * (C + 1));
+  s.rowbuf.resize(static_cast<std::size_t>(W));
+
+  for (std::int32_t ci = 0; ci < C; ++ci) {
+    view.read_row(w.c_lo + ci, w.x_lo, w.x_hi, s.rowbuf);
+    std::int64_t* pv_row = s.pv.data() + static_cast<std::size_t>(ci) * W;
+    for (std::int32_t xi = 0; xi < W; ++xi) {
+      const std::int64_t v = s.rowbuf[static_cast<std::size_t>(xi)];
+      pv_row[xi] = squared ? v * v : v;
+    }
+  }
+  for (std::int32_t ci = 0; ci < C; ++ci) {
+    const std::int64_t* pv_row = s.pv.data() + static_cast<std::size_t>(ci) * W;
+    std::int64_t* rp = s.rowp.data() + static_cast<std::size_t>(ci) * (W + 1);
+    rp[0] = 0;
+    for (std::int32_t xi = 0; xi < W; ++xi) rp[xi + 1] = rp[xi] + pv_row[xi];
+  }
+  for (std::int32_t xi = 0; xi < W; ++xi) {
+    std::int64_t* cp = s.colp.data() + static_cast<std::size_t>(xi) * (C + 1);
+    cp[0] = 0;
+    for (std::int32_t ci = 0; ci < C; ++ci) {
+      cp[ci + 1] = cp[ci] + s.pv[static_cast<std::size_t>(ci) * W + xi];
+    }
+  }
+
+  // O(1) lookups over the window (coordinates in grid space, inclusive).
+  const auto pv_at = [&](std::int32_t c, std::int32_t x) {
+    return s.pv[static_cast<std::size_t>(c - w.c_lo) * W + (x - w.x_lo)];
+  };
+  const auto row_sum = [&](std::int32_t c, std::int32_t xa, std::int32_t xb) {
+    const auto [lo, hi] = std::minmax(xa, xb);
+    const std::int64_t* rp =
+        s.rowp.data() + static_cast<std::size_t>(c - w.c_lo) * (W + 1);
+    return rp[hi - w.x_lo + 1] - rp[lo - w.x_lo];
+  };
+  const auto col_sum = [&](std::int32_t x, std::int32_t ca, std::int32_t cb) {
+    const auto [lo, hi] = std::minmax(ca, cb);
+    const std::int64_t* cp =
+        s.colp.data() + static_cast<std::size_t>(x - w.x_lo) * (C + 1);
+    return cp[hi - w.c_lo + 1] - cp[lo - w.c_lo];
+  };
+  const auto vdist = [](std::int32_t u, std::int32_t v) { return std::abs(u - v); };
 
   ExploreResult best;
+  std::int64_t best_cost = 0;
+  std::int32_t best_c1 = 0, best_c2 = 0, best_xj = 0;
   bool have_best = false;
-  auto consider = [&](Route&& candidate) {
-    std::int64_t cost = price(candidate, view, params.bend_penalty,
-                              params.congestion_power, best.stats);
+  const std::int64_t bend = params.bend_penalty;
+
+  const auto consider = [&](std::int64_t cost, std::int32_t c1, std::int32_t c2,
+                            std::int32_t xj) {
+    ++best.stats.routes_evaluated;
+    if (!have_best || cost < best_cost) {
+      best_cost = cost;
+      best_c1 = c1;
+      best_c2 = c2;
+      best_xj = xj;
+      have_best = true;
+    }
+  };
+
+  // Single-channel candidates.
+  for (std::int32_t c = w.c_lo; c <= w.c_hi; ++c) {
+    const std::int32_t ea = entry_channel(a, c);
+    const std::int32_t eb = entry_channel(b, c);
+    std::int64_t cost = col_sum(a.x, ea, c) + row_sum(c, a.x, b.x) - pv_at(c, a.x) +
+                        col_sum(b.x, c, eb) - pv_at(c, b.x);
+    if (bend != 0) {
+      const std::int32_t turns = (ea != c) + (a.x != b.x) + (eb != c);
+      if (turns > 1) cost += bend * (turns - 1);
+    }
+    best.stats.cells_probed += (vdist(ea, c) + 1) + W + (vdist(eb, c) + 1) - 2;
+    consider(cost, c, c, 0);
+  }
+
+  // Z candidates.
+  if (w.stride > 0) {
+    for (std::int32_t c1 = w.c_lo; c1 <= w.c_hi; ++c1) {
+      const std::int32_t ea = entry_channel(a, c1);
+      const std::int64_t head = col_sum(a.x, ea, c1) - pv_at(c1, a.x);
+      const std::int32_t head_cells = vdist(ea, c1);
+      for (std::int32_t c2 = w.c_lo; c2 <= w.c_hi; ++c2) {
+        if (c1 == c2) continue;  // equals the single-channel shape
+        const std::int32_t eb = entry_channel(b, c2);
+        const std::int64_t tail = col_sum(b.x, c2, eb) - pv_at(c2, b.x);
+        const std::int32_t jog_cells = vdist(c1, c2);
+        for (std::int32_t xj = w.x_lo + w.stride; xj < w.x_hi; xj += w.stride) {
+          if (xj == a.x || xj == b.x) continue;  // duplicates the single-channel shape
+          std::int64_t cost = head + row_sum(c1, a.x, xj) + col_sum(xj, c1, c2) -
+                              pv_at(c1, xj) + row_sum(c2, xj, b.x) - pv_at(c2, xj) +
+                              tail;
+          if (bend != 0) {
+            const std::int32_t turns =
+                (ea != c1) + (a.x != xj) + 1 + (xj != b.x) + (eb != c2);
+            if (turns > 1) cost += bend * (turns - 1);
+          }
+          best.stats.cells_probed += head_cells + vdist(a.x, xj) + jog_cells +
+                                     vdist(xj, b.x) + vdist(eb, c2) + 1;
+          consider(cost, c1, c2, xj);
+        }
+      }
+    }
+  }
+
+  LOCUS_ASSERT(have_best);
+  build_candidate(best.route, a, b, best_c1, best_c2, best_xj);
+  best.cost = best_cost;
+  return best;
+}
+
+/// Per-cell reference engine. A scratch route is rebuilt in place per
+/// candidate (clear() keeps capacity), so steady state allocates nothing.
+ExploreResult explore_reference(const Pin& a, const Pin& b, CostView& view,
+                                const ExplorerParams& params,
+                                const CandidateWindow& w) {
+  ExploreResult best;
+  bool have_best = false;
+  Route scratch;
+  const auto consider = [&](std::int32_t c1, std::int32_t c2, std::int32_t xj) {
+    build_candidate(scratch, a, b, c1, c2, xj);
+    const std::int64_t cost = price(scratch, view, params.bend_penalty,
+                                    params.congestion_power, best.stats);
     if (!have_best || cost < best.cost) {
-      best.route = std::move(candidate);
+      std::swap(best.route, scratch);  // scratch now holds the old best's storage
       best.cost = cost;
       have_best = true;
     }
   };
 
   // Single-channel candidates.
-  for (std::int32_t c = c_lo; c <= c_hi; ++c) {
-    consider(make_single_channel(a, b, c));
+  for (std::int32_t c = w.c_lo; c <= w.c_hi; ++c) {
+    consider(c, c, 0);
   }
 
-  // Z candidates: only meaningful when the pins are in different columns.
-  const std::int32_t x_lo = std::min(a.x, b.x);
-  const std::int32_t x_hi = std::max(a.x, b.x);
-  if (x_hi - x_lo >= 2) {
-    const std::int32_t span = x_hi - x_lo;
-    const std::int32_t stride =
-        std::max<std::int32_t>(1, span / std::max<std::int32_t>(1, params.jog_samples));
-    for (std::int32_t c1 = c_lo; c1 <= c_hi; ++c1) {
-      for (std::int32_t c2 = c_lo; c2 <= c_hi; ++c2) {
+  // Z candidates.
+  if (w.stride > 0) {
+    for (std::int32_t c1 = w.c_lo; c1 <= w.c_hi; ++c1) {
+      for (std::int32_t c2 = w.c_lo; c2 <= w.c_hi; ++c2) {
         if (c1 == c2) continue;  // equals the single-channel shape
-        for (std::int32_t xj = x_lo + stride; xj < x_hi; xj += stride) {
-          consider(make_z(a, b, c1, c2, xj));
+        for (std::int32_t xj = w.x_lo + w.stride; xj < w.x_hi; xj += w.stride) {
+          if (xj == a.x || xj == b.x) continue;  // duplicates the single-channel shape
+          consider(c1, c2, xj);
         }
       }
     }
@@ -113,6 +263,35 @@ ExploreResult explore_connection(const Pin& a, const Pin& b, std::int32_t channe
 
   LOCUS_ASSERT(have_best);
   return best;
+}
+
+}  // namespace
+
+ExploreResult explore_connection_reference(const Pin& a, const Pin& b,
+                                           std::int32_t channels, CostView& view,
+                                           const ExplorerParams& params) {
+  LOCUS_ASSERT(channels >= 2);
+  return explore_reference(a, b, view, params, candidate_window(a, b, channels, params));
+}
+
+ExploreResult explore_connection(const Pin& a, const Pin& b, std::int32_t channels,
+                                 CostView& view, const ExplorerParams& params) {
+  LOCUS_ASSERT(channels >= 2);
+  const CandidateWindow w = candidate_window(a, b, channels, params);
+  if (!view.supports_bulk_read()) {
+    return explore_reference(a, b, view, params, w);
+  }
+  ExploreResult res = explore_bulk(a, b, view, params, w);
+  if (params.verify_bulk_pricing) {
+    const ExploreResult ref = explore_reference(a, b, view, params, w);
+    LOCUS_ASSERT_MSG(res.cost == ref.cost, "bulk pricing: cost diverged");
+    LOCUS_ASSERT_MSG(res.route == ref.route, "bulk pricing: route diverged");
+    LOCUS_ASSERT_MSG(res.stats.cells_probed == ref.stats.cells_probed,
+                     "bulk pricing: probe accounting diverged");
+    LOCUS_ASSERT_MSG(res.stats.routes_evaluated == ref.stats.routes_evaluated,
+                     "bulk pricing: candidate count diverged");
+  }
+  return res;
 }
 
 }  // namespace locus

@@ -9,9 +9,20 @@
 //   * Z-routes: run in channel c1, jog vertically at grid xj, finish in
 //     channel c2 — candidates over (c1, c2, xj) with xj sampled at a stride
 //     so enumeration cost stays bounded on long connections.
-// Every cell of every candidate is priced with one CostView::read(); the
-// probe count is the router's unit of simulated compute time and, in the
-// shared memory build, the source of the reference trace.
+//
+// Pricing has two interchangeable engines:
+//   * the reference engine probes every cell of every candidate with one
+//     CostView::read() — O(candidates × span) reads;
+//   * the prefix-sum engine (used when the view supports bulk reads) loads
+//     the candidate window once via read_row(), builds per-channel and
+//     per-column prefix sums of the clamped cost (or cost², matching
+//     congestion_power), and prices each candidate in O(1) from sums plus
+//     junction corrections — O(c·span + c²·jog_samples) total.
+// Both produce bit-identical routes, costs and stats: `cells_probed` stays
+// defined as the number of cells a per-cell pricer would touch (it is the
+// router's unit of *simulated* compute time and, in the shared memory
+// build, the source of the reference trace), independent of which engine
+// ran on the host.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +44,10 @@ struct ExplorerParams {
   /// sum), 2 -> v^2 (congestion-averse; spreads wires at the cost of
   /// wirelength). Higher powers penalize hot cells superlinearly.
   std::int32_t congestion_power = 1;
+  /// Debug flag: when the prefix-sum engine runs, re-price with the per-cell
+  /// reference engine and assert the chosen route, cost and stats agree
+  /// bit-for-bit. Costs ~2x; for tests and benchmarks.
+  bool verify_bulk_pricing = false;
 
   /// Wider search: more channels and finer jog sampling. Costs ~3x probes.
   static ExplorerParams thorough() {
@@ -56,8 +71,16 @@ struct ExploreResult {
 
 /// Finds the cheapest route between two pins. `channels` is the circuit's
 /// channel count (bounds the search range). Deterministic: ties keep the
-/// first candidate in enumeration order.
+/// first candidate in enumeration order. Picks the prefix-sum engine when
+/// `view.supports_bulk_read()`, the per-cell reference engine otherwise.
 ExploreResult explore_connection(const Pin& a, const Pin& b, std::int32_t channels,
                                  CostView& view, const ExplorerParams& params);
+
+/// The per-cell reference engine, always: prices every candidate cell with
+/// one view.read(). Exposed for equivalence tests and the microbenchmark
+/// baseline; production callers use explore_connection().
+ExploreResult explore_connection_reference(const Pin& a, const Pin& b,
+                                           std::int32_t channels, CostView& view,
+                                           const ExplorerParams& params);
 
 }  // namespace locus

@@ -35,8 +35,16 @@ class Route {
   /// Appends a segment; enforces connectivity with the previous segment.
   void append(Segment seg);
 
+  /// Removes all segments but keeps capacity — scratch-route reuse in the
+  /// candidate-pricing hot loop.
+  void clear() { segments_.clear(); }
+
   const std::vector<Segment>& segments() const { return segments_; }
   bool empty() const { return segments_.empty(); }
+
+  friend bool operator==(const Route& a, const Route& b) {
+    return a.segments_ == b.segments_;
+  }
 
   /// Visits every covered cell exactly once in path order (junction cells
   /// shared between consecutive segments are visited once).

@@ -45,6 +45,20 @@ class TracingView final : public CostView {
     return shared_.read(p);
   }
 
+  /// Bulk reads are only exact when no trace is captured: while capturing,
+  /// every individual read must be noted (the trace is the product), so the
+  /// router transparently stays on the per-cell pricing path. Without a
+  /// trace the span forwards to the shared array's fast path.
+  void read_row(std::int32_t channel, std::int32_t x_lo, std::int32_t x_hi,
+                std::span<std::int32_t> span_out) override {
+    if (capture_) {
+      CostView::read_row(channel, x_lo, x_hi, span_out);  // notes each read
+    } else {
+      shared_.read_row(channel, x_lo, x_hi, span_out);
+    }
+  }
+  bool supports_bulk_read() const override { return !capture_; }
+
   void add(GridPoint p, std::int32_t d) override {
     note_read(p);  // increment = load + store
     if (capture_) {

@@ -1,23 +1,67 @@
 #include "sim/event_queue.hpp"
 
+#include <limits>
 #include <utility>
 
 namespace locus {
 
-void EventQueue::schedule(SimTime time, std::function<void()> fn) {
+EventQueue::EventQueue() {
+  // Reserved handler 0: trampoline for the legacy closure overload.
+  handlers_.push_back(HandlerEntry{&EventQueue::closure_trampoline, this});
+}
+
+EventQueue::HandlerId EventQueue::add_handler(EventHandler fn, void* ctx) {
+  LOCUS_ASSERT(fn != nullptr);
+  LOCUS_ASSERT_MSG(handlers_.size() < std::numeric_limits<HandlerId>::max(),
+                   "handler table overflow");
+  handlers_.push_back(HandlerEntry{fn, ctx});
+  return static_cast<HandlerId>(handlers_.size() - 1);
+}
+
+void EventQueue::schedule(SimTime time, HandlerId handler, std::uint64_t a,
+                          std::uint64_t b) {
   LOCUS_ASSERT_MSG(time >= now_, "cannot schedule into the past");
-  heap_.push(Event{time, next_seq_++, std::move(fn)});
+  LOCUS_ASSERT(handler < handlers_.size());
+  heap_.push(Event{time, next_seq_++, a, b, handler});
+  peak_pending_ = std::max(peak_pending_, heap_.size());
+}
+
+void EventQueue::schedule(SimTime time, std::function<void()> fn) {
+  std::uint32_t slot;
+  if (!fn_free_.empty()) {
+    slot = fn_free_.back();
+    fn_free_.pop_back();
+    fn_slots_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(fn_slots_.size());
+    fn_slots_.push_back(std::move(fn));
+  }
+  schedule(time, HandlerId{0}, slot);
+}
+
+void EventQueue::closure_trampoline(void* ctx, SimTime /*now*/, std::uint64_t a,
+                                    std::uint64_t /*b*/) {
+  auto* self = static_cast<EventQueue*>(ctx);
+  // Move the closure out before invoking it: the call may schedule further
+  // closures and reallocate fn_slots_ under a still-live reference.
+  std::function<void()> fn = std::move(self->fn_slots_[a]);
+  self->fn_slots_[a] = nullptr;
+  self->fn_free_.push_back(static_cast<std::uint32_t>(a));
+  fn();
+}
+
+void EventQueue::dispatch(const Event& ev) {
+  const HandlerEntry& h = handlers_[ev.handler];
+  h.fn(h.ctx, ev.time, ev.a, ev.b);
 }
 
 SimTime EventQueue::run() {
   while (!heap_.empty()) {
-    // Moving out of a priority_queue top requires a const_cast dance; copy
-    // the small members and move the closure via a temporary instead.
-    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    const Event ev = heap_.top();  // trivially copyable: plain copy, no cast
     heap_.pop();
     now_ = ev.time;
     ++executed_;
-    ev.fn();
+    dispatch(ev);
   }
   return now_;
 }
@@ -25,11 +69,11 @@ SimTime EventQueue::run() {
 std::size_t EventQueue::run_bounded(std::size_t limit) {
   std::size_t count = 0;
   while (!heap_.empty() && count < limit) {
-    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    const Event ev = heap_.top();
     heap_.pop();
     now_ = ev.time;
     ++executed_;
-    ev.fn();
+    dispatch(ev);
     ++count;
   }
   return count;

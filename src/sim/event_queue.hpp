@@ -3,11 +3,19 @@
 // Events execute in (time, insertion sequence) order, so simultaneous events
 // run FIFO and every simulation is exactly reproducible. Times are
 // nanoseconds of simulated machine time.
+//
+// The heap holds only POD events: a handler id registered once per consumer
+// plus two 64-bit operands (typically a target id and a packet-arena slot).
+// Dispatch is one indexed load and an indirect call — no per-event heap
+// allocation and no std::function in the hot loop. A legacy closure overload
+// remains for cold paths (tests, one-shot setup): the closure is parked in a
+// free-listed slot vector and trampolined through reserved handler 0.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <type_traits>
 #include <vector>
 
 #include "support/assert.hpp"
@@ -18,7 +26,25 @@ using SimTime = std::int64_t;  // nanoseconds
 
 class EventQueue {
  public:
-  /// Schedules `fn` at absolute simulated time `time` (must be >= now()).
+  using HandlerId = std::uint16_t;
+  /// Handler signature: `ctx` is the pointer given at registration, `now` the
+  /// event's time, `a`/`b` the operands given to schedule().
+  using EventHandler = void (*)(void* ctx, SimTime now, std::uint64_t a,
+                                std::uint64_t b);
+
+  EventQueue();
+
+  /// Registers a dispatch target once; the returned id is valid for the
+  /// queue's lifetime. Handlers are expected at setup time only.
+  HandlerId add_handler(EventHandler fn, void* ctx);
+
+  /// Schedules a POD event at absolute simulated time `time` (>= now()).
+  void schedule(SimTime time, HandlerId handler, std::uint64_t a = 0,
+                std::uint64_t b = 0);
+
+  /// Legacy closure form: parks `fn` in a slot and dispatches through the
+  /// internal trampoline handler. Convenient but allocating; hot paths
+  /// should register a handler instead.
   void schedule(SimTime time, std::function<void()> fn);
 
   /// Runs events until the queue is empty. Returns the time of the last
@@ -33,23 +59,41 @@ class EventQueue {
   bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }
   std::uint64_t executed() const { return executed_; }
+  /// High-water mark of pending events (queue depth) over the run so far.
+  std::size_t peak_pending() const { return peak_pending_; }
 
  private:
   struct Event {
     SimTime time;
     std::uint64_t seq;
-    std::function<void()> fn;
+    std::uint64_t a;
+    std::uint64_t b;
+    HandlerId handler;
   };
+  static_assert(std::is_trivially_copyable_v<Event>,
+                "events must pop from the heap without a const_cast move");
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       return a.time != b.time ? a.time > b.time : a.seq > b.seq;
     }
   };
+  struct HandlerEntry {
+    EventHandler fn;
+    void* ctx;
+  };
+
+  void dispatch(const Event& ev);
+  static void closure_trampoline(void* ctx, SimTime now, std::uint64_t a,
+                                 std::uint64_t b);
 
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<HandlerEntry> handlers_;
+  std::vector<std::function<void()>> fn_slots_;
+  std::vector<std::uint32_t> fn_free_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::size_t peak_pending_ = 0;
 };
 
 }  // namespace locus

@@ -33,17 +33,16 @@ void NodeApi::send(ProcId dst, std::int32_t type, std::int32_t bytes,
   // routing step executes inside one resume event), so the injection is
   // scheduled at `ready` rather than performed immediately: link and NI
   // reservations must be claimed in global time order or an early packet
-  // could queue behind a chronologically later one.
-  const SimTime ready = machine_->state(self_).clock;
-  Machine* machine = machine_;
-  machine_->queue_.schedule(ready, [machine, ready, p = std::move(packet)]() mutable {
-    machine->network_->inject(std::move(p), ready);
-  });
+  // could queue behind a chronologically later one. The packet parks in the
+  // network's arena until then (no closure on the event heap).
+  machine_->network_->schedule_inject(std::move(packet),
+                                      machine_->state(self_).clock);
 }
 
 Machine::Machine(Topology topology, NetworkParams net_params)
     : topology_(std::move(topology)),
       nodes_(static_cast<std::size_t>(topology_.num_nodes())) {
+  h_resume_ = queue_.add_handler(&Machine::on_resume_event, this);
   network_ = std::make_unique<Network>(
       topology_, net_params, queue_,
       [this](const Packet& p, SimTime arrival) { deliver(p, arrival); });
@@ -77,11 +76,18 @@ void Machine::schedule_resume(ProcId proc, SimTime at) {
   if (st.resume_pending && st.resume_at <= at) return;
   st.resume_pending = true;
   st.resume_at = at;
-  queue_.schedule(at, [this, proc, at] {
-    NodeState& s = state(proc);
-    if (!s.resume_pending || s.resume_at != at) return;  // superseded
-    resume(proc);
-  });
+  queue_.schedule(at, h_resume_, static_cast<std::uint64_t>(proc),
+                  static_cast<std::uint64_t>(at));
+}
+
+void Machine::on_resume_event(void* ctx, SimTime /*now*/, std::uint64_t a,
+                              std::uint64_t b) {
+  auto* self = static_cast<Machine*>(ctx);
+  const auto proc = static_cast<ProcId>(a);
+  const auto at = static_cast<SimTime>(b);
+  NodeState& s = self->state(proc);
+  if (!s.resume_pending || s.resume_at != at) return;  // superseded
+  self->resume(proc);
 }
 
 void Machine::resume(ProcId proc) {

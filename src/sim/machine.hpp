@@ -131,12 +131,15 @@ class Machine {
 
   void deliver(const Packet& packet, SimTime arrival);
   void schedule_resume(ProcId proc, SimTime at);
+  static void on_resume_event(void* ctx, SimTime now, std::uint64_t a,
+                              std::uint64_t b);
   void resume(ProcId proc);
 
   NodeState& state(ProcId proc) { return nodes_[static_cast<std::size_t>(proc)]; }
 
   Topology topology_;
   EventQueue queue_;
+  EventQueue::HandlerId h_resume_ = 0;
   std::unique_ptr<Network> network_;
   std::unique_ptr<FaultInjector> injector_;
   std::vector<NodeState> nodes_;

@@ -1,6 +1,7 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "support/assert.hpp"
 
@@ -12,24 +13,85 @@ Network::Network(const Topology& topology, NetworkParams params, EventQueue& que
       deliver_(std::move(deliver)),
       link_free_(static_cast<std::size_t>(topology.num_links()), 0),
       ni_free_(static_cast<std::size_t>(topology.num_nodes()), 0),
-      held_(static_cast<std::size_t>(topology.num_nodes())) {}
+      held_(static_cast<std::size_t>(topology.num_nodes()), kNoSlot),
+      h_deliver_(queue.add_handler(&Network::on_deliver, this)),
+      h_deliver_once_(queue.add_handler(&Network::on_deliver_once, this)),
+      h_inject_(queue.add_handler(&Network::on_inject, this)) {}
 
 void Network::set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
-void Network::schedule_delivery(Packet packet, SimTime at) {
-  queue_.schedule(at, [this, p = std::move(packet), at]() { deliver_(p, at); });
+std::size_t Network::packets_in_flight() const {
+  return slots_.size() - free_slots_.size();
+}
+
+Network::SlotId Network::alloc_slot(Packet&& packet, std::uint32_t refs) {
+  SlotId id;
+  if (!free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    id = static_cast<SlotId>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[id];
+  slot.packet = std::move(packet);
+  slot.refs = refs;
+  slot.released = false;
+  return id;
+}
+
+void Network::unref(SlotId id) {
+  Slot& slot = slots_[id];
+  LOCUS_ASSERT(slot.refs > 0);
+  if (--slot.refs == 0) {
+    slot.packet.payload.reset();  // drop the payload now, not at reuse time
+    free_slots_.push_back(id);
+  }
+}
+
+void Network::schedule_delivery(SlotId id, SimTime at) {
+  queue_.schedule(at, h_deliver_, id);
+}
+
+void Network::on_deliver(void* ctx, SimTime now, std::uint64_t a, std::uint64_t) {
+  auto* self = static_cast<Network*>(ctx);
+  const auto id = static_cast<SlotId>(a);
+  self->deliver_(self->slots_[id].packet, now);
+  self->unref(id);
+}
+
+void Network::on_deliver_once(void* ctx, SimTime now, std::uint64_t a,
+                              std::uint64_t) {
+  auto* self = static_cast<Network*>(ctx);
+  const auto id = static_cast<SlotId>(a);
+  Slot& slot = self->slots_[id];
+  if (!slot.released) {
+    slot.released = true;
+    self->deliver_(slot.packet, now);
+  }
+  self->unref(id);
+}
+
+void Network::on_inject(void* ctx, SimTime /*now*/, std::uint64_t a,
+                        std::uint64_t b) {
+  auto* self = static_cast<Network*>(ctx);
+  const auto id = static_cast<SlotId>(a);
+  Packet packet = std::move(self->slots_[id].packet);
+  self->unref(id);
+  self->inject(std::move(packet), static_cast<SimTime>(b));
+}
+
+void Network::schedule_inject(Packet packet, SimTime ready) {
+  const SlotId id = alloc_slot(std::move(packet), 1);
+  queue_.schedule(ready, h_inject_, id, static_cast<std::uint64_t>(ready));
 }
 
 void Network::release_held(ProcId dst, SimTime at) {
-  std::optional<HeldPacket>& slot = held_[static_cast<std::size_t>(dst)];
-  if (!slot) return;
-  HeldPacket held = std::move(*slot);
-  slot.reset();
-  queue_.schedule(at, [this, h = std::move(held), at]() {
-    if (*h.released) return;
-    *h.released = true;
-    deliver_(h.packet, at);
-  });
+  SlotId& slot = held_[static_cast<std::size_t>(dst)];
+  if (slot == kNoSlot) return;
+  // The held_ entry's reference transfers to the release event.
+  queue_.schedule(at, h_deliver_once_, slot);
+  slot = kNoSlot;
 }
 
 SimTime Network::inject(Packet packet, SimTime ready) {
@@ -85,37 +147,39 @@ SimTime Network::inject(Packet packet, SimTime ready) {
     case FaultInjector::Action::kDrop:
       break;  // no delivery event: the packet is gone
     case FaultInjector::Action::kDuplicate: {
-      Packet copy = packet;
-      schedule_delivery(std::move(packet), delivered);
-      schedule_delivery(std::move(copy), delivered + params_.process_time_ns);
+      // Two delivery events share one arena slot (deliver_ takes a const
+      // reference, so the second delivery reuses the same packet bytes).
+      const SlotId id = alloc_slot(std::move(packet), 2);
+      schedule_delivery(id, delivered);
+      schedule_delivery(id, delivered + params_.process_time_ns);
       break;
     }
     case FaultInjector::Action::kDelay:
-      schedule_delivery(std::move(packet), delivered + injector_->plan().delay_ns);
+      schedule_delivery(alloc_slot(std::move(packet), 1),
+                        delivered + injector_->plan().delay_ns);
       break;
     case FaultInjector::Action::kReorder: {
       // Hold the packet until the next delivery to this destination (it is
       // released just after, swapping their order), or until the fallback
-      // timeout when no later packet ever comes.
-      auto released = std::make_shared<bool>(false);
-      std::optional<HeldPacket>& slot = held_[static_cast<std::size_t>(dst)];
-      if (slot) release_held(dst, delivered);  // at most one held per dst
-      slot = HeldPacket{packet, released};
-      const SimTime fallback = delivered + injector_->plan().reorder_hold_ns;
-      queue_.schedule(fallback, [this, p = std::move(packet), released, fallback]() {
-        if (*released) return;
-        *released = true;
-        deliver_(p, fallback);
-      });
+      // timeout when no later packet ever comes. Two references: the held_
+      // entry (transferred to the release event) and the fallback event;
+      // whichever fires first delivers, the other sees `released`.
+      if (held_[static_cast<std::size_t>(dst)] != kNoSlot) {
+        release_held(dst, delivered);  // at most one held per dst
+      }
+      const SlotId id = alloc_slot(std::move(packet), 2);
+      held_[static_cast<std::size_t>(dst)] = id;
+      queue_.schedule(delivered + injector_->plan().reorder_hold_ns,
+                      h_deliver_once_, id);
       break;
     }
     case FaultInjector::Action::kDeliver:
-      schedule_delivery(std::move(packet), delivered);
+      schedule_delivery(alloc_slot(std::move(packet), 1), delivered);
       break;
   }
   if (action != FaultInjector::Action::kReorder &&
       action != FaultInjector::Action::kDrop &&
-      held_[static_cast<std::size_t>(dst)]) {
+      held_[static_cast<std::size_t>(dst)] != kNoSlot) {
     // An actual delivery to this destination releases any held packet right
     // after itself, completing the reorder swap.
     release_held(dst, delivered + 1);

@@ -10,13 +10,16 @@
 // free — the dominant effect of wormhole blocking at the low loads these
 // workloads generate (flit-level backpressure of upstream links is not
 // modeled; DESIGN.md records this simplification).
+//
+// In-flight packets live in a free-listed arena; events on the queue carry
+// only the POD slot id, so scheduling a delivery allocates nothing and the
+// event heap stays trivially copyable.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <optional>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -56,6 +59,11 @@ class Network {
   /// the sender's network interface is free for the next injection.
   SimTime inject(Packet packet, SimTime ready);
 
+  /// Parks `packet` in the arena and performs the inject() at simulated time
+  /// `ready` — used by senders whose local clock runs ahead of global event
+  /// time, so link/NI reservations are claimed in global time order.
+  void schedule_inject(Packet packet, SimTime ready);
+
   /// Installs a fault injector (not owned; may be null). Drops, duplicates,
   /// delays and reorders are applied at the delivery end: the packet's
   /// on-wire traffic and link occupancy are charged normally — the bytes
@@ -65,17 +73,32 @@ class Network {
   const NetworkStats& stats() const { return stats_; }
   const NetworkParams& params() const { return params_; }
   const Topology& topology() const { return topology_; }
+  /// Arena slots currently occupied by in-flight packets (test hook).
+  std::size_t packets_in_flight() const;
 
  private:
-  /// A reorder-held packet waiting for the next delivery to its dst (or the
-  /// fallback timeout, whichever fires first).
-  struct HeldPacket {
+  using SlotId = std::uint32_t;
+  static constexpr SlotId kNoSlot = static_cast<SlotId>(-1);
+
+  /// One in-flight packet. `refs` counts the scheduled events (and, for a
+  /// reorder hold, the held_ entry) that still reference the slot; it is
+  /// recycled onto the free list when the count reaches zero. `released`
+  /// arbitrates the two racing release paths of a reorder hold.
+  struct Slot {
     Packet packet;
-    std::shared_ptr<bool> released;
+    std::uint32_t refs = 0;
+    bool released = false;
   };
 
-  void schedule_delivery(Packet packet, SimTime at);
+  SlotId alloc_slot(Packet&& packet, std::uint32_t refs);
+  void unref(SlotId id);
+  void schedule_delivery(SlotId id, SimTime at);
   void release_held(ProcId dst, SimTime at);
+
+  static void on_deliver(void* ctx, SimTime now, std::uint64_t a, std::uint64_t b);
+  static void on_deliver_once(void* ctx, SimTime now, std::uint64_t a,
+                              std::uint64_t b);
+  static void on_inject(void* ctx, SimTime now, std::uint64_t a, std::uint64_t b);
 
   const Topology& topology_;
   NetworkParams params_;
@@ -85,7 +108,12 @@ class Network {
   FaultInjector* injector_ = nullptr;
   std::vector<SimTime> link_free_;  ///< per directed link
   std::vector<SimTime> ni_free_;    ///< per node injection interface
-  std::vector<std::optional<HeldPacket>> held_;  ///< per dst node
+  std::vector<SlotId> held_;        ///< per dst node: reorder-held packet
+  std::vector<Slot> slots_;
+  std::vector<SlotId> free_slots_;
+  EventQueue::HandlerId h_deliver_;
+  EventQueue::HandlerId h_deliver_once_;
+  EventQueue::HandlerId h_inject_;
 };
 
 }  // namespace locus

@@ -82,6 +82,74 @@ TEST(ExplorerProperty, NeverWorseThanDirectRoute) {
   }
 }
 
+/// The two pricing engines are interchangeable: across random landscapes,
+/// pin placements, and parameter settings — including drifted views holding
+/// negative raw values, where read() clamps at zero — the prefix-sum engine
+/// returns the same cost, the same route, and the same work counters as the
+/// per-cell reference engine, bit for bit.
+TEST(ExplorerProperty, BulkPricingMatchesReferenceBitForBit) {
+  Rng rng(20'260'806);
+  int tuples = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::int32_t channels = 3 + static_cast<std::int32_t>(rng.bounded(10));
+    const std::int32_t grids = 8 + static_cast<std::int32_t>(rng.bounded(120));
+    CostArray cost = test::make_random_landscape(
+        channels, grids, 50'000 + static_cast<std::uint64_t>(trial),
+        1 + rng.bounded(9));
+    if (trial % 2 == 1) {
+      // Drift some cells negative, as a message passing view does when an
+      // absolute region update lands over a local rip-up.
+      for (std::int32_t k = 0; k < grids; ++k) {
+        GridPoint p{static_cast<std::int32_t>(rng.bounded(channels)),
+                    static_cast<std::int32_t>(rng.bounded(grids))};
+        cost.set(p, -static_cast<std::int32_t>(1 + rng.bounded(3)));
+      }
+    }
+    ExplorerParams params;
+    params.channel_slack = static_cast<std::int32_t>(rng.bounded(3));
+    params.jog_samples = 1 + static_cast<std::int32_t>(rng.bounded(16));
+    params.bend_penalty = rng.chance(0.5) ? 0 : 3;
+    params.congestion_power = rng.chance(0.5) ? 1 : 2;
+    for (int pair = 0; pair < 4; ++pair, ++tuples) {
+      Pin a{static_cast<std::int32_t>(rng.bounded(grids)),
+            static_cast<std::int32_t>(rng.bounded(channels - 1))};
+      Pin b{static_cast<std::int32_t>(rng.bounded(grids)),
+            static_cast<std::int32_t>(rng.bounded(channels - 1))};
+      ExploreResult bulk = explore_connection(a, b, channels, cost, params);
+      ExploreResult ref =
+          explore_connection_reference(a, b, channels, cost, params);
+      ASSERT_EQ(bulk.cost, ref.cost)
+          << "trial " << trial << " a=(" << a.x << "," << a.row << ") b=("
+          << b.x << "," << b.row << ")";
+      ASSERT_TRUE(bulk.route == ref.route);
+      ASSERT_EQ(bulk.stats.cells_probed, ref.stats.cells_probed);
+      ASSERT_EQ(bulk.stats.routes_evaluated, ref.stats.routes_evaluated);
+    }
+  }
+  ASSERT_GE(tuples, 200);  // the tuple floor the PR promises
+}
+
+/// The verify_bulk_pricing debug flag runs both engines internally and
+/// asserts agreement; it must be transparent to the caller.
+TEST(ExplorerProperty, VerifyBulkPricingFlagIsTransparent) {
+  CostArray cost = test::make_random_landscape(6, 50, 404, 5);
+  ExplorerParams plain;
+  ExplorerParams checked = plain;
+  checked.verify_bulk_pricing = true;
+  Rng rng(404);
+  for (int trial = 0; trial < 20; ++trial) {
+    Pin a{static_cast<std::int32_t>(rng.bounded(50)),
+          static_cast<std::int32_t>(rng.bounded(5))};
+    Pin b{static_cast<std::int32_t>(rng.bounded(50)),
+          static_cast<std::int32_t>(rng.bounded(5))};
+    ExploreResult r1 = explore_connection(a, b, 6, cost, plain);
+    ExploreResult r2 = explore_connection(a, b, 6, cost, checked);
+    EXPECT_EQ(r1.cost, r2.cost);
+    EXPECT_TRUE(r1.route == r2.route);
+    EXPECT_EQ(r1.stats.cells_probed, r2.stats.cells_probed);
+  }
+}
+
 /// Rip-up is the exact inverse of commit: any interleaving of route and
 /// rip-up operations that ends with all routes ripped leaves a zero array.
 TEST(RouterProperty2, ArbitraryRipUpOrderRestoresZero) {

@@ -53,6 +53,59 @@ TEST(EventQueue, RunBoundedStops) {
   EXPECT_FALSE(q.empty());
 }
 
+/// Regression for the POD-event rewrite: simultaneous events execute in
+/// global insertion order regardless of whether each was scheduled as a POD
+/// handler event or a legacy closure — the two forms share one sequence
+/// counter, so mixing them cannot perturb FIFO ordering.
+TEST(EventQueue, SimultaneousPodAndClosureEventsInterleaveFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  struct Ctx {
+    std::vector<int>* order;
+    static void push(void* ctx, SimTime, std::uint64_t a, std::uint64_t) {
+      static_cast<Ctx*>(ctx)->order->push_back(static_cast<int>(a));
+    }
+  } ctx{&order};
+  const EventQueue::HandlerId h = q.add_handler(&Ctx::push, &ctx);
+  for (int i = 0; i < 12; ++i) {
+    if (i % 2 == 0) {
+      q.schedule(5, h, static_cast<std::uint64_t>(i));
+    } else {
+      q.schedule(5, [&order, i] { order.push_back(i); });
+    }
+  }
+  q.run();
+  ASSERT_EQ(order.size(), 12u);
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, PodHandlerReceivesTimeAndOperands) {
+  EventQueue q;
+  struct Seen {
+    SimTime now = -1;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    static void on(void* ctx, SimTime now, std::uint64_t a, std::uint64_t b) {
+      *static_cast<Seen*>(ctx) = Seen{now, a, b};
+    }
+  } seen;
+  const EventQueue::HandlerId h = q.add_handler(&Seen::on, &seen);
+  q.schedule(42, h, 7, 9);
+  q.run();
+  EXPECT_EQ(seen.now, 42);
+  EXPECT_EQ(seen.a, 7u);
+  EXPECT_EQ(seen.b, 9u);
+}
+
+TEST(EventQueue, PeakPendingTracksHighWater) {
+  EventQueue q;
+  for (int i = 0; i < 8; ++i) q.schedule(i, [] {});
+  EXPECT_EQ(q.peak_pending(), 8u);
+  q.run();
+  EXPECT_EQ(q.peak_pending(), 8u);  // high-water survives the drain
+  EXPECT_EQ(q.pending(), 0u);
+}
+
 TEST(EventQueue, NowAdvancesMonotonically) {
   EventQueue q;
   SimTime last = -1;
