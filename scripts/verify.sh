@@ -8,17 +8,23 @@
 #   scripts/verify.sh --bench     # tier-1 + benchmark regression gate
 #                                 # (Release run diffed against the checked-in
 #                                 # BENCH_*.json via scripts/bench_compare.py)
+#   scripts/verify.sh --obs       # tier-1 + observability smoke: trace +
+#                                 # metrics export and the obs-vs-engine
+#                                 # cross-check table via examples/obs_tool
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
 CMAKE_FLAGS=()
 RUN_BENCH=0
+RUN_OBS=0
 if [[ "${1:-}" == "--sanitize" ]]; then
   BUILD_DIR=build-sanitize
   CMAKE_FLAGS+=(-DLOCUS_SANITIZE=address,undefined)
 elif [[ "${1:-}" == "--bench" ]]; then
   RUN_BENCH=1
+elif [[ "${1:-}" == "--obs" ]]; then
+  RUN_OBS=1
 fi
 
 cmake -B "$BUILD_DIR" -S . "${CMAKE_FLAGS[@]}"
@@ -37,4 +43,16 @@ if [[ "$RUN_BENCH" == 1 ]]; then
   scripts/bench_smoke.sh /tmp/locus-bench
   scripts/bench_compare.py BENCH_explorer.json /tmp/locus-bench/BENCH_explorer.json
   scripts/bench_compare.py BENCH_network.json /tmp/locus-bench/BENCH_network.json
+fi
+
+# Optional observability smoke: export a Chrome trace + metrics CSV, check
+# the trace parses as JSON, and run the obs-vs-engine cross-check table.
+if [[ "$RUN_OBS" == 1 ]]; then
+  OBS_OUT=/tmp/locus-obs
+  mkdir -p "$OBS_OUT"
+  ./examples/obs_tool mp --circuit=tiny --procs=4 \
+    --trace="$OBS_OUT/trace.json" --metrics="$OBS_OUT/metrics.csv" >/dev/null
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$OBS_OUT/trace.json"
+  ./examples/obs_tool summary --circuit=tiny --procs=4
+  echo "obs artifacts: $OBS_OUT/trace.json $OBS_OUT/metrics.csv"
 fi

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "coherence/protocol.hpp"
+#include "obs/obs.hpp"
 #include "shm/trace.hpp"
 
 namespace locus {
@@ -31,6 +32,12 @@ class CoherenceSim {
 
   /// Number of distinct lines ever touched (cold footprint).
   std::size_t lines_touched() const { return lines_.size(); }
+
+  /// Mirrors the accumulated traffic breakdown into `o`'s registry under
+  /// the coh.* names (obs::CoherenceObsNames), once, on `shard`. The replay
+  /// loop itself carries no hooks — counters are published from the exact
+  /// CoherenceTraffic totals after the fact, so replay cost is unchanged.
+  void publish_obs(obs::Obs& o, std::size_t shard = 0) const;
 
  private:
   struct LineState {

@@ -13,6 +13,7 @@
 #include "coherence/simulator.hpp"
 #include "harness/paper_data.hpp"
 #include "msg/packets.hpp"
+#include "obs/obs.hpp"
 #include "route/sequential.hpp"
 #include "shm/numa.hpp"
 #include "support/assert.hpp"
@@ -770,6 +771,62 @@ Table run_ablation_topology(const Circuit& circuit, const ExperimentConfig& conf
         .cell(r.mbytes(), 3)
         .cell(static_cast<unsigned long long>(r.network.byte_hops))
         .cell(r.seconds(), 3).cell(mean_latency_us, 1);
+  }
+  return t;
+}
+
+Table run_obs_traffic_summary(const Circuit& circuit,
+                              const ExperimentConfig& config) {
+  Table t;
+  t.column("metric", Align::kLeft).column("obs counter").column("engine stat")
+      .column("match", Align::kLeft);
+  auto row = [&t](const char* name, std::uint64_t o, std::uint64_t e) {
+    t.row().cell(name).cell(static_cast<unsigned long long>(o))
+        .cell(static_cast<unsigned long long>(e))
+        .cell(o == e ? "yes" : "NO");
+  };
+
+  // MP receiver-initiated run with the obs layer attached: every counter
+  // must agree with the statistic the engine already keeps.
+  obs::Obs mp_obs;
+  {
+    const Partition partition(circuit.channels(), circuit.grids(),
+                              MeshShape::for_procs(config.procs));
+    const Assignment assignment =
+        make_assignment(circuit, partition, kBaselineAssign);
+    MpConfig mp_config = config.mp(UpdateSchedule::receiver(1, 30));
+    mp_config.obs = &mp_obs;
+    MpRunResult r = run_message_passing(circuit, partition, assignment, mp_config);
+    auto& reg = mp_obs.counters();
+    row("net.packets", reg.total("net.packets"), r.network.packets);
+    row("net.bytes", reg.total("net.bytes"), r.network.bytes);
+    row("net.byte_hops", reg.total("net.byte_hops"), r.network.byte_hops);
+    row("mp.wires_routed", reg.total("mp.wires_routed"),
+        static_cast<std::uint64_t>(r.work.wires_routed));
+    row("mp.updates_suppressed", reg.total("mp.updates_suppressed"),
+        static_cast<std::uint64_t>(r.updates_suppressed));
+  }
+
+  t.separator();
+
+  // Deterministic shm run plus a coherence replay of its reference trace.
+  obs::Obs shm_obs_sink;
+  {
+    ShmConfig shm_config = config.shm();
+    shm_config.obs = &shm_obs_sink;
+    ShmRunResult r = run_shared_memory(circuit, shm_config);
+    auto& reg = shm_obs_sink.counters();
+    row("shm.wires_routed", reg.total("shm.wires_routed"),
+        static_cast<std::uint64_t>(r.work.wires_routed));
+    row("shm.trace_refs", reg.total("shm.trace_refs"), r.trace.size());
+
+    CoherenceSim sim(config.procs, CoherenceParams{});
+    sim.replay(r.trace);
+    sim.publish_obs(shm_obs_sink);
+    row("coh.accesses", reg.total(obs::CoherenceObsNames::kAccesses),
+        sim.traffic().accesses);
+    row("coh.total_bytes", reg.total(obs::CoherenceObsNames::kTotalBytes),
+        sim.traffic().total_bytes());
   }
   return t;
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "geom/partition.hpp"
+#include "obs/obs.hpp"
 #include "route/cost_model.hpp"
 #include "route/router.hpp"
 #include "sim/topology.hpp"
@@ -112,6 +113,11 @@ struct MpConfig {
   /// Optional protocol-event observer (msg/observer.hpp) for correctness
   /// checkers; hooks fire synchronously inside the DES. Not owned.
   MpObserver* observer = nullptr;
+  /// Optional observability sink (src/obs). When set, the driver wires the
+  /// machine (event queue, network, compute spans) and every RouterNode
+  /// (per-packet-kind traffic counters, rip-ups, route spans) to it. Not
+  /// owned; must outlive the run.
+  obs::Obs* obs = nullptr;
 };
 
 }  // namespace locus

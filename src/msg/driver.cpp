@@ -43,6 +43,11 @@ MpRunResult run_message_passing(const Circuit& circuit, const Partition& partiti
   }
 
   MpShared shared(circuit);
+  LOCUS_OBS_HOOK(if (config.obs != nullptr) {
+    machine.set_obs(config.obs);
+    shared.node_obs.bind(config.obs, /*shard_index=*/0);
+    shared.explorer_obs.bind(config.obs, /*shard_index=*/0);
+  });
   shared.final_routes.resize(static_cast<std::size_t>(circuit.num_wires()));
   shared.occupancy.assign(static_cast<std::size_t>(partition.num_regions()), 0);
   shared.work.assign(static_cast<std::size_t>(partition.num_regions()), {});
@@ -72,6 +77,16 @@ MpRunResult run_message_passing(const Circuit& circuit, const Partition& partiti
   result.machine = machine.run();
   result.network = machine.network().stats();
   result.faults = machine.fault_stats();
+  LOCUS_OBS_HOOK(if (config.obs != nullptr) {
+    // Per-packet-kind on-wire byte totals, published once from the
+    // network's tally under symbolic kind names.
+    auto& reg = config.obs->counters();
+    for (const auto& [type, bytes] : result.network.bytes_by_type) {
+      reg.add(0, reg.counter(std::string("net.bytes_by_type.") +
+                             obs::msg_kind_name(type)),
+              bytes);
+    }
+  });
   if (config.observer != nullptr) {
     config.observer->on_run_end(run_view);
   }

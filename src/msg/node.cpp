@@ -8,6 +8,21 @@
 
 namespace locus {
 
+namespace {
+
+/// Points the explorer at the shared routing-work counters when the run is
+/// instrumented (MpShared::explorer_obs is bound before node construction).
+RouterParams with_explorer_obs(RouterParams params, const MpShared& shared) {
+#if LOCUS_OBS_ENABLED
+  if (shared.explorer_obs) params.explorer.obs = &shared.explorer_obs;
+#else
+  static_cast<void>(shared);
+#endif
+  return params;
+}
+
+}  // namespace
+
 RouterNode::RouterNode(const Circuit& circuit, const Partition& partition,
                        const MpConfig& config, std::vector<WireId> my_wires,
                        ProcId self, MpShared& shared)
@@ -15,7 +30,7 @@ RouterNode::RouterNode(const Circuit& circuit, const Partition& partition,
       my_wires_(std::move(my_wires)), self_(self), shared_(shared),
       view_(circuit.channels(), circuit.grids()), delta_(partition),
       view_with_delta_(view_, delta_),
-      router_(circuit.channels(), config.router),
+      router_(circuit.channels(), with_explorer_obs(config.router, shared)),
       touch_count_(static_cast<std::size_t>(partition.num_regions()), 0),
       interest_bbox_(static_cast<std::size_t>(partition.num_regions())),
       req_rmt_received_(static_cast<std::size_t>(partition.num_regions()), 0),
@@ -42,6 +57,13 @@ void RouterNode::on_packet(NodeApi& api, const Packet& packet) {
       tm.msg_fixed_ns + static_cast<SimTime>(packet.bytes) * tm.unpack_byte_ns;
   api.advance(unpack_cost);
   breakdown().msg_software_ns += unpack_cost;
+  LOCUS_OBS_HOOK(if (shared_.node_obs) {
+    const obs::MpNodeObs& o = shared_.node_obs;
+    const std::size_t k = obs::msg_kind_index(packet.type);
+    o.obs->counters().add(o.shard, o.received[k]);
+    o.obs->counters().add(o.shard, o.received_bytes[k],
+                          static_cast<std::uint64_t>(packet.bytes));
+  });
 
   switch (packet.type) {
     case kMsgSendLocData:
@@ -94,6 +116,7 @@ void RouterNode::on_packet(NodeApi& api, const Packet& packet) {
           api.advance(config_.time.msg_fixed_ns);
           breakdown().msg_software_ns += config_.time.msg_fixed_ns;
           api.send(packet.src, kMsgReqLocData, request_packet_bytes(), std::move(req));
+          note_sent(kMsgReqLocData, request_packet_bytes());
           breakdown().network_copy_ns += config_.time.process_time_ns;
           ++shared_.requests_sent;
         }
@@ -122,6 +145,10 @@ void RouterNode::on_packet(NodeApi& api, const Packet& packet) {
                          std::move(extract->values));
       } else {
         ++shared_.updates_suppressed;
+        LOCUS_OBS_HOOK(if (shared_.node_obs) {
+          shared_.node_obs.obs->counters().add(shared_.node_obs.shard,
+                                               shared_.node_obs.updates_suppressed);
+        });
       }
       break;
     }
@@ -192,6 +219,7 @@ void RouterNode::advance_lookahead(NodeApi& api) {
         api.advance(config_.time.msg_fixed_ns);
         breakdown().msg_software_ns += config_.time.msg_fixed_ns;
         api.send(region, kMsgReqRmtData, request_packet_bytes(), std::move(req));
+        note_sent(kMsgReqRmtData, request_packet_bytes());
         breakdown().network_copy_ns += config_.time.process_time_ns;
         ++shared_.requests_sent;
         ++pending_responses_;
@@ -216,6 +244,10 @@ SimTime RouterNode::route_wire_id(NodeApi& api, WireId wire_id,
     WireRouter::rip_up(slot, shared_.truth);
     cost += static_cast<SimTime>(slot.cells.size()) * tm.commit_ns;
     note_route_segments(slot);
+    LOCUS_OBS_HOOK(if (shared_.node_obs) {
+      shared_.node_obs.obs->counters().add(shared_.node_obs.shard,
+                                           shared_.node_obs.ripups);
+    });
   }
 
   RouteWorkStats& work = shared_.work[static_cast<std::size_t>(self_)];
@@ -226,9 +258,22 @@ SimTime RouterNode::route_wire_id(NodeApi& api, WireId wire_id,
   note_route_segments(slot);
 
   if (charge_now) {
+    LOCUS_OBS_HOOK(if (shared_.node_obs) {
+      const obs::MpNodeObs& o = shared_.node_obs;
+      if (obs::TraceSink* t = o.obs->trace()) {
+        // The span covers the rip-up + re-route compute about to be charged.
+        t->complete(self_, o.cat_route, o.n_route, api.now(), cost, o.a_wire,
+                    wire_id, o.a_iteration, iteration);
+      }
+    });
     api.advance(cost);
     breakdown().routing_ns += cost;
   }
+  LOCUS_OBS_HOOK(if (shared_.node_obs) {
+    const obs::MpNodeObs& o = shared_.node_obs;
+    o.obs->counters().add(o.shard, o.wires_routed);
+    o.obs->counters().add(o.shard, o.cells_committed, slot.cells.size());
+  });
 
   // Price the chosen path against the global oracle *before* committing it
   // there (measurement only — see MpShared::truth).
@@ -283,6 +328,7 @@ void RouterNode::send_grant(NodeApi& api, ProcId dst, WireId wire,
   api.advance(config_.time.msg_fixed_ns);
   breakdown().msg_software_ns += config_.time.msg_fixed_ns;
   api.send(dst, kMsgWireGrant, grant_packet_bytes(), std::move(grant));
+  note_sent(kMsgWireGrant, grant_packet_bytes());
   breakdown().network_copy_ns += config_.time.process_time_ns;
   if (wire >= 0) {
     granted_to_[static_cast<std::size_t>(dst)] = true;
@@ -306,6 +352,7 @@ void RouterNode::request_wire(NodeApi& api) {
   api.advance(config_.time.msg_fixed_ns);
   breakdown().msg_software_ns += config_.time.msg_fixed_ns;
   api.send(0, kMsgWireRequest, request_packet_bytes(), nullptr);
+  note_sent(kMsgWireRequest, request_packet_bytes());
   breakdown().network_copy_ns += config_.time.process_time_ns;
   ++shared_.requests_sent;
 }
@@ -396,6 +443,10 @@ void RouterNode::fire_sender_updates(NodeApi& api) {
       segments_changed_[static_cast<std::size_t>(self_)] = 0;
     } else {
       ++shared_.updates_suppressed;
+      LOCUS_OBS_HOOK(if (shared_.node_obs) {
+        shared_.node_obs.obs->counters().add(shared_.node_obs.shard,
+                                             shared_.node_obs.updates_suppressed);
+      });
     }
   }
 }
@@ -425,6 +476,7 @@ void RouterNode::send_data_update(NodeApi& api, ProcId dst, std::int32_t type,
   api.advance(pack_cost);
   breakdown().msg_software_ns += pack_cost;
   api.send(dst, type, bytes, std::move(payload));
+  note_sent(type, bytes);
   breakdown().network_copy_ns += tm.process_time_ns;
 }
 

@@ -74,6 +74,12 @@ struct MpShared {
   std::int64_t updates_suppressed = 0;       ///< clean-region updates skipped
   std::int64_t requests_sent = 0;
   std::int64_t responses_received = 0;
+  /// Bound by the driver when MpConfig::obs is set (the DES is sequential,
+  /// so one shard serves every node); unbound otherwise.
+  obs::MpNodeObs node_obs;
+  /// Routing-work counters for every node's explorer; must be bound before
+  /// the nodes are constructed (each WireRouter captures the pointer).
+  obs::ExplorerObs explorer_obs;
 };
 
 class RouterNode final : public Node {
@@ -136,6 +142,19 @@ class RouterNode final : public Node {
                         std::vector<std::int32_t> values);
   void note_route_segments(const WireRoute& route);
   TimeBreakdown& breakdown();
+
+  /// Per-kind sent-traffic counters (no-op unless observability is bound).
+  void note_sent(std::int32_t type, std::int32_t bytes) {
+    static_cast<void>(type);
+    static_cast<void>(bytes);
+    LOCUS_OBS_HOOK(if (shared_.node_obs) {
+      const obs::MpNodeObs& o = shared_.node_obs;
+      const std::size_t k = obs::msg_kind_index(type);
+      o.obs->counters().add(o.shard, o.sent[k]);
+      o.obs->counters().add(o.shard, o.sent_bytes[k],
+                            static_cast<std::uint64_t>(bytes));
+    });
+  }
 
   const Circuit& circuit_;
   const Partition& partition_;

@@ -67,9 +67,18 @@ ThreadsMpResult run_threads_message_passing(const Circuit& circuit,
 
   Stopwatch wall;
   auto worker = [&](ProcId self) {
+    // Per-thread shard: single-writer counters, merged after join.
+    obs::MpNodeObs node_obs;
+    obs::ExplorerObs explorer_obs;
+    RouterParams router_params = config.router;
+    LOCUS_OBS_HOOK(if (config.obs != nullptr) {
+      node_obs.bind(config.obs, static_cast<std::size_t>(self));
+      explorer_obs.bind(config.obs, static_cast<std::size_t>(self));
+      router_params.explorer.obs = &explorer_obs;
+    });
     CostArray view(circuit.channels(), circuit.grids());
     DeltaArray delta(partition);
-    WireRouter router(circuit.channels(), config.router);
+    WireRouter router(circuit.channels(), router_params);
     const std::vector<WireId>& my_wires =
         assignment.wires_per_proc[static_cast<std::size_t>(self)];
     std::int32_t since_loc = 0;
@@ -78,6 +87,14 @@ ThreadsMpResult run_threads_message_passing(const Circuit& circuit,
     auto drain = [&] {
       ThreadMsg msg;
       while (mailboxes[static_cast<std::size_t>(self)].pop(msg)) {
+        LOCUS_OBS_HOOK(if (node_obs) {
+          const std::size_t k = obs::msg_kind_index(msg.type);
+          auto& reg = node_obs.obs->counters();
+          reg.add(node_obs.shard, node_obs.received[k]);
+          reg.add(node_obs.shard, node_obs.received_bytes[k],
+                  static_cast<std::uint64_t>(update_packet_bytes(
+                      PacketStructure::kBoundingBox, msg.bbox, msg.absolute, 0, 0)));
+        });
         if (msg.absolute) {
           view.write_rect(msg.bbox, msg.values);
         } else {
@@ -94,11 +111,16 @@ ThreadsMpResult run_threads_message_passing(const Circuit& circuit,
     };
 
     auto post = [&](ProcId dst, ThreadMsg msg) {
-      bytes.fetch_add(
-          static_cast<std::uint64_t>(update_packet_bytes(
-              PacketStructure::kBoundingBox, msg.bbox, msg.absolute, 0, 0)),
-          std::memory_order_relaxed);
+      const auto wire_bytes = static_cast<std::uint64_t>(update_packet_bytes(
+          PacketStructure::kBoundingBox, msg.bbox, msg.absolute, 0, 0));
+      bytes.fetch_add(wire_bytes, std::memory_order_relaxed);
       messages.fetch_add(1, std::memory_order_relaxed);
+      LOCUS_OBS_HOOK(if (node_obs) {
+        const std::size_t k = obs::msg_kind_index(msg.type);
+        auto& reg = node_obs.obs->counters();
+        reg.add(node_obs.shard, node_obs.sent[k]);
+        reg.add(node_obs.shard, node_obs.sent_bytes[k], wire_bytes);
+      });
       mailboxes[static_cast<std::size_t>(dst)].push(std::move(msg));
     };
 
@@ -127,9 +149,17 @@ ThreadsMpResult run_threads_message_passing(const Circuit& circuit,
         } tracked(view, delta);
         if (slot.routed()) {
           WireRouter::rip_up(slot, tracked);
+          LOCUS_OBS_HOOK(if (node_obs) {
+            node_obs.obs->counters().add(node_obs.shard, node_obs.ripups);
+          });
         }
         slot = router.route_wire(circuit.wire(wire_id), tracked,
                                  work[static_cast<std::size_t>(self)]);
+        LOCUS_OBS_HOOK(if (node_obs) {
+          auto& reg = node_obs.obs->counters();
+          reg.add(node_obs.shard, node_obs.wires_routed);
+          reg.add(node_obs.shard, node_obs.cells_committed, slot.cells.size());
+        });
 
         if (config.send_rmt_period > 0 && ++since_rmt >= config.send_rmt_period) {
           since_rmt = 0;

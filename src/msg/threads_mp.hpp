@@ -29,6 +29,11 @@ struct ThreadsMpConfig {
   /// simulator's blocking machinery and are not supported here).
   std::int32_t send_loc_period = 5;
   std::int32_t send_rmt_period = 2;
+  /// Optional observability sink. Each worker thread writes per-kind
+  /// sent/received counters to its own registry shard (shard = thread id
+  /// mod num_shards; build the registry with one shard per worker for a
+  /// contention-free run). Not owned; read totals after the call returns.
+  obs::Obs* obs = nullptr;
 };
 
 struct ThreadsMpResult {

@@ -1,0 +1,195 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+
+namespace locus::obs {
+
+TraceSink::StrId TraceSink::intern(std::string_view s) {
+  if (auto it = string_ids_.find(std::string(s)); it != string_ids_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<StrId>(strings_.size());
+  strings_.emplace_back(s);
+  string_ids_.emplace(strings_.back(), id);
+  return id;
+}
+
+void TraceSink::set_track_name(std::int32_t tid, std::string_view name) {
+  track_names_.emplace_back(tid, intern(name));
+}
+
+TraceSink::Event& TraceSink::push(char ph, std::int32_t tid, StrId cat, StrId name,
+                                  TraceTime ts) {
+  Event& ev = events_.emplace_back();
+  ev.ph = ph;
+  ev.tid = tid;
+  ev.cat = cat;
+  ev.name = name;
+  ev.ts = ts;
+  return ev;
+}
+
+void TraceSink::complete(std::int32_t tid, StrId cat, StrId name, TraceTime ts,
+                         TraceTime dur) {
+  push('X', tid, cat, name, ts).dur = dur;
+}
+
+void TraceSink::complete(std::int32_t tid, StrId cat, StrId name, TraceTime ts,
+                         TraceTime dur, StrId a0_name, std::int64_t a0) {
+  Event& ev = push('X', tid, cat, name, ts);
+  ev.dur = dur;
+  ev.a0_name = a0_name;
+  ev.a0 = a0;
+  ev.nargs = 1;
+}
+
+void TraceSink::complete(std::int32_t tid, StrId cat, StrId name, TraceTime ts,
+                         TraceTime dur, StrId a0_name, std::int64_t a0,
+                         StrId a1_name, std::int64_t a1) {
+  Event& ev = push('X', tid, cat, name, ts);
+  ev.dur = dur;
+  ev.a0_name = a0_name;
+  ev.a0 = a0;
+  ev.a1_name = a1_name;
+  ev.a1 = a1;
+  ev.nargs = 2;
+}
+
+void TraceSink::instant(std::int32_t tid, StrId cat, StrId name, TraceTime ts) {
+  push('i', tid, cat, name, ts);
+}
+
+void TraceSink::instant(std::int32_t tid, StrId cat, StrId name, TraceTime ts,
+                        StrId a0_name, std::int64_t a0) {
+  Event& ev = push('i', tid, cat, name, ts);
+  ev.a0_name = a0_name;
+  ev.a0 = a0;
+  ev.nargs = 1;
+}
+
+void TraceSink::instant(std::int32_t tid, StrId cat, StrId name, TraceTime ts,
+                        StrId a0_name, std::int64_t a0, StrId a1_name,
+                        std::int64_t a1) {
+  Event& ev = push('i', tid, cat, name, ts);
+  ev.a0_name = a0_name;
+  ev.a0 = a0;
+  ev.a1_name = a1_name;
+  ev.a1 = a1;
+  ev.nargs = 2;
+}
+
+void TraceSink::counter(std::int32_t tid, StrId name, TraceTime ts,
+                        std::int64_t value) {
+  Event& ev = push('C', tid, /*cat=*/name, name, ts);
+  ev.a0_name = intern("value");
+  ev.a0 = value;
+  ev.nargs = 1;
+}
+
+void TraceSink::flow_begin(std::int32_t tid, StrId cat, StrId name, TraceTime ts,
+                           std::uint64_t flow_id) {
+  push('s', tid, cat, name, ts).flow_id = flow_id;
+}
+
+void TraceSink::flow_end(std::int32_t tid, StrId cat, StrId name, TraceTime ts,
+                         std::uint64_t flow_id) {
+  push('f', tid, cat, name, ts).flow_id = flow_id;
+}
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    out += ch;
+  }
+  out += '"';
+}
+
+/// Nanoseconds as Chrome's microsecond `ts` with three decimals, formatted
+/// from integer math so the output never depends on float printing.
+void append_us(std::string& out, TraceTime ns) {
+  char buf[48];
+  const char* sign = ns < 0 ? "-" : "";
+  const std::uint64_t abs_ns =
+      ns < 0 ? static_cast<std::uint64_t>(-ns) : static_cast<std::uint64_t>(ns);
+  std::snprintf(buf, sizeof(buf), "%s%llu.%03llu", sign,
+                static_cast<unsigned long long>(abs_ns / 1000),
+                static_cast<unsigned long long>(abs_ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+std::string TraceSink::chrome_json() const {
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+
+  for (const auto& [tid, name_id] : track_names_) {
+    comma();
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"args\":{\"name\":";
+    append_json_string(out, strings_[name_id]);
+    out += "}}";
+  }
+
+  char buf[32];
+  for (const Event& ev : events_) {
+    comma();
+    out += "{\"name\":";
+    append_json_string(out, strings_[ev.name]);
+    out += ",\"cat\":";
+    append_json_string(out, strings_[ev.cat]);
+    out += ",\"ph\":\"";
+    out += ev.ph;
+    out += "\",\"pid\":0,\"tid\":";
+    out += std::to_string(ev.tid);
+    out += ",\"ts\":";
+    append_us(out, ev.ts);
+    if (ev.ph == 'X') {
+      out += ",\"dur\":";
+      append_us(out, ev.dur);
+    }
+    if (ev.ph == 's' || ev.ph == 'f') {
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(ev.flow_id));
+      out += ",\"id\":\"";
+      out += buf;
+      out += '"';
+      if (ev.ph == 'f') out += ",\"bp\":\"e\"";
+    }
+    if (ev.ph == 'i') out += ",\"s\":\"t\"";
+    if (ev.nargs > 0) {
+      out += ",\"args\":{";
+      append_json_string(out, strings_[ev.a0_name]);
+      out += ':';
+      out += std::to_string(ev.a0);
+      if (ev.nargs > 1) {
+        out += ',';
+        append_json_string(out, strings_[ev.a1_name]);
+        out += ':';
+        out += std::to_string(ev.a1);
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool TraceSink::write_chrome_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = chrome_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace locus::obs

@@ -279,9 +279,16 @@ ExploreResult explore_connection(const Pin& a, const Pin& b, std::int32_t channe
   LOCUS_ASSERT(channels >= 2);
   const CandidateWindow w = candidate_window(a, b, channels, params);
   if (!view.supports_bulk_read()) {
-    return explore_reference(a, b, view, params, w);
+    ExploreResult res = explore_reference(a, b, view, params, w);
+    LOCUS_OBS_HOOK(if (params.obs != nullptr && *params.obs) {
+      params.obs->note(res.stats.routes_evaluated, res.stats.cells_probed);
+    });
+    return res;
   }
   ExploreResult res = explore_bulk(a, b, view, params, w);
+  LOCUS_OBS_HOOK(if (params.obs != nullptr && *params.obs) {
+    params.obs->note(res.stats.routes_evaluated, res.stats.cells_probed);
+  });
   if (params.verify_bulk_pricing) {
     const ExploreResult ref = explore_reference(a, b, view, params, w);
     LOCUS_ASSERT_MSG(res.cost == ref.cost, "bulk pricing: cost diverged");

@@ -28,6 +28,7 @@
 #include <cstdint>
 
 #include "circuit/circuit.hpp"
+#include "obs/obs.hpp"
 #include "route/cost_view.hpp"
 #include "route/path.hpp"
 
@@ -48,6 +49,10 @@ struct ExplorerParams {
   /// reference engine and assert the chosen route, cost and stats agree
   /// bit-for-bit. Costs ~2x; for tests and benchmarks.
   bool verify_bulk_pricing = false;
+  /// Optional observability binding (not owned; null = off). When set,
+  /// explore_connection() bumps route.connections / route.routes_evaluated /
+  /// route.cells_probed on the binding's shard.
+  const obs::ExplorerObs* obs = nullptr;
 
   /// Wider search: more channels and finer jog sampling. Costs ~3x probes.
   static ExplorerParams thorough() {

@@ -156,8 +156,22 @@ ShmRunResult run_shared_memory(const Circuit& circuit, const ShmConfig& config) 
   result.proc_finish_ns.assign(static_cast<std::size_t>(config.procs), 0);
 
   TracingView view(result.cost, config.capture_trace, config.trace_dedup_reads);
-  WireRouter router(circuit.channels(), config.router);
   const TimeModel& tm = config.time;
+
+  obs::ShmObs shm_obs;
+  obs::ExplorerObs explorer_obs;
+  RouterParams router_params = config.router;
+  LOCUS_OBS_HOOK(if (config.obs != nullptr) {
+    shm_obs.bind(config.obs, /*shard_index=*/0);
+    explorer_obs.bind(config.obs, /*shard_index=*/0);
+    router_params.explorer.obs = &explorer_obs;
+    if (obs::TraceSink* t = config.obs->trace()) {
+      for (std::int32_t p = 0; p < config.procs; ++p) {
+        t->set_track_name(p, "proc " + std::to_string(p));
+      }
+    }
+  });
+  WireRouter router(circuit.channels(), router_params);
 
   std::vector<ProcState> procs(static_cast<std::size_t>(config.procs));
   if (!dynamic) {
@@ -238,7 +252,8 @@ ShmRunResult run_shared_memory(const Circuit& circuit, const ShmConfig& config) 
       const Wire& wire = circuit.wire(wire_id);
       WireRoute& slot = result.routes[static_cast<std::size_t>(wire_id)];
       SimTime rip_cost = 0;
-      if (slot.routed()) {
+      const bool ripped = slot.routed();
+      if (ripped) {
         WireRouter::rip_up(slot, view);
         rip_cost = static_cast<SimTime>(slot.cells.size()) * tm.commit_ns;
       }
@@ -252,6 +267,16 @@ ShmRunResult run_shared_memory(const Circuit& circuit, const ShmConfig& config) 
                              result.work.cells_committed - before.cells_committed, 1);
       view.flush_wire(result.trace, static_cast<std::int16_t>(next), ps.clock,
                       duration);
+      LOCUS_OBS_HOOK(if (shm_obs) {
+        auto& reg = shm_obs.obs->counters();
+        reg.add(shm_obs.shard, shm_obs.wires_routed);
+        reg.add(shm_obs.shard, shm_obs.cells_committed, slot.cells.size());
+        if (ripped) reg.add(shm_obs.shard, shm_obs.ripups);
+        if (obs::TraceSink* t = shm_obs.obs->trace()) {
+          t->complete(next, shm_obs.cat_route, shm_obs.n_route, ps.clock, duration,
+                      shm_obs.a_wire, wire_id, shm_obs.a_iteration, iter);
+        }
+      });
       ps.clock += duration;
       pending_commits.push(
           PendingCommit{ps.clock, commit_seq++, view.take_deferred(), +1});
@@ -274,6 +299,10 @@ ShmRunResult run_shared_memory(const Circuit& circuit, const ShmConfig& config) 
   LOCUS_ASSERT(result.cost ==
                rebuild_cost(circuit.channels(), circuit.grids(), result.routes));
   result.trace.sort_by_time();
+  LOCUS_OBS_HOOK(if (shm_obs) {
+    shm_obs.obs->counters().add(shm_obs.shard, shm_obs.trace_refs,
+                                result.trace.size());
+  });
   return result;
 }
 

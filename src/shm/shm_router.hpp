@@ -24,6 +24,7 @@
 #include "assign/assignment.hpp"
 #include "circuit/circuit.hpp"
 #include "grid/cost_array.hpp"
+#include "obs/obs.hpp"
 #include "route/cost_model.hpp"
 #include "route/quality.hpp"
 #include "route/router.hpp"
@@ -47,6 +48,11 @@ struct ShmConfig {
   /// faithful default; dedup (true) trades that fidelity for ~40x smaller
   /// traces in memory-constrained runs.
   bool trace_dedup_reads = false;
+  /// Optional observability sink: per-wire route spans on "proc N" tracks
+  /// (in simulated time), shm.* work counters, and the captured
+  /// shared-reference count. The executor is sequential, so one registry
+  /// shard serves all logical processors. Not owned.
+  obs::Obs* obs = nullptr;
 };
 
 struct ShmRunResult {

@@ -77,8 +77,17 @@ ThreadsRunResult run_threads_shared_memory(const Circuit& circuit,
 
   Stopwatch wall;
   auto worker = [&](std::int32_t tid) {
+    // Per-thread registry shard: plain single-writer slots, summed after join.
+    obs::ShmObs shm_obs;
+    obs::ExplorerObs explorer_obs;
+    RouterParams router_params = config.router;
+    LOCUS_OBS_HOOK(if (config.obs != nullptr) {
+      shm_obs.bind(config.obs, static_cast<std::size_t>(tid));
+      explorer_obs.bind(config.obs, static_cast<std::size_t>(tid));
+      router_params.explorer.obs = &explorer_obs;
+    });
     AtomicView view(shared);
-    WireRouter router(circuit.channels(), config.router);
+    WireRouter router(circuit.channels(), router_params);
     RouteWorkStats& my_work = work[static_cast<std::size_t>(tid)];
     for (std::int32_t iter = 0; iter < config.iterations; ++iter) {
       const bool last = (iter + 1 == config.iterations);
@@ -88,8 +97,16 @@ ThreadsRunResult run_threads_shared_memory(const Circuit& circuit,
         WireRoute& slot = result.routes[static_cast<std::size_t>(wire_id)];
         if (slot.routed()) {
           WireRouter::rip_up(slot, view);
+          LOCUS_OBS_HOOK(if (shm_obs) {
+            shm_obs.obs->counters().add(shm_obs.shard, shm_obs.ripups);
+          });
         }
         slot = router.route_wire(circuit.wire(wire_id), view, my_work);
+        LOCUS_OBS_HOOK(if (shm_obs) {
+          auto& reg = shm_obs.obs->counters();
+          reg.add(shm_obs.shard, shm_obs.wires_routed);
+          reg.add(shm_obs.shard, shm_obs.cells_committed, slot.cells.size());
+        });
         if (last) {
           occupancy.fetch_add(slot.path_cost, std::memory_order_relaxed);
         }

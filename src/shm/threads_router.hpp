@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "circuit/circuit.hpp"
+#include "obs/obs.hpp"
 #include "route/router.hpp"
 
 namespace locus {
@@ -29,6 +30,12 @@ struct ThreadsConfig {
   RouterParams router;
   std::int32_t iterations = 2;
   std::int32_t threads = 4;
+  /// Optional observability sink. Each worker writes shm.* work counters to
+  /// its own registry shard (shard = tid mod num_shards; size the registry
+  /// with one shard per thread for contention-free counting). Not owned;
+  /// merged totals are valid once the call returns. No trace is produced —
+  /// real threads have no deterministic simulated clock.
+  obs::Obs* obs = nullptr;
 };
 
 struct ThreadsRunResult {

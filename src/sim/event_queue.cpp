@@ -59,6 +59,11 @@ SimTime EventQueue::run() {
   while (!heap_.empty()) {
     const Event ev = heap_.top();  // trivially copyable: plain copy, no cast
     heap_.pop();
+    LOCUS_OBS_HOOK(if (obs_) {
+      auto& reg = obs_.obs->counters();
+      reg.add(obs_.shard, obs_.events);
+      reg.observe(obs_.shard, obs_.depth, heap_.size());
+    });
     now_ = ev.time;
     ++executed_;
     dispatch(ev);
@@ -71,6 +76,11 @@ std::size_t EventQueue::run_bounded(std::size_t limit) {
   while (!heap_.empty() && count < limit) {
     const Event ev = heap_.top();
     heap_.pop();
+    LOCUS_OBS_HOOK(if (obs_) {
+      auto& reg = obs_.obs->counters();
+      reg.add(obs_.shard, obs_.events);
+      reg.observe(obs_.shard, obs_.depth, heap_.size());
+    });
     now_ = ev.time;
     ++executed_;
     dispatch(ev);

@@ -18,6 +18,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 
 namespace locus {
@@ -62,6 +63,10 @@ class EventQueue {
   /// High-water mark of pending events (queue depth) over the run so far.
   std::size_t peak_pending() const { return peak_pending_; }
 
+  /// Attach observability (null to detach): bumps `sim.events` and samples
+  /// the `sim.queue_depth` histogram at every dispatch.
+  void set_obs(obs::Obs* o) { obs_.bind(o); }
+
  private:
   struct Event {
     SimTime time;
@@ -94,6 +99,7 @@ class EventQueue {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t peak_pending_ = 0;
+  obs::QueueObs obs_;
 };
 
 }  // namespace locus

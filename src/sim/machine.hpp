@@ -100,6 +100,13 @@ class Machine {
   /// is available via network().stats().
   MachineStats run();
 
+  /// Attach observability (null to detach) to the whole machine: the event
+  /// queue, the network, and per-node compute spans (one 'X' span per
+  /// scheduling round that advanced the node's clock, on a track named
+  /// "proc N") plus `node.steps` / `node.packets_delivered` /
+  /// `node.busy_ns` counters. Call before run().
+  void set_obs(obs::Obs* o);
+
   const Network& network() const { return *network_; }
   /// The installed program for `proc` (for post-run inspection).
   Node* node(ProcId proc) { return state(proc).program.get(); }
@@ -145,6 +152,13 @@ class Machine {
   std::vector<NodeState> nodes_;
   std::uint64_t arrival_seq_ = 0;
   ProcId running_ = -1;  ///< node currently executing (api target)
+
+  obs::Obs* obs_ = nullptr;
+  obs::MetricId obs_steps_ = 0;
+  obs::MetricId obs_delivered_ = 0;
+  obs::MetricId obs_busy_ns_ = 0;
+  obs::TraceSink::StrId obs_cat_node_ = 0;
+  obs::TraceSink::StrId obs_n_compute_ = 0;
 };
 
 }  // namespace locus

@@ -119,6 +119,12 @@ SimTime Network::inject(Packet packet, SimTime ready) {
     waited += start - head;
     free_at = start + L * params_.hop_time_ns;
     head = start + params_.hop_time_ns;
+    LOCUS_OBS_HOOK(if (obs_) {
+      if (obs::TraceSink* t = obs_.obs->trace(); t != nullptr && t->hop_detail()) {
+        t->instant(packet.src, obs_.cat_net, obs_.n_hop, start, obs_.a_link,
+                   topology_.link_index(link), obs_.a_bytes, L);
+      }
+    });
   }
 
   // Tail drains into the destination, then the receive-side copy runs. With
@@ -141,6 +147,30 @@ SimTime Network::inject(Packet packet, SimTime ready) {
   // already charged (the bytes crossed the network before the fault).
   FaultInjector::Action action = FaultInjector::Action::kDeliver;
   if (injector_ != nullptr) action = injector_->packet_action(packet.type);
+
+  LOCUS_OBS_HOOK(if (obs_) {
+    auto& reg = obs_.obs->counters();
+    reg.add(obs_.shard, obs_.packets);
+    reg.add(obs_.shard, obs_.bytes, static_cast<std::uint64_t>(L));
+    reg.add(obs_.shard, obs_.byte_hops, static_cast<std::uint64_t>(L) * path.size());
+    reg.add(obs_.shard, obs_.hops, path.size());
+    reg.add(obs_.shard, obs_.link_wait_ns, static_cast<std::uint64_t>(waited));
+    reg.observe(obs_.shard, obs_.latency_ns,
+                static_cast<std::uint64_t>(delivered - ready));
+    reg.observe(obs_.shard, obs_.packet_bytes, static_cast<std::uint64_t>(L));
+    if (obs::TraceSink* t = obs_.obs->trace()) {
+      // One flow id per injected packet; stats_.packets was just bumped.
+      const std::uint64_t flow = stats_.packets;
+      t->instant(packet.src, obs_.cat_net, obs_.n_inject, inject_at, obs_.a_type,
+                 packet.type, obs_.a_peer, packet.dst);
+      t->flow_begin(packet.src, obs_.cat_net, obs_.n_flow, inject_at, flow);
+      if (action != FaultInjector::Action::kDrop) {
+        t->flow_end(packet.dst, obs_.cat_net, obs_.n_flow, delivered, flow);
+        t->instant(packet.dst, obs_.cat_net, obs_.n_deliver, delivered,
+                   obs_.a_type, packet.type, obs_.a_bytes, L);
+      }
+    }
+  });
 
   const ProcId dst = packet.dst;
   switch (action) {

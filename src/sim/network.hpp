@@ -70,6 +70,16 @@ class Network {
   /// crossed the network before the fault struck.
   void set_fault_injector(FaultInjector* injector);
 
+  /// Attach observability (null to detach): traffic counters mirroring
+  /// NetworkStats, latency/size histograms, and — when tracing — an inject
+  /// instant on the source track, a deliver instant on the destination
+  /// track, and a flow arrow connecting them (plus per-link hop instants
+  /// under hop_detail). Deliver instants are stamped at the *nominal*
+  /// delivery time computed at injection; fault-injected delays, reorders
+  /// and duplicate copies keep their nominal stamp, and dropped packets get
+  /// no deliver instant at all.
+  void set_obs(obs::Obs* o) { obs_.bind(o); }
+
   const NetworkStats& stats() const { return stats_; }
   const NetworkParams& params() const { return params_; }
   const Topology& topology() const { return topology_; }
@@ -106,6 +116,7 @@ class Network {
   DeliverFn deliver_;
   NetworkStats stats_;
   FaultInjector* injector_ = nullptr;
+  obs::NetworkObs obs_;
   std::vector<SimTime> link_free_;  ///< per directed link
   std::vector<SimTime> ni_free_;    ///< per node injection interface
   std::vector<SlotId> held_;        ///< per dst node: reorder-held packet

@@ -1,0 +1,274 @@
+// Tests for the observability layer: registry semantics, histogram
+// bucketing, CSV/trace export determinism, counter merge across threaded
+// shards, and the cross-checks that tie obs counters to the statistics the
+// engines (and the src/check packet ledger) already keep.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/consistency.hpp"
+#include "circuit/generator.hpp"
+#include "coherence/simulator.hpp"
+#include "msg/driver.hpp"
+#include "msg/threads_mp.hpp"
+#include "obs/obs.hpp"
+#include "shm/shm_router.hpp"
+#include "shm/threads_router.hpp"
+
+namespace locus {
+namespace {
+
+TEST(Counters, RegisterAddTotal) {
+  obs::CounterRegistry reg(1);
+  const obs::MetricId a = reg.counter("a");
+  const obs::MetricId b = reg.counter("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reg.counter("a"), a);  // idempotent
+  reg.add(0, a);
+  reg.add(0, a, 4);
+  reg.add(0, b, 7);
+  EXPECT_EQ(reg.total(a), 5u);
+  EXPECT_EQ(reg.total("b"), 7u);
+  EXPECT_EQ(reg.total("nobody"), 0u);
+}
+
+TEST(Counters, ShardMergeIsSum) {
+  obs::CounterRegistry reg(4);
+  const obs::MetricId a = reg.counter("a");
+  for (std::size_t s = 0; s < 4; ++s) reg.add(s, a, s + 1);
+  EXPECT_EQ(reg.total(a), 1u + 2u + 3u + 4u);
+  EXPECT_EQ(reg.shard_for(5), 1u);
+}
+
+TEST(Counters, HistogramBuckets) {
+  EXPECT_EQ(obs::histogram_bucket(0), 0u);
+  EXPECT_EQ(obs::histogram_bucket(1), 1u);
+  EXPECT_EQ(obs::histogram_bucket(2), 2u);
+  EXPECT_EQ(obs::histogram_bucket(3), 2u);
+  EXPECT_EQ(obs::histogram_bucket(4), 3u);
+  EXPECT_EQ(obs::histogram_bucket(~0ull), obs::kHistogramBuckets - 1);
+}
+
+TEST(Counters, HistogramSnapshot) {
+  obs::CounterRegistry reg(2);
+  const obs::MetricId h = reg.histogram("lat");
+  reg.observe(0, h, 3);
+  reg.observe(0, h, 5);
+  reg.observe(1, h, 100);
+  const obs::HistogramSnapshot snap = reg.histogram_total("lat");
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.sum, 108u);
+  EXPECT_EQ(snap.min, 3u);
+  EXPECT_EQ(snap.max, 100u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 36.0);
+  EXPECT_EQ(snap.buckets[obs::histogram_bucket(3)], 1u);
+  EXPECT_EQ(snap.buckets[obs::histogram_bucket(5)], 1u);
+  EXPECT_EQ(snap.buckets[obs::histogram_bucket(100)], 1u);
+}
+
+TEST(Counters, CsvIsSortedAndDeterministic) {
+  obs::CounterRegistry reg(1);
+  reg.add(0, reg.counter("zeta"), 1);
+  reg.add(0, reg.counter("alpha"), 2);
+  reg.observe(0, reg.histogram("mid"), 9);
+  const std::string csv = reg.metrics_csv();
+  EXPECT_EQ(csv, reg.metrics_csv());
+  // Counters (name-sorted) come first, then the histogram rows.
+  EXPECT_LT(csv.find("alpha"), csv.find("zeta"));
+  EXPECT_LT(csv.find("zeta"), csv.find("mid.count"));
+  EXPECT_NE(csv.find("counter,alpha,2\n"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,mid.sum,9\n"), std::string::npos);
+}
+
+TEST(Trace, JsonShape) {
+  obs::TraceSink sink;
+  const obs::TraceSink::StrId cat = sink.intern("net");
+  const obs::TraceSink::StrId name = sink.intern("inject");
+  const obs::TraceSink::StrId arg = sink.intern("bytes");
+  sink.set_track_name(0, "proc 0");
+  sink.complete(0, cat, name, 1000, 500, arg, 42);
+  sink.instant(1, cat, name, 2500);
+  sink.flow_begin(0, cat, name, 1000, 77);
+  sink.flow_end(1, cat, name, 2500, 77);
+  const std::string json = sink.chrome_json();
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":0.500"), std::string::npos);  // 500 ns = 0.5 us
+  EXPECT_NE(json.find("\"bytes\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":\"77\""), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+}
+
+#if LOCUS_OBS_ENABLED
+
+/// One standard instrumented MP run used by several tests below.
+MpRunResult run_mp_with_obs(obs::Obs& obs, const UpdateSchedule& schedule) {
+  MpConfig config;
+  config.schedule = schedule;
+  config.iterations = 2;
+  config.obs = &obs;
+  return run_message_passing(make_tiny_test_circuit(), 4, config);
+}
+
+TEST(ObsIntegration, MpCountersMatchEngineStats) {
+  obs::Obs obs;
+  const MpRunResult r = run_mp_with_obs(obs, UpdateSchedule::sender(2, 5));
+  const obs::CounterRegistry& reg = obs.counters();
+  EXPECT_EQ(reg.total("net.packets"), r.network.packets);
+  EXPECT_EQ(reg.total("net.bytes"), r.network.bytes);
+  EXPECT_EQ(reg.total("net.byte_hops"), r.network.byte_hops);
+  EXPECT_EQ(reg.total("net.hops"), r.network.hops);
+  EXPECT_EQ(reg.total("mp.wires_routed"),
+            static_cast<std::uint64_t>(r.work.wires_routed));
+  EXPECT_EQ(reg.total("mp.updates_suppressed"),
+            static_cast<std::uint64_t>(r.updates_suppressed));
+  // The DES dispatched events and the router explored: both nonzero.
+  EXPECT_GT(reg.total("sim.events"), 0u);
+  EXPECT_GT(reg.total("route.routes_evaluated"), 0u);
+  EXPECT_EQ(reg.histogram_total("net.packet_latency_ns").count,
+            r.network.packets);
+  // Per-kind on-wire bytes, published from NetworkStats, sum to the total.
+  std::uint64_t by_type = 0;
+  for (const auto& [name, value] : reg.merged_counters()) {
+    if (name.rfind("net.bytes_by_type.", 0) == 0) by_type += value;
+  }
+  EXPECT_EQ(by_type, r.network.bytes);
+}
+
+TEST(ObsIntegration, MpSendRecvMatchCheckLedger) {
+  // The src/check consistency ledger counts every SendRmtData handed to /
+  // applied from the network; the obs per-kind counters must agree exactly.
+  ViewConsistencyChecker checker;
+  obs::Obs obs;
+  MpConfig config;
+  config.schedule = UpdateSchedule::sender(2, 5);
+  config.iterations = 2;
+  config.obs = &obs;
+  config.observer = &checker;
+  run_message_passing(make_tiny_test_circuit(), 4, config);
+  const ConsistencyReport& report = checker.report();
+  EXPECT_TRUE(report.converged());
+  EXPECT_GT(report.deltas_sent, 0);
+  EXPECT_EQ(obs.counters().total("mp.sent.SendRmtData"),
+            static_cast<std::uint64_t>(report.deltas_sent));
+  EXPECT_EQ(obs.counters().total("mp.recv.SendRmtData"),
+            static_cast<std::uint64_t>(report.deltas_applied));
+}
+
+TEST(ObsIntegration, TraceExportIsDeterministic) {
+  // Same seed, same schedule: the Chrome JSON must be byte-identical.
+  auto traced_run = [] {
+    obs::ObsOptions opt;
+    opt.trace = true;
+    opt.hop_detail = true;
+    obs::Obs obs(opt);
+    run_mp_with_obs(obs, UpdateSchedule::receiver(1, 30));
+    return obs.trace()->chrome_json();
+  };
+  const std::string first = traced_run();
+  EXPECT_GT(first.size(), 0u);
+  EXPECT_EQ(first, traced_run());
+}
+
+TEST(ObsIntegration, MpTraceContainsRoutesAndPackets) {
+  obs::ObsOptions opt;
+  opt.trace = true;
+  obs::Obs obs(opt);
+  const MpRunResult r = run_mp_with_obs(obs, UpdateSchedule::sender(2, 5));
+  ASSERT_NE(obs.trace(), nullptr);
+  EXPECT_GT(obs.trace()->size(), 0u);
+  const std::string json = obs.trace()->chrome_json();
+  EXPECT_NE(json.find("\"route_wire\""), std::string::npos);
+  EXPECT_NE(json.find("\"compute\""), std::string::npos);
+  if (r.network.packets > 0) {
+    EXPECT_NE(json.find("\"inject\""), std::string::npos);
+    EXPECT_NE(json.find("\"deliver\""), std::string::npos);
+  }
+}
+
+TEST(ObsIntegration, ShmCountersAndCoherencePublish) {
+  obs::Obs obs;
+  ShmConfig config;
+  config.procs = 4;
+  config.iterations = 2;
+  config.obs = &obs;
+  const Circuit circuit = make_tiny_test_circuit();
+  const ShmRunResult r = run_shared_memory(circuit, config);
+  EXPECT_EQ(obs.counters().total("shm.wires_routed"),
+            static_cast<std::uint64_t>(r.work.wires_routed));
+  EXPECT_EQ(obs.counters().total("shm.trace_refs"), r.trace.size());
+
+  CoherenceSim sim(4, CoherenceParams{});
+  sim.replay(r.trace);
+  sim.publish_obs(obs);
+  EXPECT_EQ(obs.counters().total(obs::CoherenceObsNames::kAccesses),
+            sim.traffic().accesses);
+  EXPECT_EQ(obs.counters().total(obs::CoherenceObsNames::kTotalBytes),
+            sim.traffic().total_bytes());
+  EXPECT_EQ(obs.counters().total(obs::CoherenceObsNames::kLinesTouched),
+            sim.lines_touched());
+}
+
+TEST(ObsIntegration, ThreadsShmShardsMergeToEngineTotals) {
+  // Four workers write to four single-writer shards; the merged totals must
+  // equal the engine's own (atomically summed) work statistics.
+  obs::ObsOptions opt;
+  opt.shards = 4;
+  obs::Obs obs(opt);
+  ThreadsConfig config;
+  config.threads = 4;
+  config.iterations = 2;
+  config.obs = &obs;
+  const ThreadsRunResult r =
+      run_threads_shared_memory(make_tiny_test_circuit(), config);
+  EXPECT_EQ(obs.counters().total("shm.wires_routed"),
+            static_cast<std::uint64_t>(r.work.wires_routed));
+}
+
+TEST(ObsIntegration, ThreadsMpShardsMatchMessageTotals) {
+  obs::ObsOptions opt;
+  opt.shards = 4;
+  obs::Obs obs(opt);
+  const Circuit circuit = make_tiny_test_circuit();
+  const Partition partition(circuit.channels(), circuit.grids(),
+                            MeshShape::for_procs(4));
+  const Assignment assignment = assign_threshold_cost(circuit, partition, 1000);
+  ThreadsMpConfig config;
+  config.iterations = 2;
+  config.obs = &obs;
+  const ThreadsMpResult r =
+      run_threads_message_passing(circuit, partition, assignment, config);
+  std::uint64_t sent = 0;
+  std::uint64_t sent_bytes = 0;
+  for (const auto& [name, value] : obs.counters().merged_counters()) {
+    if (name.rfind("mp.sent.", 0) == 0) sent += value;
+    if (name.rfind("mp.sent_bytes.", 0) == 0) sent_bytes += value;
+  }
+  EXPECT_EQ(sent, r.messages_sent);
+  EXPECT_EQ(sent_bytes, r.bytes_sent);
+  EXPECT_EQ(obs.counters().total("mp.wires_routed"),
+            static_cast<std::uint64_t>(r.work.wires_routed));
+}
+
+TEST(ObsIntegration, NullObsLeavesRunIdentical) {
+  // The default (no obs) path must produce the same routing as an
+  // instrumented run: observation does not perturb the simulation.
+  MpConfig config;
+  config.schedule = UpdateSchedule::sender(2, 5);
+  config.iterations = 2;
+  const MpRunResult plain = run_message_passing(make_tiny_test_circuit(), 4, config);
+  obs::Obs obs;
+  const MpRunResult observed = run_mp_with_obs(obs, UpdateSchedule::sender(2, 5));
+  EXPECT_EQ(plain.circuit_height, observed.circuit_height);
+  EXPECT_EQ(plain.completion_ns, observed.completion_ns);
+  EXPECT_EQ(plain.network.packets, observed.network.packets);
+  EXPECT_EQ(plain.network.bytes, observed.network.bytes);
+}
+
+#endif  // LOCUS_OBS_ENABLED
+
+}  // namespace
+}  // namespace locus
