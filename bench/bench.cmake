@@ -25,8 +25,9 @@ locus_add_bench(ablation_protocols ${LOCUS_TABLE_LIBS})
 locus_add_bench(ablation_topology ${LOCUS_TABLE_LIBS})
 
 locus_add_bench(micro_router locus_route locus_circuit locus_grid locus_geom locus_support benchmark::benchmark)
-locus_add_bench(micro_explorer locus_route locus_circuit locus_grid locus_geom locus_support)
-locus_add_bench(micro_network locus_sim locus_geom locus_support)
+locus_add_bench(micro_explorer locus_route locus_circuit locus_grid locus_geom locus_sim_pool locus_support)
+locus_add_bench(micro_network locus_sim locus_sim_pool locus_geom locus_support)
+locus_add_bench(micro_sim ${LOCUS_TABLE_LIBS})
 locus_add_bench(micro_coherence locus_coherence locus_shm locus_route locus_circuit locus_grid locus_assign locus_sim locus_geom locus_support benchmark::benchmark)
 
 locus_add_bench(overhead_breakdown ${LOCUS_TABLE_LIBS})

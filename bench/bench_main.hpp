@@ -7,8 +7,10 @@
 // wall time plus any counters the section recorded via benchmain::record()),
 // the format scripts/bench_compare.py diffs to catch performance
 // regressions. Convention: counters named *_s are wall-clock seconds (lower
-// is better), *_x are ratios (higher is better), anything else is an
-// informational work counter (cells_probed, events_executed, ...).
+// is better, 15% gate), *_x are ratios (higher is better, 15% gate),
+// unsuffixed integers are exact-match work counters (cells_probed,
+// events_executed, ...), and unsuffixed non-integers are informational only
+// (host-dependent numbers like thread-pool wall times and speedups).
 #pragma once
 
 #include <cstdio>
@@ -18,6 +20,7 @@
 #include <vector>
 
 #include "circuit/generator.hpp"
+#include "harness/sim_pool.hpp"
 #include "support/cli.hpp"
 #include "support/stopwatch.hpp"
 #include "support/table.hpp"
@@ -78,9 +81,14 @@ inline int run(int argc, char** argv, const std::string& heading,
   Cli cli;
   cli.flag("csv", "emit CSV instead of aligned tables", false);
   cli.flag("json", "also write a JSON run record to this path", "");
+  cli.flag("threads",
+           "worker threads for the simulation fan-outs; table bytes are "
+           "identical at any value (0: LOCUS_THREADS, else serial)",
+           "0");
   if (!cli.parse(argc, argv)) return 1;
   const bool csv = cli.get_bool("csv");
   const std::string json_path = cli.get("json");
+  set_sim_threads(static_cast<int>(cli.get_int("threads")));
 
   struct SectionRecord {
     std::string title;

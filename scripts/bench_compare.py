@@ -6,10 +6,13 @@ Usage: bench_compare.py BASELINE.json CURRENT.json [--tolerance=0.15]
 Counter conventions (see bench/bench_main.hpp): names ending in `_s` are
 wall-clock seconds (lower is better; regression = current > baseline by more
 than the tolerance), names ending in `_x` are speedup ratios (higher is
-better; regression = current < baseline by more than the tolerance). All
-other counters are work counts and must match exactly — the benches assert
-engine equivalence, so a drifting work count means the workload changed and
-the baseline should be re-recorded.
+better; regression = current < baseline by more than the tolerance).
+Integer-valued counters without either suffix are work counts and must match
+exactly — the benches assert engine equivalence, so a drifting work count
+means the workload changed and the baseline should be re-recorded.
+Non-integer unsuffixed counters (e.g. thread-pool wall times and speedups,
+which depend on host load and core count) are informational only: printed,
+never gated.
 
 Exit status: 0 when no counter regressed, 1 otherwise.
 """
@@ -70,7 +73,7 @@ def main(argv):
                 )
             else:
                 notes.append(f"{key}: {curr_value:.2f}x (baseline {base_value:.2f}x) ok")
-        else:
+        elif float(base_value).is_integer() and float(curr_value).is_integer():
             if curr_value != base_value:
                 failures.append(
                     f"{key}: work count {curr_value} != baseline {base_value} "
@@ -78,6 +81,10 @@ def main(argv):
                 )
             else:
                 notes.append(f"{key}: {curr_value} ok")
+        else:
+            notes.append(
+                f"{key}: {curr_value} (baseline {base_value}) informational"
+            )
 
     for extra in sorted(set(curr) - set(base)):
         notes.append(f"{extra}: new counter (not in baseline)")

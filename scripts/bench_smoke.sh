@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Benchmark smoke run: build the Release + LTO preset and run the two
+# Benchmark smoke run: build the Release + LTO preset and run the
 # microbenchmarks that define the repo's performance baseline, writing
-# machine-readable records to BENCH_explorer.json and BENCH_network.json at
-# the repo root. Diff a fresh run against the checked-in baseline with
+# machine-readable records to BENCH_explorer.json, BENCH_network.json and
+# BENCH_sim.json at the repo root. Diff a fresh run against the checked-in
+# baseline with
 #   scripts/bench_compare.py BENCH_explorer.json /tmp/BENCH_explorer.json
 #
 #   scripts/bench_smoke.sh            # write BENCH_*.json at the repo root
@@ -14,9 +15,10 @@ OUTDIR="${1:-.}"
 mkdir -p "$OUTDIR"
 
 cmake --preset release >/dev/null
-cmake --build --preset release -j --target micro_explorer micro_network
+cmake --build --preset release -j --target micro_explorer micro_network micro_sim
 
 ./build-release/bench/micro_explorer --json="$OUTDIR/BENCH_explorer.json"
 ./build-release/bench/micro_network --json="$OUTDIR/BENCH_network.json"
+./build-release/bench/micro_sim --json="$OUTDIR/BENCH_sim.json"
 
-echo "bench records: $OUTDIR/BENCH_explorer.json $OUTDIR/BENCH_network.json"
+echo "bench records: $OUTDIR/BENCH_explorer.json $OUTDIR/BENCH_network.json $OUTDIR/BENCH_sim.json"

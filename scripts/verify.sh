@@ -5,9 +5,13 @@
 #
 #   scripts/verify.sh             # tier-1
 #   scripts/verify.sh --sanitize  # same suite under ASan + UBSan
+#   scripts/verify.sh --tsan      # SimPool + threaded-router suites under
+#                                 # ThreadSanitizer at LOCUS_THREADS=4
 #   scripts/verify.sh --bench     # tier-1 + benchmark regression gate
 #                                 # (Release run diffed against the checked-in
 #                                 # BENCH_*.json via scripts/bench_compare.py)
+#                                 # + pool determinism gate: table benches must
+#                                 # emit identical rows at --threads=1 and =4
 #   scripts/verify.sh --obs       # tier-1 + observability smoke: trace +
 #                                 # metrics export and the obs-vs-engine
 #                                 # cross-check table via examples/obs_tool
@@ -21,6 +25,13 @@ RUN_OBS=0
 if [[ "${1:-}" == "--sanitize" ]]; then
   BUILD_DIR=build-sanitize
   CMAKE_FLAGS+=(-DLOCUS_SANITIZE=address,undefined)
+elif [[ "${1:-}" == "--tsan" ]]; then
+  # Race check for the SimPool fan-outs and the natively threaded routers:
+  # only the suites that actually spawn threads, at a real pool width.
+  cmake --preset tsan
+  cmake --build --preset tsan -j --target locus_tests locus_pool_tests locus_check_tests
+  ctest --preset tsan-threads -j "$(nproc)"
+  exit 0
 elif [[ "${1:-}" == "--bench" ]]; then
   RUN_BENCH=1
 elif [[ "${1:-}" == "--obs" ]]; then
@@ -40,9 +51,23 @@ ctest -L check --output-on-failure -j "$(nproc)"
 # and diff against the checked-in baselines.
 if [[ "$RUN_BENCH" == 1 ]]; then
   cd ..
+  # Pool determinism gate: the table fan-outs must produce byte-identical
+  # data rows at any thread count; only the wall-time lines may differ.
+  for b in sec52_mp_vs_shm table1_sender_initiated; do
+    "./$BUILD_DIR/bench/$b" --threads=1 \
+      | grep -v 'built in\|total wall time' > /tmp/locus-bench-serial.txt
+    "./$BUILD_DIR/bench/$b" --threads=4 \
+      | grep -v 'built in\|total wall time' > /tmp/locus-bench-pooled.txt
+    if ! diff -u /tmp/locus-bench-serial.txt /tmp/locus-bench-pooled.txt; then
+      echo "FAIL: $b output diverges between --threads=1 and --threads=4" >&2
+      exit 1
+    fi
+    echo "pool determinism: $b identical at --threads=1 and --threads=4"
+  done
   scripts/bench_smoke.sh /tmp/locus-bench
   scripts/bench_compare.py BENCH_explorer.json /tmp/locus-bench/BENCH_explorer.json
   scripts/bench_compare.py BENCH_network.json /tmp/locus-bench/BENCH_network.json
+  scripts/bench_compare.py BENCH_sim.json /tmp/locus-bench/BENCH_sim.json
 fi
 
 # Optional observability smoke: export a Chrome trace + metrics CSV, check

@@ -1,7 +1,10 @@
 #include "check/oracle.hpp"
 
+#include <memory>
+#include <optional>
 #include <utility>
 
+#include "harness/sim_pool.hpp"
 #include "msg/driver.hpp"
 #include "route/sequential.hpp"
 #include "shm/shm_router.hpp"
@@ -52,45 +55,10 @@ std::string OracleResult::describe() const {
 
 OracleResult run_differential_oracle(const Circuit& circuit,
                                      const OracleConfig& config) {
-  OracleResult result;
-
-  SequentialParams seq_params;
-  seq_params.router = config.router;
-  seq_params.iterations = config.iterations;
-  const SequentialResult seq = route_sequential(circuit, seq_params);
-  result.seq_height = seq.circuit_height;
-  result.seq_occupancy = seq.occupancy_factor;
-
-  {
-    OracleVariant variant;
-    variant.name = "sequential";
-    variant.circuit_height = seq.circuit_height;
-    variant.occupancy_factor = seq.occupancy_factor;
-    variant.legality = check_route_legality(circuit, seq.routes);
-    apply_bands(variant, config, result.seq_height, result.seq_occupancy);
-    result.variants.push_back(std::move(variant));
-  }
-
-  {
-    ShmConfig shm;
-    shm.router = config.router;
-    shm.time = config.time;
-    shm.iterations = config.iterations;
-    shm.procs = config.procs;
-    shm.capture_trace = false;
-    const ShmRunResult run = run_shared_memory(circuit, shm);
-    OracleVariant variant;
-    variant.name = "shm";
-    variant.circuit_height = run.circuit_height;
-    variant.occupancy_factor = run.occupancy_factor;
-    variant.legality = check_route_legality(circuit, run.routes);
-    apply_bands(variant, config, result.seq_height, result.seq_occupancy);
-    result.variants.push_back(std::move(variant));
-  }
-
-  // The message passing schedules: both sender-initiated transaction types,
-  // both receiver-initiated ones (non-blocking and blocking), and all four
-  // combined. Parameters follow the paper's Table 1/2 mid-range rows.
+  // The engine x schedule matrix: every variant is an independent,
+  // deterministic simulation, so the six runs execute on the SimPool and
+  // are collected in this fixed submission order. The tolerance bands
+  // depend on the sequential baseline and are applied after the join.
   struct MsgCase {
     const char* name;
     UpdateSchedule schedule;
@@ -107,27 +75,83 @@ OracleResult run_differential_oracle(const Circuit& circuit,
       {"msg mixed", mixed},
   };
 
-  for (const MsgCase& msg_case : cases) {
-    ConsistencyOptions check_options;
-    check_options.checkpoint_period = config.checkpoint_period;
-    ViewConsistencyChecker checker(check_options);
+  // Job 0: the sequential reference (also the bands' baseline).
+  std::optional<SequentialResult> seq;
+  // Job 1: the shared memory router.
+  std::optional<ShmRunResult> shm_run;
+  // Jobs 2..5: the four message passing schedules, each with its own
+  // view-consistency checker (the checker is per-run mutable state).
+  struct MsgOutcome {
+    std::optional<MpRunResult> run;
+    std::unique_ptr<ViewConsistencyChecker> checker;
+  };
+  MsgOutcome msg[4];
 
-    MpConfig mp;
-    mp.schedule = msg_case.schedule;
-    mp.router = config.router;
-    mp.time = config.time;
-    mp.iterations = config.iterations;
-    mp.faults = config.faults;
-    mp.observer = &checker;
-    const MpRunResult run = run_message_passing(circuit, config.procs, mp);
+  std::vector<SimJob> jobs;
+  jobs.push_back({"oracle:sequential", [&] {
+    SequentialParams seq_params;
+    seq_params.router = config.router;
+    seq_params.iterations = config.iterations;
+    seq.emplace(route_sequential(circuit, seq_params));
+  }});
+  jobs.push_back({"oracle:shm", [&] {
+    ShmConfig shm;
+    shm.router = config.router;
+    shm.time = config.time;
+    shm.iterations = config.iterations;
+    shm.procs = config.procs;
+    shm.capture_trace = false;
+    shm_run.emplace(run_shared_memory(circuit, shm));
+  }});
+  for (std::size_t i = 0; i < 4; ++i) {
+    jobs.push_back({std::string("oracle:") + cases[i].name, [&, i] {
+      ConsistencyOptions check_options;
+      check_options.checkpoint_period = config.checkpoint_period;
+      auto checker = std::make_unique<ViewConsistencyChecker>(check_options);
 
+      MpConfig mp;
+      mp.schedule = cases[i].schedule;
+      mp.router = config.router;
+      mp.time = config.time;
+      mp.iterations = config.iterations;
+      mp.faults = config.faults;
+      mp.observer = checker.get();
+      msg[i].run.emplace(run_message_passing(circuit, config.procs, mp));
+      msg[i].checker = std::move(checker);
+    }});
+  }
+  SimPool(config.threads).run_all(std::move(jobs));
+
+  OracleResult result;
+  result.seq_height = seq->circuit_height;
+  result.seq_occupancy = seq->occupancy_factor;
+
+  {
     OracleVariant variant;
-    variant.name = msg_case.name;
+    variant.name = "sequential";
+    variant.circuit_height = seq->circuit_height;
+    variant.occupancy_factor = seq->occupancy_factor;
+    variant.legality = check_route_legality(circuit, seq->routes);
+    apply_bands(variant, config, result.seq_height, result.seq_occupancy);
+    result.variants.push_back(std::move(variant));
+  }
+  {
+    OracleVariant variant;
+    variant.name = "shm";
+    variant.circuit_height = shm_run->circuit_height;
+    variant.occupancy_factor = shm_run->occupancy_factor;
+    variant.legality = check_route_legality(circuit, shm_run->routes);
+    apply_bands(variant, config, result.seq_height, result.seq_occupancy);
+    result.variants.push_back(std::move(variant));
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    OracleVariant variant;
+    variant.name = cases[i].name;
     variant.is_message_passing = true;
-    variant.circuit_height = run.circuit_height;
-    variant.occupancy_factor = run.occupancy_factor;
-    variant.legality = check_route_legality(circuit, run.routes);
-    variant.consistency = checker.report();
+    variant.circuit_height = msg[i].run->circuit_height;
+    variant.occupancy_factor = msg[i].run->occupancy_factor;
+    variant.legality = check_route_legality(circuit, msg[i].run->routes);
+    variant.consistency = msg[i].checker->report();
     apply_bands(variant, config, result.seq_height, result.seq_occupancy);
     result.variants.push_back(std::move(variant));
   }

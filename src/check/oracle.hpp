@@ -43,6 +43,11 @@ struct OracleConfig {
   /// Optional fault plan installed into the message passing machines (the
   /// sequential and shm runs have no network to fault).
   const FaultPlan* faults = nullptr;
+  /// Worker threads for the engine x schedule matrix (the six runs are
+  /// independent simulations). <= 0 resolves via sim_threads(); any value
+  /// yields byte-identical results — the matrix is collected in submission
+  /// order and each run is deterministic in isolation.
+  int threads = 0;
 };
 
 /// One implementation's outcome and verdicts.

@@ -1,8 +1,11 @@
 #include "harness/experiments.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdio>
+#include <iterator>
 #include <optional>
+#include <utility>
 
 #include "assign/locality.hpp"
 #include "check/consistency.hpp"
@@ -12,6 +15,7 @@
 #include "coherence/bus.hpp"
 #include "coherence/simulator.hpp"
 #include "harness/paper_data.hpp"
+#include "harness/sim_pool.hpp"
 #include "msg/packets.hpp"
 #include "obs/obs.hpp"
 #include "route/sequential.hpp"
@@ -95,6 +99,29 @@ ShmTraffic run_shm_traffic(const Circuit& circuit, const ExperimentConfig& confi
   return out;
 }
 
+/// Fans `fn(i)` for i in [0, n) onto the process-default SimPool
+/// (set_sim_threads / LOCUS_THREADS / --threads) and returns the results in
+/// index order. The table building that follows every fan-out stays serial
+/// and consumes results in submission order, so each table is byte-identical
+/// to the old serial loop at any thread count. Results are wrapped in
+/// optional because several result types (CostArray members) have no
+/// default constructor.
+template <typename Fn>
+auto pool_map(std::size_t n, Fn&& fn) {
+  using Result = decltype(fn(std::size_t{}));
+  std::vector<std::optional<Result>> out(n);
+  SimPool().run_indexed(n, [&](std::size_t i) { out[i].emplace(fn(i)); });
+  return out;
+}
+
+/// Table 4/5 rows name their assignment method; map back to the enum.
+AssignMethod method_from_name(const char* name) {
+  return std::string(name) == "round robin" ? AssignMethod::kRoundRobin
+         : std::string(name) == "tc30"      ? AssignMethod::kThreshold30
+         : std::string(name) == "tc1000"    ? AssignMethod::kThreshold1000
+                                            : AssignMethod::kThresholdInf;
+}
+
 }  // namespace
 
 Table run_table1_sender_initiated(const Circuit& circuit,
@@ -103,12 +130,17 @@ Table run_table1_sender_initiated(const Circuit& circuit,
   t.column("SendRmt").column("SendLoc").column("CktHt").column("Occup.")
       .column("MBytes").column("Time(s)")
       .column("paper:Ht").column("paper:MB").column("paper:T");
+  const auto runs = pool_map(paper::kTable1.size(), [&](std::size_t i) {
+    const paper::SenderRow& row = paper::kTable1[i];
+    return run_mp(circuit, config,
+                  UpdateSchedule::sender(row.send_rmt, row.send_loc));
+  });
   std::int32_t last_rmt = -1;
-  for (const paper::SenderRow& row : paper::kTable1) {
+  for (std::size_t i = 0; i < paper::kTable1.size(); ++i) {
+    const paper::SenderRow& row = paper::kTable1[i];
     if (row.send_rmt != last_rmt && last_rmt != -1) t.separator();
     last_rmt = row.send_rmt;
-    MpRunResult r = run_mp(circuit, config,
-                           UpdateSchedule::sender(row.send_rmt, row.send_loc));
+    const MpRunResult& r = *runs[i];
     t.row().cell(row.send_rmt).cell(row.send_loc)
         .cell(static_cast<long long>(r.circuit_height))
         .cell(static_cast<long long>(r.occupancy_factor))
@@ -124,12 +156,17 @@ Table run_table2_receiver_initiated(const Circuit& circuit,
   t.column("ReqLoc").column("ReqRmt").column("CktHt").column("Occup.")
       .column("MBytes").column("Time(s)")
       .column("paper:Ht").column("paper:MB").column("paper:T");
+  const auto runs = pool_map(paper::kTable2.size(), [&](std::size_t i) {
+    const paper::ReceiverRow& row = paper::kTable2[i];
+    return run_mp(circuit, config,
+                  UpdateSchedule::receiver(row.req_loc, row.req_rmt));
+  });
   std::int32_t last_loc = -1;
-  for (const paper::ReceiverRow& row : paper::kTable2) {
+  for (std::size_t i = 0; i < paper::kTable2.size(); ++i) {
+    const paper::ReceiverRow& row = paper::kTable2[i];
     if (row.req_loc != last_loc && last_loc != -1) t.separator();
     last_loc = row.req_loc;
-    MpRunResult r = run_mp(circuit, config,
-                           UpdateSchedule::receiver(row.req_loc, row.req_rmt));
+    const MpRunResult& r = *runs[i];
     t.row().cell(row.req_loc).cell(row.req_rmt)
         .cell(static_cast<long long>(r.circuit_height))
         .cell(static_cast<long long>(r.occupancy_factor))
@@ -143,12 +180,22 @@ Table run_sec513_blocking(const Circuit& circuit, const ExperimentConfig& config
   Table t;
   t.column("ReqLoc").column("ReqRmt").column("NB time").column("B time")
       .column("slowdown").column("NB Ht").column("B Ht");
+  std::vector<paper::ReceiverRow> rows;
   for (const paper::ReceiverRow& row : paper::kTable2) {
     if (row.req_rmt != 5 && row.req_rmt != 10) continue;  // keep busy schedules
-    MpRunResult nb = run_mp(circuit, config,
-                            UpdateSchedule::receiver(row.req_loc, row.req_rmt, false));
-    MpRunResult b = run_mp(circuit, config,
-                           UpdateSchedule::receiver(row.req_loc, row.req_rmt, true));
+    rows.push_back(row);
+  }
+  // Two independent runs (non-blocking at even indices, blocking at odd)
+  // per schedule row.
+  const auto runs = pool_map(rows.size() * 2, [&](std::size_t i) {
+    const paper::ReceiverRow& row = rows[i / 2];
+    return run_mp(circuit, config,
+                  UpdateSchedule::receiver(row.req_loc, row.req_rmt, i % 2 == 1));
+  });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const paper::ReceiverRow& row = rows[i];
+    const MpRunResult& nb = *runs[2 * i];
+    const MpRunResult& b = *runs[2 * i + 1];
     const double slowdown = nb.completion_ns == 0
                                 ? 0.0
                                 : static_cast<double>(b.completion_ns) /
@@ -173,15 +220,20 @@ Table run_sec513_mixed(const Circuit& circuit, const ExperimentConfig& config) {
   Table t;
   t.column("schedule", Align::kLeft).column("CktHt").column("Occup.")
       .column("MBytes").column("Time(s)");
-  auto add = [&](const char* name, const UpdateSchedule& schedule) {
-    MpRunResult r = run_mp(circuit, config, schedule);
-    t.row().cell(name).cell(static_cast<long long>(r.circuit_height))
+  const std::pair<const char*, UpdateSchedule> cases[] = {
+      {"sender (rmt=2, loc=5)", UpdateSchedule::sender(2, 5)},
+      {"receiver (loc=1, rmt=5)", UpdateSchedule::receiver(1, 5)},
+      {"mixed (5,2,1,5)", mixed},
+  };
+  const auto runs = pool_map(std::size(cases), [&](std::size_t i) {
+    return run_mp(circuit, config, cases[i].second);
+  });
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    const MpRunResult& r = *runs[i];
+    t.row().cell(cases[i].first).cell(static_cast<long long>(r.circuit_height))
         .cell(static_cast<long long>(r.occupancy_factor))
         .cell(r.mbytes(), 3).cell(r.seconds(), 3);
-  };
-  add("sender (rmt=2, loc=5)", UpdateSchedule::sender(2, 5));
-  add("receiver (loc=1, rmt=5)", UpdateSchedule::receiver(1, 5));
-  add("mixed (5,2,1,5)", mixed);
+  }
   return t;
 }
 
@@ -217,10 +269,26 @@ Table3Result run_table3_line_size(const Circuit& circuit,
 
 Table run_sec52_comparison(const Circuit& circuit, const ExperimentConfig& config) {
   // Representative points: the paper's best-height sender schedule, the
-  // lowest-traffic receiver schedule, and shm at 8-byte lines.
-  MpRunResult sender = run_mp(circuit, config, UpdateSchedule::sender(2, 10));
-  MpRunResult receiver = run_mp(circuit, config, UpdateSchedule::receiver(1, 30));
-  ShmTraffic shm = run_shm_traffic(circuit, config, kBaselineAssign, {8});
+  // lowest-traffic receiver schedule, and shm at 8-byte lines. Three
+  // independent engines, so heterogeneous pool jobs rather than a map.
+  std::optional<MpRunResult> sender_run;
+  std::optional<MpRunResult> receiver_run;
+  std::optional<ShmTraffic> shm_run;
+  SimPool().run_all({
+      {"sec52:sender", [&] {
+         sender_run.emplace(run_mp(circuit, config, UpdateSchedule::sender(2, 10)));
+       }},
+      {"sec52:receiver", [&] {
+         receiver_run.emplace(
+             run_mp(circuit, config, UpdateSchedule::receiver(1, 30)));
+       }},
+      {"sec52:shm", [&] {
+         shm_run.emplace(run_shm_traffic(circuit, config, kBaselineAssign, {8}));
+       }},
+  });
+  const MpRunResult& sender = *sender_run;
+  const MpRunResult& receiver = *receiver_run;
+  const ShmTraffic& shm = *shm_run;
 
   Table t;
   t.column("approach", Align::kLeft).column("CktHt").column("MBytes")
@@ -248,18 +316,18 @@ Table run_table4_locality_mp(const Circuit& bnre, const Circuit& mdc,
       .column("CktHt").column("MBytes").column("Time(s)")
       .column("paper:Ht").column("paper:MB").column("paper:T");
   const UpdateSchedule schedule = UpdateSchedule::sender(2, 10);
-  for (const paper::LocalityMpRow& row : paper::kTable4) {
+  const auto runs = pool_map(paper::kTable4.size(), [&](std::size_t i) {
+    const paper::LocalityMpRow& row = paper::kTable4[i];
     const Circuit& circuit = std::string(row.circuit) == "bnrE" ? bnre : mdc;
-    AssignMethod method =
-        std::string(row.method) == "round robin" ? AssignMethod::kRoundRobin
-        : std::string(row.method) == "tc30"      ? AssignMethod::kThreshold30
-        : std::string(row.method) == "tc1000"    ? AssignMethod::kThreshold1000
-                                                 : AssignMethod::kThresholdInf;
-    if (method == AssignMethod::kRoundRobin &&
+    return run_mp(circuit, config, schedule, method_from_name(row.method));
+  });
+  for (std::size_t i = 0; i < paper::kTable4.size(); ++i) {
+    const paper::LocalityMpRow& row = paper::kTable4[i];
+    if (method_from_name(row.method) == AssignMethod::kRoundRobin &&
         std::string(row.circuit) == "MDC") {
       t.separator();
     }
-    MpRunResult r = run_mp(circuit, config, schedule, method);
+    const MpRunResult& r = *runs[i];
     t.row().cell(row.circuit).cell(row.method)
         .cell(static_cast<long long>(r.circuit_height))
         .cell(r.mbytes(), 3).cell(r.seconds(), 3)
@@ -271,8 +339,13 @@ Table run_table4_locality_mp(const Circuit& bnre, const Circuit& mdc,
 Table run_table4_receiver_locality(const Circuit& circuit,
                                    const ExperimentConfig& config) {
   const UpdateSchedule schedule = UpdateSchedule::receiver(1, 5);
-  MpRunResult rr = run_mp(circuit, config, schedule, AssignMethod::kRoundRobin);
-  MpRunResult local = run_mp(circuit, config, schedule, AssignMethod::kThresholdInf);
+  const auto runs = pool_map(2, [&](std::size_t i) {
+    return run_mp(circuit, config, schedule,
+                  i == 0 ? AssignMethod::kRoundRobin
+                         : AssignMethod::kThresholdInf);
+  });
+  const MpRunResult& rr = *runs[0];
+  const MpRunResult& local = *runs[1];
   const double drop =
       rr.bytes_transferred == 0
           ? 0.0
@@ -293,18 +366,18 @@ Table run_table5_locality_shm(const Circuit& bnre, const Circuit& mdc,
   Table t;
   t.column("circuit", Align::kLeft).column("method", Align::kLeft)
       .column("CktHt").column("MBytes").column("paper:Ht").column("paper:MB");
-  for (const paper::LocalityShmRow& row : paper::kTable5) {
+  const auto runs = pool_map(paper::kTable5.size(), [&](std::size_t i) {
+    const paper::LocalityShmRow& row = paper::kTable5[i];
     const Circuit& circuit = std::string(row.circuit) == "bnrE" ? bnre : mdc;
-    AssignMethod method =
-        std::string(row.method) == "round robin" ? AssignMethod::kRoundRobin
-        : std::string(row.method) == "tc30"      ? AssignMethod::kThreshold30
-        : std::string(row.method) == "tc1000"    ? AssignMethod::kThreshold1000
-                                                 : AssignMethod::kThresholdInf;
-    if (method == AssignMethod::kRoundRobin &&
+    return run_shm_traffic(circuit, config, method_from_name(row.method), {8});
+  });
+  for (std::size_t i = 0; i < paper::kTable5.size(); ++i) {
+    const paper::LocalityShmRow& row = paper::kTable5[i];
+    if (method_from_name(row.method) == AssignMethod::kRoundRobin &&
         std::string(row.circuit) == "MDC") {
       t.separator();
     }
-    ShmTraffic shm = run_shm_traffic(circuit, config, method, {8});
+    const ShmTraffic& shm = *runs[i];
     t.row().cell(row.circuit).cell(row.method)
         .cell(static_cast<long long>(shm.run.circuit_height))
         .cell(static_cast<double>(shm.traffic[0].total_bytes()) / 1e6, 3)
@@ -319,26 +392,45 @@ Table run_locality_measure(const Circuit& bnre, const Circuit& mdc,
   t.column("circuit", Align::kLeft).column("method", Align::kLeft)
       .column("measure").column("paper");
   const UpdateSchedule schedule = UpdateSchedule::sender(2, 10);
+  struct LocCase {
+    const Circuit* circuit;
+    AssignMethod method;
+  };
+  std::vector<LocCase> cases;
   for (const Circuit* circuit : {&bnre, &mdc}) {
-    const Partition partition(circuit->channels(), circuit->grids(),
-                              MeshShape::for_procs(config.procs));
     for (AssignMethod method :
          {AssignMethod::kRoundRobin, AssignMethod::kThreshold30,
           AssignMethod::kThresholdInf}) {
-      const Assignment assignment = make_assignment(*circuit, partition, method);
-      MpRunResult r = run_message_passing(*circuit, partition, assignment,
-                                          config.mp(schedule));
-      const double measure = locality_measure(r.routes, assignment, partition);
-      std::string paper_value = "-";
-      if (method == AssignMethod::kThresholdInf) {
-        paper_value = format_fixed(circuit == &bnre ? paper::kLocalityMeasureBnre
-                                                    : paper::kLocalityMeasureMdc,
-                                   2);
-      }
-      t.row().cell(circuit->name()).cell(assign_method_name(method))
-          .cell(measure, 2).cell(paper_value);
+      cases.push_back({circuit, method});
     }
-    if (circuit == &bnre) t.separator();
+  }
+  // The measure needs the run's assignment/partition, so it is computed
+  // inside each job and only the scalar crosses the join.
+  const auto measures = pool_map(cases.size(), [&](std::size_t i) {
+    const LocCase& lc = cases[i];
+    const Partition partition(lc.circuit->channels(), lc.circuit->grids(),
+                              MeshShape::for_procs(config.procs));
+    const Assignment assignment =
+        make_assignment(*lc.circuit, partition, lc.method);
+    const MpRunResult r = run_message_passing(*lc.circuit, partition, assignment,
+                                              config.mp(schedule));
+    return locality_measure(r.routes, assignment, partition);
+  });
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const LocCase& lc = cases[i];
+    std::string paper_value = "-";
+    if (lc.method == AssignMethod::kThresholdInf) {
+      paper_value =
+          format_fixed(lc.circuit == &bnre ? paper::kLocalityMeasureBnre
+                                           : paper::kLocalityMeasureMdc,
+                       2);
+    }
+    t.row().cell(lc.circuit->name()).cell(assign_method_name(lc.method))
+        .cell(*measures[i], 2).cell(paper_value);
+    if (lc.circuit == &bnre && i + 1 < cases.size() &&
+        cases[i + 1].circuit != &bnre) {
+      t.separator();
+    }
   }
   return t;
 }
@@ -348,9 +440,13 @@ Table run_table6_scaling(const Circuit& circuit, const ExperimentConfig& config)
   t.column("procs").column("CktHt").column("Occup.").column("MBytes")
       .column("Time(s)").column("paper:Ht").column("paper:MB").column("paper:T");
   const UpdateSchedule schedule = UpdateSchedule::sender(2, 10);
-  for (const paper::ScalingRow& row : paper::kTable6) {
-    MpRunResult r =
-        run_mp(circuit, config, schedule, kBaselineAssign, row.procs);
+  const auto runs = pool_map(paper::kTable6.size(), [&](std::size_t i) {
+    return run_mp(circuit, config, schedule, kBaselineAssign,
+                  paper::kTable6[i].procs);
+  });
+  for (std::size_t i = 0; i < paper::kTable6.size(); ++i) {
+    const paper::ScalingRow& row = paper::kTable6[i];
+    const MpRunResult& r = *runs[i];
     t.row().cell(row.procs).cell(static_cast<long long>(r.circuit_height))
         .cell(static_cast<long long>(r.occupancy_factor))
         .cell(r.mbytes(), 3).cell(r.seconds(), 3)
@@ -367,10 +463,23 @@ Table run_speedup(const Circuit& bnre, const Circuit& mdc,
   t.column("circuit", Align::kLeft).column("procs").column("Time(s)")
       .column("speedup").column("paper@16");
   const UpdateSchedule schedule = UpdateSchedule::sender(2, 10);
+  struct SpeedCase {
+    const Circuit* circuit;
+    std::int32_t procs;
+  };
+  std::vector<SpeedCase> cases;
+  for (const Circuit* circuit : {&bnre, &mdc}) {
+    for (std::int32_t procs : {2, 4, 9, 16}) cases.push_back({circuit, procs});
+  }
+  const auto runs = pool_map(cases.size(), [&](std::size_t i) {
+    return run_mp(*cases[i].circuit, config, schedule, kBaselineAssign,
+                  cases[i].procs);
+  });
+  std::size_t idx = 0;
   for (const Circuit* circuit : {&bnre, &mdc}) {
     double t2 = 0.0;
     for (std::int32_t procs : {2, 4, 9, 16}) {
-      MpRunResult r = run_mp(*circuit, config, schedule, kBaselineAssign, procs);
+      const MpRunResult& r = *runs[idx++];
       if (procs == 2) t2 = r.seconds();
       // The paper computes speedup relative to the two-processor run, x2.
       const double speedup = r.seconds() == 0.0 ? 0.0 : 2.0 * t2 / r.seconds();
@@ -394,16 +503,19 @@ Table run_ablation_dynamic_assignment(const Circuit& circuit,
   t.column("wire distribution", Align::kLeft).column("CktHt").column("Occup.")
       .column("MBytes").column("Time(s)").column("packets");
   const UpdateSchedule schedule = UpdateSchedule::sender(2, 10);
-  for (auto [name, mode] : {std::pair<const char*, WireAssignmentMode>{
-                                "static (ThresholdCost=1000)",
-                                WireAssignmentMode::kStatic},
-                            {"dynamic, polled between wires",
-                             WireAssignmentMode::kDynamicPolled},
-                            {"dynamic, reception interrupts",
-                             WireAssignmentMode::kDynamicInterrupt}}) {
+  const std::pair<const char*, WireAssignmentMode> cases[] = {
+      {"static (ThresholdCost=1000)", WireAssignmentMode::kStatic},
+      {"dynamic, polled between wires", WireAssignmentMode::kDynamicPolled},
+      {"dynamic, reception interrupts", WireAssignmentMode::kDynamicInterrupt},
+  };
+  const auto runs = pool_map(std::size(cases), [&](std::size_t i) {
     ExperimentConfig c = config;
-    c.mp_base.assignment_mode = mode;
-    MpRunResult r = run_mp(circuit, c, schedule);
+    c.mp_base.assignment_mode = cases[i].second;
+    return run_mp(circuit, c, schedule);
+  });
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    const char* name = cases[i].first;
+    const MpRunResult& r = *runs[i];
     t.row().cell(name).cell(static_cast<long long>(r.circuit_height))
         .cell(static_cast<long long>(r.occupancy_factor))
         .cell(r.mbytes(), 3).cell(r.seconds(), 3)
@@ -418,10 +530,15 @@ Table run_hierarchical_shm(const Circuit& circuit, const ExperimentConfig& confi
       .column("NUMA mem(s)").column("bus busy(s)").column("bus util");
   const Partition partition(circuit.channels(), circuit.grids(),
                             MeshShape::for_procs(config.procs));
-  for (AssignMethod method :
-       {AssignMethod::kRoundRobin, AssignMethod::kThreshold30,
-        AssignMethod::kThreshold1000, AssignMethod::kThresholdInf}) {
-    ShmTraffic shm = run_shm_traffic(circuit, config, method, {8});
+  constexpr AssignMethod kMethods[] = {
+      AssignMethod::kRoundRobin, AssignMethod::kThreshold30,
+      AssignMethod::kThreshold1000, AssignMethod::kThresholdInf};
+  const auto runs = pool_map(std::size(kMethods), [&](std::size_t i) {
+    return run_shm_traffic(circuit, config, kMethods[i], {8});
+  });
+  for (std::size_t i = 0; i < std::size(kMethods); ++i) {
+    const AssignMethod method = kMethods[i];
+    const ShmTraffic& shm = *runs[i];
     NumaEstimate numa = estimate_numa(shm.run.trace, partition);
     BusEstimate bus = estimate_bus(shm.traffic[0]);
     t.row().cell(assign_method_name(method))
@@ -438,40 +555,51 @@ Table run_ablation_router(const Circuit& circuit) {
   Table t;
   t.column("router variant", Align::kLeft).column("CktHt").column("Occup.")
       .column("probes");
-  auto add = [&](const char* name, const RouterParams& params) {
-    SequentialParams sp;
-    sp.router = params;
-    SequentialResult r = route_sequential(circuit, sp);
-    t.row().cell(name).cell(static_cast<long long>(r.circuit_height))
-        .cell(static_cast<long long>(r.occupancy_factor))
-        .cell(static_cast<long long>(r.work.probes));
-  };
   RouterParams base;
-  add("baseline (chain, linear, slack 1)", base);
   RouterParams mst = base;
   mst.decomposition = Decomposition::kMst;
-  add("MST pin decomposition", mst);
   RouterParams quad = base;
   quad.explorer.congestion_power = 2;
-  add("quadratic congestion pricing", quad);
   RouterParams thorough = base;
   thorough.explorer = ExplorerParams::thorough();
-  add("thorough exploration", thorough);
   RouterParams all = base;
   all.decomposition = Decomposition::kMst;
   all.explorer = ExplorerParams::thorough();
   all.explorer.congestion_power = 2;
-  add("all three combined", all);
+  const std::pair<const char*, RouterParams> cases[] = {
+      {"baseline (chain, linear, slack 1)", base},
+      {"MST pin decomposition", mst},
+      {"quadratic congestion pricing", quad},
+      {"thorough exploration", thorough},
+      {"all three combined", all},
+  };
+  const auto runs = pool_map(std::size(cases), [&](std::size_t i) {
+    SequentialParams sp;
+    sp.router = cases[i].second;
+    return route_sequential(circuit, sp);
+  });
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    const SequentialResult& r = *runs[i];
+    t.row().cell(cases[i].first)
+        .cell(static_cast<long long>(r.circuit_height))
+        .cell(static_cast<long long>(r.occupancy_factor))
+        .cell(static_cast<long long>(r.work.probes));
+  }
   return t;
 }
 
 Table run_iteration_convergence(const Circuit& circuit) {
   Table t;
   t.column("iterations").column("CktHt").column("Occup.").column("probes");
-  for (std::int32_t iterations : {1, 2, 3, 4, 6}) {
+  constexpr std::int32_t kIterations[] = {1, 2, 3, 4, 6};
+  const auto runs = pool_map(std::size(kIterations), [&](std::size_t i) {
     SequentialParams sp;
-    sp.iterations = iterations;
-    SequentialResult r = route_sequential(circuit, sp);
+    sp.iterations = kIterations[i];
+    return route_sequential(circuit, sp);
+  });
+  for (std::size_t i = 0; i < std::size(kIterations); ++i) {
+    const std::int32_t iterations = kIterations[i];
+    const SequentialResult& r = *runs[i];
     t.row().cell(iterations).cell(static_cast<long long>(r.circuit_height))
         .cell(static_cast<long long>(r.occupancy_factor))
         .cell(static_cast<long long>(r.work.probes));
@@ -484,10 +612,15 @@ Table run_ablation_lookahead(const Circuit& circuit,
   Table t;
   t.column("lookahead (wires)").column("CktHt").column("Occup.")
       .column("MBytes").column("Time(s)");
-  for (std::int32_t lookahead : {1, 3, 5, 10, 20}) {
+  constexpr std::int32_t kLookaheads[] = {1, 3, 5, 10, 20};
+  const auto runs = pool_map(std::size(kLookaheads), [&](std::size_t i) {
     UpdateSchedule schedule = UpdateSchedule::receiver(1, 5);
-    schedule.request_lookahead = lookahead;
-    MpRunResult r = run_mp(circuit, config, schedule);
+    schedule.request_lookahead = kLookaheads[i];
+    return run_mp(circuit, config, schedule);
+  });
+  for (std::size_t i = 0; i < std::size(kLookaheads); ++i) {
+    const std::int32_t lookahead = kLookaheads[i];
+    const MpRunResult& r = *runs[i];
     t.row().cell(lookahead).cell(static_cast<long long>(r.circuit_height))
         .cell(static_cast<long long>(r.occupancy_factor))
         .cell(r.mbytes(), 3).cell(r.seconds(), 3);
@@ -502,22 +635,34 @@ Table run_threshold_sweep(const Circuit& circuit, const ExperimentConfig& config
   const UpdateSchedule schedule = UpdateSchedule::sender(2, 10);
   const Partition partition(circuit.channels(), circuit.grids(),
                             MeshShape::for_procs(config.procs));
-  auto run_one = [&](const std::string& label, std::int64_t threshold) {
-    const Assignment assignment =
-        assign_threshold_cost(circuit, partition, threshold);
-    MpRunResult r = run_message_passing(circuit, partition, assignment,
-                                        config.mp(schedule));
-    t.row().cell(label).cell(static_cast<long long>(r.circuit_height))
-        .cell(r.mbytes(), 3).cell(r.seconds(), 3)
-        .cell(assignment.cost_imbalance(circuit), 2);
-  };
+  std::vector<std::pair<std::string, std::int64_t>> cases;
   for (std::int64_t threshold : {std::int64_t{1}, std::int64_t{10},
                                  std::int64_t{30}, std::int64_t{100},
                                  std::int64_t{300}, std::int64_t{1000},
                                  std::int64_t{3000}}) {
-    run_one(std::to_string(threshold), threshold);
+    cases.emplace_back(std::to_string(threshold), threshold);
   }
-  run_one("infinity", kThresholdInfinity);
+  cases.emplace_back("infinity", kThresholdInfinity);
+  // The imbalance comes from the per-job assignment, so it crosses the
+  // join alongside the run.
+  struct SweepOut {
+    MpRunResult run;
+    double imbalance;
+  };
+  const auto runs = pool_map(cases.size(), [&](std::size_t i) {
+    const Assignment assignment =
+        assign_threshold_cost(circuit, partition, cases[i].second);
+    MpRunResult r = run_message_passing(circuit, partition, assignment,
+                                        config.mp(schedule));
+    const double imbalance = assignment.cost_imbalance(circuit);
+    return SweepOut{std::move(r), imbalance};
+  });
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const MpRunResult& r = runs[i]->run;
+    t.row().cell(cases[i].first).cell(static_cast<long long>(r.circuit_height))
+        .cell(r.mbytes(), 3).cell(r.seconds(), 3)
+        .cell(runs[i]->imbalance, 2);
+  }
   return t;
 }
 
@@ -525,25 +670,30 @@ Table run_view_staleness(const Circuit& circuit, const ExperimentConfig& config)
   Table t;
   t.column("schedule", Align::kLeft).column("view MAE").column("own-region MAE")
       .column("CktHt").column("Occup.");
-  auto add = [&](const char* name, const UpdateSchedule& schedule) {
-    MpRunResult r = run_mp(circuit, config, schedule);
-    t.row().cell(name).cell(r.view_staleness, 3)
+  const std::pair<const char*, UpdateSchedule> cases[] = {
+      {"no updates", UpdateSchedule{}},
+      {"sender (10,20)", UpdateSchedule::sender(10, 20)},
+      {"sender (2,10)", UpdateSchedule::sender(2, 10)},
+      {"sender (1,1)", UpdateSchedule::sender(1, 1)},
+      {"receiver (1,30)", UpdateSchedule::receiver(1, 30)},
+      {"receiver (1,5)", UpdateSchedule::receiver(1, 5)},
+      {"mixed (5,2,1,5)", [] {
+         UpdateSchedule s = UpdateSchedule::sender(2, 5);
+         s.req_loc_requests = 1;
+         s.req_rmt_touches = 5;
+         return s;
+       }()},
+  };
+  const auto runs = pool_map(std::size(cases), [&](std::size_t i) {
+    return run_mp(circuit, config, cases[i].second);
+  });
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    const MpRunResult& r = *runs[i];
+    t.row().cell(cases[i].first).cell(r.view_staleness, 3)
         .cell(r.own_region_staleness, 3)
         .cell(static_cast<long long>(r.circuit_height))
         .cell(static_cast<long long>(r.occupancy_factor));
-  };
-  add("no updates", UpdateSchedule{});
-  add("sender (10,20)", UpdateSchedule::sender(10, 20));
-  add("sender (2,10)", UpdateSchedule::sender(2, 10));
-  add("sender (1,1)", UpdateSchedule::sender(1, 1));
-  add("receiver (1,30)", UpdateSchedule::receiver(1, 30));
-  add("receiver (1,5)", UpdateSchedule::receiver(1, 5));
-  add("mixed (5,2,1,5)", [] {
-        UpdateSchedule s = UpdateSchedule::sender(2, 5);
-        s.req_loc_requests = 1;
-        s.req_rmt_touches = 5;
-        return s;
-      }());
+  }
   return t;
 }
 
@@ -552,9 +702,14 @@ Table run_scaling_large(const Circuit& circuit, const ExperimentConfig& config) 
   t.column("procs").column("CktHt").column("Occup.").column("MBytes")
       .column("Time(s)").column("speedup");
   const UpdateSchedule schedule = UpdateSchedule::sender(2, 10);
+  constexpr std::int32_t kProcs[] = {4, 16, 36, 64};
+  const auto runs = pool_map(std::size(kProcs), [&](std::size_t i) {
+    return run_mp(circuit, config, schedule, kBaselineAssign, kProcs[i]);
+  });
   double t4 = 0.0;
-  for (std::int32_t procs : {4, 16, 36, 64}) {
-    MpRunResult r = run_mp(circuit, config, schedule, kBaselineAssign, procs);
+  for (std::size_t i = 0; i < std::size(kProcs); ++i) {
+    const std::int32_t procs = kProcs[i];
+    const MpRunResult& r = *runs[i];
     if (procs == 4) t4 = r.seconds();
     const double speedup = r.seconds() == 0.0 ? 0.0 : 4.0 * t4 / r.seconds();
     t.row().cell(procs).cell(static_cast<long long>(r.circuit_height))
@@ -570,10 +725,15 @@ Table run_mp_iteration_sweep(const Circuit& circuit,
   t.column("iterations").column("CktHt").column("Occup.").column("MBytes")
       .column("Time(s)");
   const UpdateSchedule schedule = UpdateSchedule::sender(2, 10);
-  for (std::int32_t iterations : {1, 2, 3, 4}) {
+  constexpr std::int32_t kSweepIters[] = {1, 2, 3, 4};
+  const auto runs = pool_map(std::size(kSweepIters), [&](std::size_t i) {
     ExperimentConfig c = config;
-    c.iterations = iterations;
-    MpRunResult r = run_mp(circuit, c, schedule);
+    c.iterations = kSweepIters[i];
+    return run_mp(circuit, c, schedule);
+  });
+  for (std::size_t i = 0; i < std::size(kSweepIters); ++i) {
+    const std::int32_t iterations = kSweepIters[i];
+    const MpRunResult& r = *runs[i];
     t.row().cell(iterations).cell(static_cast<long long>(r.circuit_height))
         .cell(static_cast<long long>(r.occupancy_factor))
         .cell(r.mbytes(), 3).cell(r.seconds(), 3);
@@ -587,17 +747,24 @@ Table run_ablation_cache_size(const Circuit& circuit,
   Table t;
   t.column("cache per proc", Align::kLeft).column("MBytes")
       .column("evict WB MB").column("evictions");
-  for (auto [name, lines] : {std::pair<const char*, std::int32_t>{"1 KB", 128},
-                             {"4 KB", 512},
-                             {"16 KB", 2048},
-                             {"64 KB", 8192},
-                             {"infinite (paper)", 0}}) {
+  // One reference trace, five independent replays: the replays share only
+  // the const trace, so they fan out too.
+  const std::pair<const char*, std::int32_t> cases[] = {
+      {"1 KB", 128},           {"4 KB", 512},
+      {"16 KB", 2048},         {"64 KB", 8192},
+      {"infinite (paper)", 0},
+  };
+  const auto traffics = pool_map(std::size(cases), [&](std::size_t i) {
     CoherenceParams params;
     params.line_size = 8;
-    params.capacity_lines = lines;
+    params.capacity_lines = cases[i].second;
     CoherenceSim sim(config.procs, params);
     sim.replay(shm.run.trace);
-    const CoherenceTraffic& traffic = sim.traffic();
+    return sim.traffic();
+  });
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    const char* name = cases[i].first;
+    const CoherenceTraffic& traffic = *traffics[i];
     t.row().cell(name)
         .cell(static_cast<double>(traffic.total_bytes()) / 1e6, 3)
         .cell(static_cast<double>(traffic.eviction_writeback_bytes) / 1e6, 3)
@@ -610,13 +777,22 @@ Table run_seed_robustness(const ExperimentConfig& config) {
   Table t;
   t.column("seed", Align::kLeft).column("shm MB").column("sender MB")
       .column("receiver MB").column("hierarchy holds");
-  for (std::uint64_t seed : {0xB9E5EED5ULL, 0x1ULL, 0x2ULL, 0x3ULL, 0x5EEDULL}) {
+  constexpr std::uint64_t kSeeds[] = {0xB9E5EED5ULL, 0x1ULL, 0x2ULL, 0x3ULL,
+                                      0x5EEDULL};
+  // Each seed generates its own circuit and runs all three engines on it:
+  // one self-contained job per seed.
+  struct SeedOut {
+    double shm_mb;
+    double sender_mb;
+    double receiver_mb;
+  };
+  const auto runs = pool_map(std::size(kSeeds), [&](std::size_t s) {
     GeneratorParams params;  // bnrE-shaped, reseeded
     params.name = "seeded";
     params.channels = 10;
     params.grids = 341;
     params.num_wires = 420;
-    params.seed = seed;
+    params.seed = kSeeds[s];
     params.clusters = 24;
     params.global_fraction = 0.12;
     params.local_span_mean = 18.0;
@@ -637,14 +813,17 @@ Table run_seed_robustness(const ExperimentConfig& config) {
     cp.line_size = 8;
     CoherenceSim sim(config.procs, cp);
     sim.replay(shm.trace);
-
-    const double shm_mb = static_cast<double>(sim.traffic().total_bytes()) / 1e6;
-    const bool holds = shm_mb > sender.mbytes() && sender.mbytes() > receiver.mbytes();
+    return SeedOut{static_cast<double>(sim.traffic().total_bytes()) / 1e6,
+                   sender.mbytes(), receiver.mbytes()};
+  });
+  for (std::size_t s = 0; s < std::size(kSeeds); ++s) {
+    const SeedOut& r = *runs[s];
+    const bool holds = r.shm_mb > r.sender_mb && r.sender_mb > r.receiver_mb;
     char label[32];
     std::snprintf(label, sizeof label, "0x%llX",
-                  static_cast<unsigned long long>(seed));
-    t.row().cell(label).cell(shm_mb, 3).cell(sender.mbytes(), 3)
-        .cell(receiver.mbytes(), 3).cell(holds ? "yes" : "NO");
+                  static_cast<unsigned long long>(kSeeds[s]));
+    t.row().cell(label).cell(r.shm_mb, 3).cell(r.sender_mb, 3)
+        .cell(r.receiver_mb, 3).cell(holds ? "yes" : "NO");
   }
   return t;
 }
@@ -654,21 +833,25 @@ Table run_overhead_breakdown(const Circuit& circuit,
   Table t;
   t.column("schedule", Align::kLeft).column("routing(s)").column("msg sw(s)")
       .column("NI copy(s)").column("msg fraction");
-  auto add = [&](const char* name, const UpdateSchedule& schedule) {
-    MpRunResult r = run_mp(circuit, config, schedule);
-    const TimeBreakdown& tb = r.time_breakdown;
-    t.row().cell(name)
+  const std::pair<const char*, UpdateSchedule> cases[] = {
+      {"sender (1,1)  [most frequent]", UpdateSchedule::sender(1, 1)},
+      {"sender (2,5)", UpdateSchedule::sender(2, 5)},
+      {"sender (2,10)", UpdateSchedule::sender(2, 10)},
+      {"sender (10,20) [rarest]", UpdateSchedule::sender(10, 20)},
+      {"receiver (1,5)", UpdateSchedule::receiver(1, 5)},
+      {"receiver (1,30)", UpdateSchedule::receiver(1, 30)},
+  };
+  const auto runs = pool_map(std::size(cases), [&](std::size_t i) {
+    return run_mp(circuit, config, cases[i].second);
+  });
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    const TimeBreakdown& tb = runs[i]->time_breakdown;
+    t.row().cell(cases[i].first)
         .cell(static_cast<double>(tb.routing_ns) / 1e9, 3)
         .cell(static_cast<double>(tb.msg_software_ns) / 1e9, 3)
         .cell(static_cast<double>(tb.network_copy_ns) / 1e9, 3)
         .cell(format_fixed(tb.message_fraction() * 100.0, 1) + "%");
-  };
-  add("sender (1,1)  [most frequent]", UpdateSchedule::sender(1, 1));
-  add("sender (2,5)", UpdateSchedule::sender(2, 5));
-  add("sender (2,10)", UpdateSchedule::sender(2, 10));
-  add("sender (10,20) [rarest]", UpdateSchedule::sender(10, 20));
-  add("receiver (1,5)", UpdateSchedule::receiver(1, 5));
-  add("receiver (1,30)", UpdateSchedule::receiver(1, 30));
+  }
   return t;
 }
 
@@ -678,14 +861,19 @@ Table run_ablation_packet_structure(const Circuit& circuit,
   t.column("packet structure", Align::kLeft).column("CktHt").column("MBytes")
       .column("Time(s)");
   const UpdateSchedule schedule = UpdateSchedule::sender(2, 10);
-  for (auto [name, structure] :
-       {std::pair<const char*, PacketStructure>{"wire based",
-                                                PacketStructure::kWireBased},
-        {"whole region", PacketStructure::kWholeRegion},
-        {"bounding box (paper)", PacketStructure::kBoundingBox}}) {
+  const std::pair<const char*, PacketStructure> cases[] = {
+      {"wire based", PacketStructure::kWireBased},
+      {"whole region", PacketStructure::kWholeRegion},
+      {"bounding box (paper)", PacketStructure::kBoundingBox},
+  };
+  const auto runs = pool_map(std::size(cases), [&](std::size_t i) {
     ExperimentConfig c = config;
-    c.mp_base.packet_structure = structure;
-    MpRunResult r = run_mp(circuit, c, schedule);
+    c.mp_base.packet_structure = cases[i].second;
+    return run_mp(circuit, c, schedule);
+  });
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    const char* name = cases[i].first;
+    const MpRunResult& r = *runs[i];
     t.row().cell(name).cell(static_cast<long long>(r.circuit_height))
         .cell(r.mbytes(), 3).cell(r.seconds(), 3);
   }
@@ -703,25 +891,38 @@ Table run_ablation_protocols(const Circuit& circuit,
   Table t;
   t.column("protocol", Align::kLeft).column("MBytes").column("write frac")
       .column("invalidations");
+  // Sweep 8B and 32B lines: invalidate protocols scale with line size,
+  // the update protocol does not (no refetches). Eight independent replays
+  // of the same const trace — one pool job each.
+  struct ProtoCase {
+    const char* name;
+    ProtocolKind protocol;
+    std::int32_t line;
+  };
+  std::vector<ProtoCase> cases;
   for (auto [name, protocol] :
        {std::pair<const char*, ProtocolKind>{"write back w/ invalidate (paper)",
                                              ProtocolKind::kWriteBackInvalidate},
         {"write through", ProtocolKind::kWriteThrough},
         {"Illinois MESI", ProtocolKind::kMesi},
         {"Dragon (write update)", ProtocolKind::kDragon}}) {
-    // Sweep 8B and 32B lines: invalidate protocols scale with line size,
-    // the update protocol does not (no refetches).
-    for (std::int32_t line : {8, 32}) {
-      CoherenceParams params;
-      params.line_size = line;
-      params.protocol = protocol;
-      CoherenceSim sim(config.procs, params);
-      sim.replay(run.trace);
-      t.row().cell(std::string(name) + " @" + std::to_string(line) + "B")
-          .cell(static_cast<double>(sim.traffic().total_bytes()) / 1e6, 3)
-          .cell(sim.traffic().write_fraction(), 2)
-          .cell(static_cast<unsigned long long>(sim.traffic().invalidation_msgs));
-    }
+    for (std::int32_t line : {8, 32}) cases.push_back({name, protocol, line});
+  }
+  const auto traffics = pool_map(cases.size(), [&](std::size_t i) {
+    CoherenceParams params;
+    params.line_size = cases[i].line;
+    params.protocol = cases[i].protocol;
+    CoherenceSim sim(config.procs, params);
+    sim.replay(run.trace);
+    return sim.traffic();
+  });
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const CoherenceTraffic& traffic = *traffics[i];
+    t.row().cell(std::string(cases[i].name) + " @" +
+                 std::to_string(cases[i].line) + "B")
+        .cell(static_cast<double>(traffic.total_bytes()) / 1e6, 3)
+        .cell(traffic.write_fraction(), 2)
+        .cell(static_cast<unsigned long long>(traffic.invalidation_msgs));
   }
   return t;
 }
@@ -756,12 +957,15 @@ Table run_ablation_topology(const Circuit& circuit, const ExperimentConfig& conf
     cases.insert(cases.begin() + 2,
                  TopoCase{"binary hypercube", Topology::Edges::kTorus, cube_dims});
   }
-  for (const TopoCase& tc : cases) {
+  const auto runs = pool_map(cases.size(), [&](std::size_t i) {
     ExperimentConfig c = config;
-    c.mp_base.edges = tc.edges;
-    c.mp_base.topology_dims = tc.dims;
-    const char* name = tc.name;
-    MpRunResult r = run_mp(circuit, c, schedule);
+    c.mp_base.edges = cases[i].edges;
+    c.mp_base.topology_dims = cases[i].dims;
+    return run_mp(circuit, c, schedule);
+  });
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const char* name = cases[i].name;
+    const MpRunResult& r = *runs[i];
     const double mean_latency_us =
         r.network.packets == 0
             ? 0.0
@@ -786,17 +990,42 @@ Table run_obs_traffic_summary(const Circuit& circuit,
         .cell(o == e ? "yes" : "NO");
   };
 
-  // MP receiver-initiated run with the obs layer attached: every counter
-  // must agree with the statistic the engine already keeps.
+  // Two pool jobs, each with its own obs::Obs (per-job registries — no
+  // shard is ever shared across jobs); the cross-check rows read the
+  // registries after the join.
   obs::Obs mp_obs;
+  std::optional<MpRunResult> mp_run;
+  obs::Obs shm_obs_sink;
+  std::optional<ShmRunResult> shm_run;
+  std::optional<CoherenceTraffic> coh_traffic;
+  SimPool().run_all({
+      // MP receiver-initiated run with the obs layer attached: every
+      // counter must agree with the statistic the engine already keeps.
+      {"obs:mp", [&] {
+         const Partition partition(circuit.channels(), circuit.grids(),
+                                   MeshShape::for_procs(config.procs));
+         const Assignment assignment =
+             make_assignment(circuit, partition, kBaselineAssign);
+         MpConfig mp_config = config.mp(UpdateSchedule::receiver(1, 30));
+         mp_config.obs = &mp_obs;
+         mp_run.emplace(
+             run_message_passing(circuit, partition, assignment, mp_config));
+       }},
+      // Deterministic shm run plus a coherence replay of its reference
+      // trace.
+      {"obs:shm", [&] {
+         ShmConfig shm_config = config.shm();
+         shm_config.obs = &shm_obs_sink;
+         shm_run.emplace(run_shared_memory(circuit, shm_config));
+         CoherenceSim sim(config.procs, CoherenceParams{});
+         sim.replay(shm_run->trace);
+         sim.publish_obs(shm_obs_sink);
+         coh_traffic.emplace(sim.traffic());
+       }},
+  });
+
   {
-    const Partition partition(circuit.channels(), circuit.grids(),
-                              MeshShape::for_procs(config.procs));
-    const Assignment assignment =
-        make_assignment(circuit, partition, kBaselineAssign);
-    MpConfig mp_config = config.mp(UpdateSchedule::receiver(1, 30));
-    mp_config.obs = &mp_obs;
-    MpRunResult r = run_message_passing(circuit, partition, assignment, mp_config);
+    const MpRunResult& r = *mp_run;
     auto& reg = mp_obs.counters();
     row("net.packets", reg.total("net.packets"), r.network.packets);
     row("net.bytes", reg.total("net.bytes"), r.network.bytes);
@@ -809,24 +1038,16 @@ Table run_obs_traffic_summary(const Circuit& circuit,
 
   t.separator();
 
-  // Deterministic shm run plus a coherence replay of its reference trace.
-  obs::Obs shm_obs_sink;
   {
-    ShmConfig shm_config = config.shm();
-    shm_config.obs = &shm_obs_sink;
-    ShmRunResult r = run_shared_memory(circuit, shm_config);
+    const ShmRunResult& r = *shm_run;
     auto& reg = shm_obs_sink.counters();
     row("shm.wires_routed", reg.total("shm.wires_routed"),
         static_cast<std::uint64_t>(r.work.wires_routed));
     row("shm.trace_refs", reg.total("shm.trace_refs"), r.trace.size());
-
-    CoherenceSim sim(config.procs, CoherenceParams{});
-    sim.replay(r.trace);
-    sim.publish_obs(shm_obs_sink);
     row("coh.accesses", reg.total(obs::CoherenceObsNames::kAccesses),
-        sim.traffic().accesses);
+        coh_traffic->accesses);
     row("coh.total_bytes", reg.total(obs::CoherenceObsNames::kTotalBytes),
-        sim.traffic().total_bytes());
+        coh_traffic->total_bytes());
   }
   return t;
 }
@@ -908,17 +1129,28 @@ Table run_check_faults(const Circuit& circuit, const ExperimentConfig& config) {
     cases.push_back({"stall 200us@0.05", p, false});
   }
 
-  for (const Case& c : cases) {
+  // Each fault plan is an independent run with a job-local checker.
+  struct FaultOut {
+    MpRunResult run;
+    ConsistencyReport rep;
+  };
+  const auto runs = pool_map(cases.size(), [&](std::size_t i) {
     ConsistencyOptions opts;
     opts.checkpoint_period = 8;
     ViewConsistencyChecker checker(opts);
     // Frequent updates (periods 2/2) so even small circuits put enough
     // packets on the wire for the configured rates to fire.
     MpConfig mp = config.mp(UpdateSchedule::sender(2, 2));
-    mp.faults = &c.plan;
+    mp.faults = &cases[i].plan;
     mp.observer = &checker;
-    const MpRunResult run = run_message_passing(circuit, config.procs, mp);
-    const ConsistencyReport& rep = checker.report();
+    MpRunResult r = run_message_passing(circuit, config.procs, mp);
+    ConsistencyReport rep = checker.report();
+    return FaultOut{std::move(r), std::move(rep)};
+  });
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const Case& c = cases[i];
+    const MpRunResult& run = runs[i]->run;
+    const ConsistencyReport& rep = runs[i]->rep;
     const std::uint64_t injected = run.faults.dropped + run.faults.duplicated +
                                    run.faults.delayed + run.faults.reordered +
                                    run.faults.stalls;
@@ -948,10 +1180,15 @@ Table run_check_trace_scan(const Circuit& circuit, const ExperimentConfig& confi
   t.column("line B").column("refs").column("lines").column("conflicted")
       .column("ww").column("wr").column("rw")
       .column("hottest", Align::kLeft).column("histogram", Align::kLeft);
-  for (std::int32_t line : {4, 8, 16, 32}) {
+  constexpr std::int32_t kLines[] = {4, 8, 16, 32};
+  const auto reports = pool_map(std::size(kLines), [&](std::size_t i) {
     TraceScanOptions opts;
-    opts.line_bytes = line;
-    const TraceScanReport rep = scan_trace_conflicts(run.trace, opts);
+    opts.line_bytes = kLines[i];
+    return scan_trace_conflicts(run.trace, opts);
+  });
+  for (std::size_t i = 0; i < std::size(kLines); ++i) {
+    const std::int32_t line = kLines[i];
+    const TraceScanReport& rep = *reports[i];
     std::string hottest = "-";
     if (!rep.hottest.empty()) {
       hottest = "line " + std::to_string(rep.hottest.front().line) + " x" +

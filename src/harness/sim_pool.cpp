@@ -1,0 +1,147 @@
+#include "harness/sim_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "support/assert.hpp"
+
+namespace locus {
+
+namespace {
+
+int g_default_threads = 0;  // 0: resolve from the environment
+
+int resolve_env_threads() {
+  const char* env = std::getenv("LOCUS_THREADS");
+  if (env == nullptr) return 1;
+  const int n = std::atoi(env);
+  return n > 0 ? n : 1;
+}
+
+}  // namespace
+
+void set_sim_threads(int n) { g_default_threads = n > 0 ? n : 0; }
+
+int sim_threads() {
+  return g_default_threads > 0 ? g_default_threads : resolve_env_threads();
+}
+
+SimPool::SimPool(int threads)
+    : threads_(threads > 0 ? threads : sim_threads()) {
+  LOCUS_ASSERT(threads_ >= 1);
+}
+
+namespace {
+
+/// Shared state of one run_all call. Each worker owns deque[worker]; all
+/// deques are guarded by one mutex apiece so steals are safe. `remaining`
+/// is the run's termination condition: workers spin between their own
+/// deque and steal attempts until every job has been *completed* (not
+/// merely claimed), which also keeps a worker alive to steal the tail of a
+/// long job list.
+struct RunState {
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::size_t> jobs;
+  };
+
+  explicit RunState(std::size_t workers) : queues(workers) {}
+
+  std::vector<WorkerQueue> queues;
+  std::atomic<std::size_t> remaining{0};
+
+  std::mutex error_mutex;
+  std::exception_ptr error;        ///< first failure by job index
+  std::size_t error_index = 0;
+
+  bool pop_own(std::size_t worker, std::size_t& out) {
+    WorkerQueue& q = queues[worker];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (q.jobs.empty()) return false;
+    out = q.jobs.front();
+    q.jobs.pop_front();
+    return true;
+  }
+
+  bool steal(std::size_t thief, std::size_t& out) {
+    const std::size_t n = queues.size();
+    for (std::size_t k = 1; k < n; ++k) {
+      WorkerQueue& q = queues[(thief + k) % n];
+      std::lock_guard<std::mutex> lock(q.mutex);
+      if (q.jobs.empty()) continue;
+      out = q.jobs.back();  // steal the cold end
+      q.jobs.pop_back();
+      return true;
+    }
+    return false;
+  }
+
+  void record_error(std::size_t index) {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (error == nullptr || index < error_index) {
+      error = std::current_exception();
+      error_index = index;
+    }
+  }
+};
+
+void worker_loop(RunState& state, std::size_t worker,
+                 const std::function<void(std::size_t)>& fn) {
+  std::size_t job;
+  while (state.remaining.load(std::memory_order_acquire) > 0) {
+    if (!state.pop_own(worker, job) && !state.steal(worker, job)) {
+      if (worker == 0) return;  // caller thread: nothing left to claim
+      std::this_thread::yield();
+      continue;
+    }
+    try {
+      fn(job);
+    } catch (...) {
+      state.record_error(job);
+    }
+    state.remaining.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+}  // namespace
+
+void SimPool::run_indexed(std::size_t n,
+                          const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_ == 1 || n == 1) {
+    // Serial fast path: run inline, spawn nothing. This is bit-for-bit the
+    // pre-pool behaviour and the reference the determinism tests diff
+    // against.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(threads_), n);
+  RunState state(workers);
+  for (std::size_t i = 0; i < n; ++i) {
+    state.queues[i % workers].jobs.push_back(i);
+  }
+  state.remaining.store(n, std::memory_order_release);
+
+  std::vector<std::thread> helpers;
+  helpers.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) {
+    helpers.emplace_back([&state, w, &fn] { worker_loop(state, w, fn); });
+  }
+  worker_loop(state, 0, fn);  // the caller is worker 0
+  for (std::thread& t : helpers) t.join();
+
+  if (state.error != nullptr) std::rethrow_exception(state.error);
+}
+
+void SimPool::run_all(std::vector<SimJob> jobs) {
+  run_indexed(jobs.size(), [&](std::size_t i) { jobs[i].run(); });
+}
+
+}  // namespace locus

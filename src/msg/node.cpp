@@ -110,9 +110,9 @@ void RouterNode::on_packet(NodeApi& api, const Packet& packet) {
         std::int32_t& count = req_rmt_received_[static_cast<std::size_t>(packet.src)];
         if (++count >= config_.schedule.req_loc_requests) {
           count = 0;
-          auto req = std::make_shared<RequestPayload>();
-          req->region = self_;
-          req->bbox = partition_.region(self_);
+          auto [req, req_data] = make_payload<RequestPayload>();
+          req_data->region = self_;
+          req_data->bbox = partition_.region(self_);
           api.advance(config_.time.msg_fixed_ns);
           breakdown().msg_software_ns += config_.time.msg_fixed_ns;
           api.send(packet.src, kMsgReqLocData, request_packet_bytes(), std::move(req));
@@ -212,9 +212,9 @@ void RouterNode::advance_lookahead(NodeApi& api) {
           Rect::intersection(wire_box, partition_.region(region)));
       if (++touch_count_[r] >= sched.req_rmt_touches) {
         touch_count_[r] = 0;
-        auto req = std::make_shared<RequestPayload>();
-        req->region = region;
-        req->bbox = interest_bbox_[r];
+        auto [req, req_data] = make_payload<RequestPayload>();
+        req_data->region = region;
+        req_data->bbox = interest_bbox_[r];
         interest_bbox_[r] = Rect::empty();
         api.advance(config_.time.msg_fixed_ns);
         breakdown().msg_software_ns += config_.time.msg_fixed_ns;
@@ -322,9 +322,9 @@ void RouterNode::note_request_from(ProcId src) {
 
 void RouterNode::send_grant(NodeApi& api, ProcId dst, WireId wire,
                             std::int32_t iteration) {
-  auto grant = std::make_shared<GrantPayload>();
-  grant->wire = wire;
-  grant->iteration = iteration;
+  auto [grant, grant_data] = make_payload<GrantPayload>();
+  grant_data->wire = wire;
+  grant_data->iteration = iteration;
   api.advance(config_.time.msg_fixed_ns);
   breakdown().msg_software_ns += config_.time.msg_fixed_ns;
   api.send(dst, kMsgWireGrant, grant_packet_bytes(), std::move(grant));
@@ -466,11 +466,11 @@ void RouterNode::send_data_update(NodeApi& api, ProcId dst, std::int32_t type,
   if (type == kMsgSendRmtData && config_.observer != nullptr) {
     config_.observer->on_delta_sent(self_, region, bbox, values);
   }
-  auto payload = std::make_shared<RegionUpdatePayload>();
-  payload->region = region;
-  payload->bbox = bbox;
-  payload->absolute = absolute;
-  payload->values = std::move(values);
+  auto [payload, payload_data] = make_payload<RegionUpdatePayload>();
+  payload_data->region = region;
+  payload_data->bbox = bbox;
+  payload_data->absolute = absolute;
+  payload_data->values = std::move(values);
   // Assembly cost: fixed software overhead plus per-byte packing.
   const SimTime pack_cost = tm.msg_fixed_ns + static_cast<SimTime>(bytes) * tm.pack_byte_ns;
   api.advance(pack_cost);

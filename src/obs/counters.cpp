@@ -124,6 +124,26 @@ CounterRegistry::merged_histograms() const {
   return out;
 }
 
+void CounterRegistry::merge_from(const CounterRegistry& other) {
+  for (const auto& [name, value] : other.merged_counters()) {
+    if (value != 0) add(0, counter(name), value);
+  }
+  for (const auto& [name, snap] : other.merged_histograms()) {
+    if (snap.count == 0) continue;
+    const MetricId id = histogram(name);
+    auto& hists = shards_[0].hists;
+    if (id >= hists.size()) hists.resize(slot_count());
+    Hist& h = hists[id];
+    if (h.count == 0 || snap.min < h.min) h.min = snap.min;
+    if (snap.max > h.max) h.max = snap.max;
+    h.count += snap.count;
+    h.sum += snap.sum;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      h.buckets[b] += snap.buckets[b];
+    }
+  }
+}
+
 std::string CounterRegistry::metrics_csv() const {
   std::string out = "kind,name,value\n";
   auto row = [&out](const char* kind, const std::string& name, const char* suffix,

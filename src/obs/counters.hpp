@@ -86,6 +86,14 @@ class CounterRegistry {
   /// All histograms with their merged snapshots, sorted by name.
   std::vector<std::pair<std::string, HistogramSnapshot>> merged_histograms() const;
 
+  /// Post-join merge of a whole sibling registry: registers every metric of
+  /// `other` here (by name) and folds its merged totals into shard 0. This
+  /// extends the per-shard merge to per-*registry* granularity — each
+  /// SimPool job runs against its own registry, and the caller absorbs them
+  /// in submission order once the workers have joined, so the combined
+  /// totals are deterministic. Not thread safe; call after the join.
+  void merge_from(const CounterRegistry& other);
+
   /// Compact CSV: header `kind,name,value`, one row per counter, four rows
   /// (count/sum/min/max) per histogram, sorted by name. Deterministic.
   std::string metrics_csv() const;

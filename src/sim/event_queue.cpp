@@ -22,7 +22,8 @@ void EventQueue::schedule(SimTime time, HandlerId handler, std::uint64_t a,
                           std::uint64_t b) {
   LOCUS_ASSERT_MSG(time >= now_, "cannot schedule into the past");
   LOCUS_ASSERT(handler < handlers_.size());
-  heap_.push(Event{time, next_seq_++, a, b, handler});
+  LOCUS_ASSERT_MSG(next_seq_ >> 48 == 0, "event sequence space exhausted");
+  heap_.push(Event{time, (next_seq_++ << 16) | handler, a, b});
   peak_pending_ = std::max(peak_pending_, heap_.size());
 }
 
@@ -51,30 +52,14 @@ void EventQueue::closure_trampoline(void* ctx, SimTime /*now*/, std::uint64_t a,
 }
 
 void EventQueue::dispatch(const Event& ev) {
-  const HandlerEntry& h = handlers_[ev.handler];
+  const HandlerEntry& h = handlers_[ev.handler()];
   h.fn(h.ctx, ev.time, ev.a, ev.b);
 }
 
-SimTime EventQueue::run() {
-  while (!heap_.empty()) {
-    const Event ev = heap_.top();  // trivially copyable: plain copy, no cast
-    heap_.pop();
-    LOCUS_OBS_HOOK(if (obs_) {
-      auto& reg = obs_.obs->counters();
-      reg.add(obs_.shard, obs_.events);
-      reg.observe(obs_.shard, obs_.depth, heap_.size());
-    });
-    now_ = ev.time;
-    ++executed_;
-    dispatch(ev);
-  }
-  return now_;
-}
-
-std::size_t EventQueue::run_bounded(std::size_t limit) {
+std::size_t EventQueue::run_loop(std::size_t limit) {
   std::size_t count = 0;
   while (!heap_.empty() && count < limit) {
-    const Event ev = heap_.top();
+    const Event ev = heap_.top();  // trivially copyable: plain copy, no cast
     heap_.pop();
     LOCUS_OBS_HOOK(if (obs_) {
       auto& reg = obs_.obs->counters();
@@ -87,6 +72,15 @@ std::size_t EventQueue::run_bounded(std::size_t limit) {
     ++count;
   }
   return count;
+}
+
+SimTime EventQueue::run() {
+  run_loop(std::numeric_limits<std::size_t>::max());
+  return now_;
+}
+
+std::size_t EventQueue::run_bounded(std::size_t limit) {
+  return run_loop(limit);
 }
 
 }  // namespace locus

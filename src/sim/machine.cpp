@@ -18,8 +18,19 @@ void NodeApi::advance(SimTime ns) {
   machine_->state(self_).clock += ns;
 }
 
+void Machine::ArrivalRing::grow() {
+  // Linearize into a fresh buffer: entries [head_, head_+count_) move to
+  // [0, count_). Doubling keeps pushes amortized O(1).
+  std::vector<Arrival> bigger(slots_.empty() ? 8 : slots_.size() * 2);
+  for (std::size_t i = 0; i < count_; ++i) {
+    bigger[i] = std::move(slots_[index(i)]);
+  }
+  slots_ = std::move(bigger);
+  head_ = 0;
+}
+
 void NodeApi::send(ProcId dst, std::int32_t type, std::int32_t bytes,
-                   std::shared_ptr<const PacketPayload> payload) {
+                   PayloadRef payload) {
   // Send-side ProcessTime: the processor is busy copying the message to the
   // network interface (paper §2.1).
   advance(machine_->network_->params().process_time_ns);
@@ -84,7 +95,7 @@ void Machine::set_obs(obs::Obs* o) {
 
 void Machine::deliver(const Packet& packet, SimTime arrival) {
   NodeState& st = state(packet.dst);
-  st.inbox.push(NodeState::Arrival{arrival, arrival_seq_++, packet});
+  st.inbox.push(Arrival{arrival, arrival_seq_++, packet});
   // Wake the node: if it is mid-wire (clock > arrival) the resume lands at
   // its next between-wires boundary; if idle, at the arrival itself.
   schedule_resume(packet.dst, std::max(arrival, st.clock));
@@ -145,9 +156,9 @@ void Machine::resume(ProcId proc) {
   // reception handlers advance the clock, which can make further arrivals
   // due, so re-check.
   std::uint64_t delivered = 0;
-  while (!st.inbox.empty() && st.inbox.top().time <= st.clock) {
-    Packet packet = st.inbox.top().packet;
-    st.inbox.pop();
+  while (!st.inbox.empty() && st.inbox.front().time <= st.clock) {
+    Packet packet = st.inbox.front().packet;
+    st.inbox.pop_front();
     st.program->on_packet(api, packet);
     ++delivered;
   }
@@ -155,7 +166,7 @@ void Machine::resume(ProcId proc) {
   if (st.program->blocked()) {
     // Sleep until the next arrival (already queued or delivered later).
     if (!st.inbox.empty()) {
-      schedule_resume(proc, st.inbox.top().time);
+      schedule_resume(proc, st.inbox.front().time);
     }
     finish_obs(delivered, /*stepped=*/false);
     running_ = -1;
@@ -176,7 +187,7 @@ void Machine::resume(ProcId proc) {
     }
     // Idle; future arrivals must still wake us (e.g. to answer requests).
     if (!st.inbox.empty()) {
-      schedule_resume(proc, std::max(st.clock, st.inbox.top().time));
+      schedule_resume(proc, std::max(st.clock, st.inbox.front().time));
     }
   }
   running_ = -1;

@@ -10,11 +10,18 @@
 //     (blocking receiver-initiated updates); it then sleeps until the next
 //     arrival re-checks the condition.
 // The engine is a sequential DES, so runs are deterministic.
+//
+// Hot-path layout: each node's pending arrivals live in a sorted ring
+// buffer rather than a per-node priority queue. Deliveries are invoked in
+// global (time, sequence) event order, so per-node arrivals are already
+// sorted when they are pushed — the ring just appends at the tail and pops
+// at the head, no heap discipline needed. A sorted-insert fallback keeps
+// the (time, seq) order exact even if an out-of-order push ever appears.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -40,7 +47,7 @@ class NodeApi {
   /// plus per-byte packing cost supplied by the caller beforehand via
   /// advance(). Returns immediately (asynchronous send).
   void send(ProcId dst, std::int32_t type, std::int32_t bytes,
-            std::shared_ptr<const PacketPayload> payload);
+            PayloadRef payload);
 
  private:
   friend class Machine;
@@ -116,6 +123,60 @@ class Machine {
  private:
   friend class NodeApi;
 
+  struct Arrival {
+    SimTime time;
+    std::uint64_t seq;
+    Packet packet;
+  };
+
+  /// FIFO ring of arrivals kept sorted by (time, seq). Pushes append in
+  /// practice (deliveries happen in global event order); the rotate-back
+  /// fallback preserves exact order for any stray out-of-order push.
+  class ArrivalRing {
+   public:
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+    const Arrival& front() const { return slots_[head_]; }
+
+    void pop_front() {
+      slots_[head_].packet.payload.reset();  // drop the payload now
+      head_ = next(head_);
+      --count_;
+    }
+
+    void push(Arrival&& arrival) {
+      if (count_ == slots_.size()) grow();
+      std::size_t at = index(count_);
+      slots_[at] = std::move(arrival);
+      ++count_;
+      // Restore (time, seq) order in the (never expected) case of an
+      // out-of-order arrival: bubble the new entry toward the head.
+      while (at != head_) {
+        const std::size_t prev = at == 0 ? slots_.size() - 1 : at - 1;
+        if (!later(slots_[prev], slots_[at])) break;
+        std::swap(slots_[prev], slots_[at]);
+        at = prev;
+      }
+    }
+
+   private:
+    static bool later(const Arrival& a, const Arrival& b) {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+    std::size_t next(std::size_t i) const {
+      return i + 1 == slots_.size() ? 0 : i + 1;
+    }
+    std::size_t index(std::size_t offset) const {
+      const std::size_t i = head_ + offset;
+      return i >= slots_.size() ? i - slots_.size() : i;
+    }
+    void grow();
+
+    std::vector<Arrival> slots_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+  };
+
   struct NodeState {
     std::unique_ptr<Node> program;
     SimTime clock = 0;           ///< local time: busy until here
@@ -123,17 +184,7 @@ class Machine {
     SimTime resume_at = 0;       ///< time of the pending resume event
     bool work_done = false;      ///< on_step returned false at least once
     SimTime finish_time = 0;
-    struct Arrival {
-      SimTime time;
-      std::uint64_t seq;
-      Packet packet;
-    };
-    struct LaterArrival {
-      bool operator()(const Arrival& a, const Arrival& b) const {
-        return a.time != b.time ? a.time > b.time : a.seq > b.seq;
-      }
-    };
-    std::priority_queue<Arrival, std::vector<Arrival>, LaterArrival> inbox;
+    ArrivalRing inbox;
   };
 
   void deliver(const Packet& packet, SimTime arrival);

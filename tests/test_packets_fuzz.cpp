@@ -5,10 +5,13 @@
 // a memory-safety harness for the decoder.
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "harness/sim_pool.hpp"
 #include "msg/packets.hpp"
 #include "support/rng.hpp"
 
@@ -58,16 +61,30 @@ WirePacket random_valid_packet(Rng& rng) {
   return p;
 }
 
-/// 1000 seeded cases: encode -> decode reproduces the packet exactly.
+/// 1000 seeded cases: encode -> decode reproduces the packet exactly. The
+/// seeds are independent, so they fan out on the SimPool (--threads /
+/// LOCUS_THREADS; serial by default); verdicts are collected in seed order
+/// and asserted on the main thread, so failure output is deterministic.
 TEST(PacketCodecFuzz, RoundTrip1000Seeds) {
-  for (std::uint64_t seed = 0; seed < 1000; ++seed) {
-    Rng rng(seed);
+  constexpr std::size_t kSeeds = 1000;
+  std::vector<std::string> failures(kSeeds);
+  SimPool().run_indexed(kSeeds, [&](std::size_t i) {
+    Rng rng(static_cast<std::uint64_t>(i));
     const WirePacket packet = random_valid_packet(rng);
     const auto bytes = encode_packet(packet);
-    ASSERT_TRUE(bytes.has_value()) << "seed " << seed;
+    if (!bytes.has_value()) {
+      failures[i] = "encode rejected a valid packet";
+      return;
+    }
     const auto back = decode_packet(*bytes);
-    ASSERT_TRUE(back.has_value()) << "seed " << seed;
-    EXPECT_EQ(packet, *back) << "seed " << seed;
+    if (!back.has_value()) {
+      failures[i] = "decode rejected its own encoding";
+      return;
+    }
+    if (!(packet == *back)) failures[i] = "round-trip mismatch";
+  });
+  for (std::size_t seed = 0; seed < kSeeds; ++seed) {
+    EXPECT_EQ(failures[seed], "") << "seed " << seed;
   }
 }
 

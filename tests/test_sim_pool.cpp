@@ -1,0 +1,217 @@
+// SimPool runner and determinism tests: every job runs exactly once with
+// submission-ordered collection, errors propagate as the lowest-index
+// failure, thread-count resolution follows explicit > set_sim_threads() >
+// LOCUS_THREADS > serial, and — the property the whole design rests on —
+// fanning real simulations out over the pool yields bit-identical results
+// and bit-identical merged observability output at every thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "circuit/generator.hpp"
+#include "harness/experiments.hpp"
+#include "harness/sim_pool.hpp"
+#include "msg/driver.hpp"
+#include "obs/counters.hpp"
+#include "sim/event_queue.hpp"
+
+namespace locus {
+namespace {
+
+TEST(SimPool, RunsEveryJobExactlyOnce) {
+  constexpr std::size_t kJobs = 257;  // deliberately not a multiple of width
+  std::vector<int> hits(kJobs, 0);
+  std::atomic<int> total{0};
+  SimPool pool(4);
+  EXPECT_EQ(pool.threads(), 4);
+  pool.run_indexed(kJobs, [&](std::size_t i) {
+    ++hits[i];  // each slot has exactly one writer
+    total.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), static_cast<int>(kJobs));
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    EXPECT_EQ(hits[i], 1) << "job " << i;
+  }
+}
+
+TEST(SimPool, MapCollectsInSubmissionOrder) {
+  const std::vector<std::int64_t> out =
+      SimPool(4).map(100, [](std::size_t i) {
+        return static_cast<std::int64_t>(i) * static_cast<std::int64_t>(i);
+      });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<std::int64_t>(i * i));
+  }
+}
+
+TEST(SimPool, ZeroAndSingleJobRunInline) {
+  SimPool pool(8);
+  pool.run_indexed(0, [](std::size_t) { FAIL() << "no jobs to run"; });
+  std::vector<std::size_t> seen;
+  pool.run_indexed(1, [&](std::size_t i) { seen.push_back(i); });
+  ASSERT_EQ(seen.size(), 1u);  // push_back un-synchronized: inline-only is load-bearing
+  EXPECT_EQ(seen[0], 0u);
+}
+
+TEST(SimPool, FirstErrorByJobIndexWins) {
+  // Three jobs throw; whichever finishes first, the pool must rethrow the
+  // lowest submission index so failures are reproducible across widths.
+  for (int threads : {1, 4}) {
+    try {
+      SimPool(threads).run_indexed(16, [](std::size_t i) {
+        if (i == 9 || i == 3 || i == 5) {
+          throw std::runtime_error(std::to_string(i));
+        }
+      });
+      FAIL() << "expected the pool to rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "3") << "threads=" << threads;
+    }
+  }
+}
+
+TEST(SimPool, ThreadResolutionPrecedence) {
+  set_sim_threads(3);
+  EXPECT_EQ(sim_threads(), 3);
+  EXPECT_EQ(SimPool().threads(), 3);
+  EXPECT_EQ(SimPool(2).threads(), 2);  // explicit beats the session default
+
+  set_sim_threads(0);
+  ::setenv("LOCUS_THREADS", "5", 1);
+  EXPECT_EQ(sim_threads(), 5);   // env applies once the default is cleared
+  ::setenv("LOCUS_THREADS", "not-a-number", 1);
+  EXPECT_EQ(sim_threads(), 1);   // garbage degrades to serial
+  ::unsetenv("LOCUS_THREADS");
+  EXPECT_EQ(sim_threads(), 1);   // nothing configured: serial
+}
+
+TEST(SimPool, RunAllExecutesNamedJobs) {
+  std::vector<int> done(3, 0);
+  std::vector<SimJob> jobs;
+  for (int i = 0; i < 3; ++i) {
+    jobs.push_back(SimJob{"job" + std::to_string(i), [&done, i] { done[static_cast<std::size_t>(i)] = i + 1; }});
+  }
+  SimPool(2).run_all(std::move(jobs));
+  EXPECT_EQ(done, (std::vector<int>{1, 2, 3}));
+}
+
+// ---------------------------------------------------------------------------
+// The 4-ary event heap's FIFO tie-break: same-time events run in schedule
+// order, on every run.
+
+std::vector<std::uint64_t> run_tie_break_schedule() {
+  EventQueue q;
+  std::vector<std::uint64_t> order;
+  struct Ctx {
+    std::vector<std::uint64_t>* order;
+    static void on(void* ctx, SimTime, std::uint64_t a, std::uint64_t) {
+      static_cast<Ctx*>(ctx)->order->push_back(a);
+    }
+  } ctx{&order};
+  const EventQueue::HandlerId h = q.add_handler(&Ctx::on, &ctx);
+  // 100 events at time 7 tagged 100..199, then 10 latecomers at time 3
+  // tagged 0..9: the earlier time runs first, and within each time the
+  // schedule order (sequence number) is the tie-break.
+  for (std::uint64_t i = 0; i < 100; ++i) q.schedule(7, h, 100 + i);
+  for (std::uint64_t i = 0; i < 10; ++i) q.schedule(3, h, i);
+  q.run();
+  return order;
+}
+
+TEST(EventQueueFifo, SameTimeEventsPopInScheduleOrder) {
+  const std::vector<std::uint64_t> order = run_tie_break_schedule();
+  ASSERT_EQ(order.size(), 110u);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(order[10 + i], 100 + i);
+}
+
+TEST(EventQueueFifo, RepeatedRunsProduceIdenticalOrder) {
+  const std::vector<std::uint64_t> first = run_tie_break_schedule();
+  for (int rep = 0; rep < 5; ++rep) {
+    EXPECT_EQ(run_tie_break_schedule(), first) << "rep " << rep;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pool-vs-serial determinism on real simulations: the acceptance criterion
+// for every fan-out conversion in harness/experiments.cpp and check/oracle.
+
+/// The schedules a small table sweep would run, one sim per job.
+std::vector<UpdateSchedule> sweep_schedules() {
+  return {
+      UpdateSchedule::sender(2, 5),    UpdateSchedule::sender(10, 5),
+      UpdateSchedule::receiver(1, 5),  UpdateSchedule::receiver(5, 2),
+      UpdateSchedule::sender(5, 10),   UpdateSchedule::receiver(2, 10),
+  };
+}
+
+std::vector<MpRunResult> run_sweep(const Circuit& circuit, int threads) {
+  const std::vector<UpdateSchedule> schedules = sweep_schedules();
+  const ExperimentConfig config;
+  std::vector<MpRunResult> results(schedules.size());
+  SimPool(threads).run_indexed(schedules.size(), [&](std::size_t i) {
+    results[i] =
+        run_message_passing(circuit, config.procs, config.mp(schedules[i]));
+  });
+  return results;
+}
+
+TEST(PoolDeterminism, MpSweepIsBitIdenticalAtAnyWidth) {
+  const Circuit circuit = make_bnre_like();
+  const std::vector<MpRunResult> serial = run_sweep(circuit, 1);
+  for (int threads : {2, 4}) {
+    const std::vector<MpRunResult> pooled = run_sweep(circuit, threads);
+    ASSERT_EQ(pooled.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      const MpRunResult& a = serial[i];
+      const MpRunResult& b = pooled[i];
+      EXPECT_EQ(a.circuit_height, b.circuit_height) << "job " << i;
+      EXPECT_EQ(a.occupancy_factor, b.occupancy_factor) << "job " << i;
+      EXPECT_EQ(a.bytes_transferred, b.bytes_transferred) << "job " << i;
+      EXPECT_EQ(a.completion_ns, b.completion_ns) << "job " << i;
+      EXPECT_EQ(a.updates_suppressed, b.updates_suppressed) << "job " << i;
+      EXPECT_EQ(a.requests_sent, b.requests_sent) << "job " << i;
+      // Doubles compare exactly: same instruction stream, same bits.
+      EXPECT_EQ(a.view_staleness, b.view_staleness) << "job " << i;
+      EXPECT_EQ(a.own_region_staleness, b.own_region_staleness) << "job " << i;
+      ASSERT_EQ(a.routes.size(), b.routes.size()) << "job " << i;
+    }
+  }
+}
+
+TEST(PoolDeterminism, MergedObsCsvIsBitIdenticalAtAnyWidth) {
+  // Each job owns a private registry (the no-shared-mutable-state rule);
+  // the caller absorbs them in submission order after the join, so the
+  // merged CSV must not depend on which worker ran which job when.
+  constexpr std::size_t kJobs = 12;
+  const auto run_at = [](int threads) {
+    std::vector<std::unique_ptr<obs::CounterRegistry>> regs(kJobs);
+    SimPool(threads).run_indexed(kJobs, [&](std::size_t i) {
+      auto reg = std::make_unique<obs::CounterRegistry>();
+      const obs::MetricId events = reg->counter("job.events");
+      const obs::MetricId shared = reg->counter("sweep.total");
+      const obs::MetricId depth = reg->histogram("job.depth");
+      reg->add(0, events, i + 1);
+      reg->add(0, shared, 10 * i);
+      for (std::uint64_t s = 0; s <= i; ++s) reg->observe(0, depth, s * s);
+      regs[i] = std::move(reg);
+    });
+    obs::CounterRegistry merged;
+    for (const auto& reg : regs) merged.merge_from(*reg);
+    return merged.metrics_csv();
+  };
+  const std::string serial_csv = run_at(1);
+  EXPECT_FALSE(serial_csv.empty());
+  EXPECT_EQ(run_at(2), serial_csv);
+  EXPECT_EQ(run_at(4), serial_csv);
+}
+
+}  // namespace
+}  // namespace locus
