@@ -8,6 +8,7 @@
 //   $ ./examples/check_tool oracle --circuit=bnre --procs=4
 //   $ ./examples/check_tool oracle --faults=drop:0.01,delay:500
 //   $ ./examples/check_tool faults --circuit=tiny --procs=4
+//   $ ./examples/check_tool recovery --circuit=tiny --procs=4
 //   $ ./examples/check_tool scan --circuit=tiny --procs=16
 #include <cstdio>
 #include <string>
@@ -41,7 +42,7 @@ int main(int argc, char** argv) {
            "");
   if (!cli.parse(argc, argv)) return 1;
   if (cli.positional().empty()) {
-    std::fprintf(stderr, "usage: check_tool oracle|faults|scan [flags]\n");
+    std::fprintf(stderr, "usage: check_tool oracle|faults|recovery|scan [flags]\n");
     return 1;
   }
 
@@ -72,6 +73,12 @@ int main(int argc, char** argv) {
     const locus::Table t = run_check_faults(circuit, config);
     std::printf("fault sweep on %s, %d procs:\n%s", circuit.name().c_str(),
                 config.procs, t.render().c_str());
+    return 0;
+  }
+  if (mode == "recovery") {
+    const locus::Table t = run_fault_recovery_sweep(circuit, config);
+    std::printf("transport recovery sweep on %s, %d procs:\n%s",
+                circuit.name().c_str(), config.procs, t.render().c_str());
     return 0;
   }
   if (mode == "scan") {

@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, and run the full test suite, then
-# run the checking-subsystem tests (`ctest -L check`) explicitly so a label
-# regression (tests silently dropping out of the label) is caught.
+# run the checking-subsystem tests (`ctest -L check`) and the reliable
+# transport tests (`ctest -L transport`) explicitly so a label regression
+# (tests silently dropping out of a label) is caught.
 #
 #   scripts/verify.sh             # tier-1
 #   scripts/verify.sh --sanitize  # same suite under ASan + UBSan
 #   scripts/verify.sh --tsan      # SimPool + threaded-router suites under
 #                                 # ThreadSanitizer at LOCUS_THREADS=4
+#   scripts/verify.sh --check     # tier-1 + checking-subsystem smoke via
+#                                 # examples/check_tool: differential oracle
+#                                 # and the transport fault-recovery sweep
+#                                 # (every row must converge bit-identically)
 #   scripts/verify.sh --bench     # tier-1 + benchmark regression gate
 #                                 # (Release run diffed against the checked-in
 #                                 # BENCH_*.json via scripts/bench_compare.py)
@@ -22,6 +27,7 @@ BUILD_DIR=build
 CMAKE_FLAGS=()
 RUN_BENCH=0
 RUN_OBS=0
+RUN_CHECK=0
 if [[ "${1:-}" == "--sanitize" ]]; then
   BUILD_DIR=build-sanitize
   CMAKE_FLAGS+=(-DLOCUS_SANITIZE=address,undefined)
@@ -29,13 +35,16 @@ elif [[ "${1:-}" == "--tsan" ]]; then
   # Race check for the SimPool fan-outs and the natively threaded routers:
   # only the suites that actually spawn threads, at a real pool width.
   cmake --preset tsan
-  cmake --build --preset tsan -j --target locus_tests locus_pool_tests locus_check_tests
+  cmake --build --preset tsan -j --target locus_tests locus_pool_tests \
+    locus_check_tests locus_transport_tests
   ctest --preset tsan-threads -j "$(nproc)"
   exit 0
 elif [[ "${1:-}" == "--bench" ]]; then
   RUN_BENCH=1
 elif [[ "${1:-}" == "--obs" ]]; then
   RUN_OBS=1
+elif [[ "${1:-}" == "--check" ]]; then
+  RUN_CHECK=1
 fi
 
 cmake -B "$BUILD_DIR" -S . "${CMAKE_FLAGS[@]}"
@@ -44,8 +53,9 @@ cmake --build "$BUILD_DIR" -j
 cd "$BUILD_DIR"
 ctest --output-on-failure -j "$(nproc)"
 
-# The check label must exist and pass on its own.
+# The check and transport labels must exist and pass on their own.
 ctest -L check --output-on-failure -j "$(nproc)"
+ctest -L transport --output-on-failure -j "$(nproc)"
 
 # Optional benchmark regression gate: re-run the microbenchmarks in Release
 # and diff against the checked-in baselines.
@@ -68,6 +78,19 @@ if [[ "$RUN_BENCH" == 1 ]]; then
   scripts/bench_compare.py BENCH_explorer.json /tmp/locus-bench/BENCH_explorer.json
   scripts/bench_compare.py BENCH_network.json /tmp/locus-bench/BENCH_network.json
   scripts/bench_compare.py BENCH_sim.json /tmp/locus-bench/BENCH_sim.json
+fi
+
+# Optional checking-subsystem smoke: the differential oracle plus the
+# transport fault-recovery sweep. Every sweep row must report identical
+# routes and a balanced ledger; grep enforces it on the rendered table.
+if [[ "$RUN_CHECK" == 1 ]]; then
+  ./examples/check_tool oracle --circuit=tiny --procs=4
+  RECOVERY=$(./examples/check_tool recovery --circuit=tiny --procs=4)
+  echo "$RECOVERY"
+  if echo "$RECOVERY" | grep -qE 'NO|IMBALANCED'; then
+    echo "FAIL: fault-recovery sweep diverged from the fault-free run" >&2
+    exit 1
+  fi
 fi
 
 # Optional observability smoke: export a Chrome trace + metrics CSV, check

@@ -115,6 +115,7 @@ OracleResult run_differential_oracle(const Circuit& circuit,
       mp.time = config.time;
       mp.iterations = config.iterations;
       mp.faults = config.faults;
+      mp.transport = config.transport;
       mp.observer = checker.get();
       msg[i].run.emplace(run_message_passing(circuit, config.procs, mp));
       msg[i].checker = std::move(checker);

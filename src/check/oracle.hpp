@@ -20,6 +20,7 @@
 #include "check/consistency.hpp"
 #include "check/legality.hpp"
 #include "circuit/circuit.hpp"
+#include "msg/transport.hpp"
 #include "route/cost_model.hpp"
 #include "route/router.hpp"
 #include "sim/fault.hpp"
@@ -43,6 +44,10 @@ struct OracleConfig {
   /// Optional fault plan installed into the message passing machines (the
   /// sequential and shm runs have no network to fault).
   const FaultPlan* faults = nullptr;
+  /// Reliable transport for the message passing machines (default-off).
+  /// With transport on, a faulted oracle run must pass: recovery restores
+  /// the exact fault-free views the consistency law expects.
+  TransportConfig transport;
   /// Worker threads for the engine x schedule matrix (the six runs are
   /// independent simulations). <= 0 resolves via sim_threads(); any value
   /// yields byte-identical results — the matrix is collected in submission

@@ -157,5 +157,13 @@ Table run_check_faults(const Circuit& circuit, const ExperimentConfig& config = 
 /// Unlocked write-conflict scan of the shm reference trace per line size.
 Table run_check_trace_scan(const Circuit& circuit,
                            const ExperimentConfig& config = {});
+/// Reliable-transport recovery sweep: drop rate x update schedule with the
+/// transport enabled. Each row reports the control-plane traffic the
+/// recovery cost (retransmits, dedup discards, acks, overhead vs the
+/// fault-free run) and asserts the convergence guarantee: routes, completion
+/// time, and view staleness bit-identical to the same schedule's fault-free
+/// run, with the transport ledger balanced.
+Table run_fault_recovery_sweep(const Circuit& circuit,
+                               const ExperimentConfig& config = {});
 
 }  // namespace locus

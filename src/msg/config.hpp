@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "geom/partition.hpp"
+#include "msg/transport.hpp"
 #include "obs/obs.hpp"
 #include "route/cost_model.hpp"
 #include "route/router.hpp"
@@ -110,6 +111,12 @@ struct MpConfig {
   /// (src/sim/fault.hpp). Null or all-zero rates: byte-for-byte identical
   /// behavior to an unfaulted run. Not owned.
   const FaultPlan* faults = nullptr;
+  /// Reliable transport (msg/transport.hpp). Default-off: the run is
+  /// byte-identical to the pre-transport code. When enabled, data packets
+  /// carry the seqno/ack frame, the recovery control plane runs against the
+  /// fault plan, and routes stay bit-identical to the transport-on
+  /// fault-free run at any drop rate the recovery survives.
+  TransportConfig transport;
   /// Optional protocol-event observer (msg/observer.hpp) for correctness
   /// checkers; hooks fire synchronously inside the DES. Not owned.
   MpObserver* observer = nullptr;

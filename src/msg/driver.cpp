@@ -41,6 +41,13 @@ MpRunResult run_message_passing(const Circuit& circuit, const Partition& partiti
   if (config.faults != nullptr && config.faults->any()) {
     machine.set_fault_plan(*config.faults);
   }
+  std::unique_ptr<ReliableTransport> transport;
+  if (config.transport.enabled) {
+    transport = std::make_unique<ReliableTransport>(
+        config.transport, machine.network_mut(), machine.queue(),
+        machine.fault_injector());
+    machine.network_mut().set_transport(transport.get());
+  }
 
   MpShared shared(circuit);
   LOCUS_OBS_HOOK(if (config.obs != nullptr) {
@@ -77,6 +84,11 @@ MpRunResult run_message_passing(const Circuit& circuit, const Partition& partiti
   result.machine = machine.run();
   result.network = machine.network().stats();
   result.faults = machine.fault_stats();
+  if (transport != nullptr) {
+    transport->finalize();  // asserts the conservation ledger balances
+    result.transport = transport->stats();
+    LOCUS_OBS_HOOK(transport->publish_obs(config.obs));
+  }
   LOCUS_OBS_HOOK(if (config.obs != nullptr) {
     // Per-packet-kind on-wire byte totals, published once from the
     // network's tally under symbolic kind names.

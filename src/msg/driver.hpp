@@ -35,6 +35,7 @@ struct MpRunResult {
   std::int64_t updates_suppressed = 0;
   std::int64_t requests_sent = 0;
   FaultStats faults;                    ///< all-zero when no plan installed
+  TransportStats transport;             ///< all-zero when transport disabled
   std::vector<WireRoute> routes;        ///< final routing, indexed by wire id
 
   /// Mean absolute error of the processors' final cost-array views against

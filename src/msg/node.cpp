@@ -170,6 +170,10 @@ void RouterNode::on_packet(NodeApi& api, const Packet& packet) {
       }
       break;
     }
+    case kMsgAck:
+      // Transport control traffic terminates in the transport layer; an ack
+      // reaching the application would mean the network misrouted it.
+      LOCUS_UNREACHABLE("transport acks never reach the application");
     default:
       LOCUS_UNREACHABLE("unknown packet type");
   }

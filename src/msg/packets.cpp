@@ -30,6 +30,8 @@ std::int32_t request_packet_bytes() { return kUpdateHeaderBytes; }
 
 std::int32_t grant_packet_bytes() { return kUpdateHeaderBytes + 8; }
 
+std::int32_t ack_packet_bytes() { return kUpdateHeaderBytes + kTransportFrameBytes; }
+
 namespace {
 
 bool is_update_type(std::int32_t type) {
@@ -40,7 +42,7 @@ bool is_update_type(std::int32_t type) {
 bool is_known_type(std::int32_t type) {
   return is_update_type(type) || type == kMsgReqLocData ||
          type == kMsgReqRmtData || type == kMsgWireRequest ||
-         type == kMsgWireGrant;
+         type == kMsgWireGrant || type == kMsgAck;
 }
 
 /// Absolute payloads carry i16 cells (occupancy fits 16 bits; drifted views
@@ -87,6 +89,14 @@ bool fits_i16(std::int32_t v) {
          v <= std::numeric_limits<std::int16_t>::max();
 }
 
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put_i32(out, static_cast<std::int32_t>(v));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t at) {
+  return static_cast<std::uint32_t>(get_i32(in, at));
+}
+
 }  // namespace
 
 std::optional<std::vector<std::uint8_t>> encode_packet(const WirePacket& packet) {
@@ -117,17 +127,30 @@ std::optional<std::vector<std::uint8_t>> encode_packet(const WirePacket& packet)
     if (packet.absolute || !packet.values.empty()) return std::nullopt;
     if (packet.type == kMsgWireGrant) payload_bytes = 8;
   }
+  // A standalone ack is nothing but its transport frame.
+  if (packet.type == kMsgAck && !packet.has_transport) return std::nullopt;
+  if (!packet.has_transport && (packet.seq != 0 || packet.ack != 0)) {
+    return std::nullopt;  // frame fields without the frame would be lost
+  }
+  const std::uint32_t frame_bytes =
+      packet.has_transport ? static_cast<std::uint32_t>(kTransportFrameBytes) : 0;
 
   std::vector<std::uint8_t> out;
-  out.reserve(static_cast<std::size_t>(kUpdateHeaderBytes) + payload_bytes);
+  out.reserve(static_cast<std::size_t>(kUpdateHeaderBytes) + frame_bytes +
+              payload_bytes);
   out.push_back(static_cast<std::uint8_t>(packet.type));
-  out.push_back(packet.absolute ? 1 : 0);
+  out.push_back(static_cast<std::uint8_t>((packet.absolute ? 1u : 0u) |
+                                          (packet.has_transport ? 2u : 0u)));
   put_i16(out, packet.region);
   put_i16(out, packet.bbox.channel_lo);
   put_i16(out, packet.bbox.channel_hi);
   put_i16(out, packet.bbox.x_lo);
   put_i16(out, packet.bbox.x_hi);
   put_i32(out, static_cast<std::int32_t>(payload_bytes));
+  if (packet.has_transport) {
+    put_u32(out, packet.seq);
+    put_u32(out, packet.ack);
+  }
 
   if (update) {
     for (std::int32_t v : packet.values) {
@@ -141,8 +164,8 @@ std::optional<std::vector<std::uint8_t>> encode_packet(const WirePacket& packet)
     put_i32(out, packet.wire);
     put_i32(out, packet.iteration);
   }
-  LOCUS_ASSERT(out.size() ==
-               static_cast<std::size_t>(kUpdateHeaderBytes) + payload_bytes);
+  LOCUS_ASSERT(out.size() == static_cast<std::size_t>(kUpdateHeaderBytes) +
+                                 frame_bytes + payload_bytes);
   return out;
 }
 
@@ -154,18 +177,28 @@ std::optional<WirePacket> decode_packet(std::span<const std::uint8_t> buffer) {
   packet.type = buffer[0];
   if (!is_known_type(packet.type)) return std::nullopt;
   const std::uint8_t flags = buffer[1];
-  if ((flags & ~0x01u) != 0) return std::nullopt;
+  if ((flags & ~0x03u) != 0) return std::nullopt;
   packet.absolute = (flags & 1u) != 0;
+  packet.has_transport = (flags & 2u) != 0;
+  if (packet.type == kMsgAck && !packet.has_transport) return std::nullopt;
   packet.region = get_i16(buffer, 2);
   packet.bbox.channel_lo = get_i16(buffer, 4);
   packet.bbox.channel_hi = get_i16(buffer, 6);
   packet.bbox.x_lo = get_i16(buffer, 8);
   packet.bbox.x_hi = get_i16(buffer, 10);
   const std::int64_t payload_bytes = static_cast<std::uint32_t>(get_i32(buffer, 12));
+  const std::int64_t frame_bytes =
+      packet.has_transport ? kTransportFrameBytes : 0;
   if (static_cast<std::int64_t>(buffer.size()) !=
-      kUpdateHeaderBytes + payload_bytes) {
+      kUpdateHeaderBytes + frame_bytes + payload_bytes) {
     return std::nullopt;  // truncated or trailing garbage
   }
+  if (packet.has_transport) {
+    packet.seq = get_u32(buffer, kUpdateHeaderBytes);
+    packet.ack = get_u32(buffer, kUpdateHeaderBytes + 4);
+  }
+  const std::size_t payload_at =
+      static_cast<std::size_t>(kUpdateHeaderBytes + frame_bytes);
 
   if (is_update_type(packet.type)) {
     if (packet.absolute != (packet.type != kMsgSendRmtData)) return std::nullopt;
@@ -176,7 +209,7 @@ std::optional<WirePacket> decode_packet(std::span<const std::uint8_t> buffer) {
         packet.absolute ? kAbsoluteBytesPerCell : kDeltaBytesPerCell;
     if (payload_bytes != area * per_cell) return std::nullopt;
     packet.values.reserve(static_cast<std::size_t>(area));
-    std::size_t at = kUpdateHeaderBytes;
+    std::size_t at = payload_at;
     for (std::int64_t i = 0; i < area; ++i) {
       if (packet.absolute) {
         packet.values.push_back(get_i16(buffer, at));
@@ -191,11 +224,11 @@ std::optional<WirePacket> decode_packet(std::span<const std::uint8_t> buffer) {
   if (packet.absolute) return std::nullopt;
   if (packet.type == kMsgWireGrant) {
     if (payload_bytes != 8) return std::nullopt;
-    packet.wire = get_i32(buffer, kUpdateHeaderBytes);
-    packet.iteration = get_i32(buffer, kUpdateHeaderBytes + 4);
+    packet.wire = get_i32(buffer, payload_at);
+    packet.iteration = get_i32(buffer, payload_at + 4);
     return packet;
   }
-  if (payload_bytes != 0) return std::nullopt;  // requests are header-only
+  if (payload_bytes != 0) return std::nullopt;  // requests/acks: no payload
   return packet;
 }
 

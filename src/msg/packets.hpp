@@ -36,12 +36,18 @@ enum MsgType : std::int32_t {
   kMsgRspRmtData = 5,   ///< owner's absolute response to ReqRmtData
   kMsgWireRequest = 10, ///< dynamic assignment: give me a wire to route
   kMsgWireGrant = 11,   ///< dynamic assignment: wire id (or -1: no more)
+  kMsgAck = 12,         ///< reliable transport: standalone cumulative ack
 };
 
 inline constexpr std::int32_t kUpdateHeaderBytes = 16;
 inline constexpr std::int32_t kAbsoluteBytesPerCell = 2;
 inline constexpr std::int32_t kDeltaBytesPerCell = 1;
 inline constexpr std::int32_t kWireSegmentBytes = 6;
+/// Reliable-transport frame (u32 sequence number + u32 piggybacked
+/// cumulative ack), present when header flag bit 1 is set. It follows the
+/// 16-byte header and precedes the payload; the header's payload byte count
+/// covers the payload only.
+inline constexpr std::int32_t kTransportFrameBytes = 8;
 
 /// Payload of every data-carrying update.
 struct RegionUpdatePayload : PacketPayload {
@@ -77,6 +83,10 @@ std::int32_t request_packet_bytes();
 /// On-wire size of a wire grant (header + id + iteration).
 std::int32_t grant_packet_bytes();
 
+/// On-wire size of a standalone transport ack (header + transport frame; the
+/// cumulative ack value rides in the frame, so there is no payload).
+std::int32_t ack_packet_bytes();
+
 // --- byte-level wire codec ---
 //
 // The DES transports payloads by shared pointer (sim/packet.hpp) so routing
@@ -85,15 +95,19 @@ std::int32_t grant_packet_bytes();
 // checker (every observed delta packet is round-tripped) and the fuzz
 // tests. Layout, little-endian:
 //   [0]      u8  packet type (MsgType)
-//   [1]      u8  flags (bit 0: absolute payload)
+//   [1]      u8  flags (bit 0: absolute payload; bit 1: transport frame)
 //   [2..3]   i16 region id
 //   [4..11]  4 x i16 bounding box (channel_lo, channel_hi, x_lo, x_hi)
 //   [12..15] u32 payload byte count
-// followed by the payload: i16 per cell for absolute data, i8 per cell for
+// then, when flag bit 1 is set, the 8-byte reliable-transport frame
+// (u32 per-channel sequence number, u32 piggybacked cumulative ack), and
+// finally the payload: i16 per cell for absolute data, i8 per cell for
 // deltas (row-major over the bbox), 8 bytes (i32 wire, i32 iteration) for a
-// grant, nothing for requests. decode_packet() validates everything and
+// grant, nothing for requests or standalone acks (kMsgAck requires the
+// frame — the frame IS the ack). decode_packet() validates everything and
 // returns nullopt on malformed input — truncated or corrupted buffers must
-// fail cleanly, never invoke UB.
+// fail cleanly, never invoke UB. A buffer with flag bit 1 clear is exactly
+// the pre-transport format, so transport-off runs stay byte-identical.
 
 /// Sanity ceiling on cells per update packet (larger than any real region).
 inline constexpr std::int64_t kMaxUpdateCells = 1 << 22;
@@ -107,6 +121,11 @@ struct WirePacket {
   std::vector<std::int32_t> values;  ///< update payload, row-major over bbox
   WireId wire = -1;                  ///< grant only
   std::int32_t iteration = 0;        ///< grant only
+  /// Reliable-transport frame (flag bit 1). kMsgAck packets must carry it;
+  /// any other kind may.
+  bool has_transport = false;
+  std::uint32_t seq = 0;  ///< per-(src,dst) sequence number
+  std::uint32_t ack = 0;  ///< cumulative ack: all seqs <= ack received
 
   friend bool operator==(const WirePacket&, const WirePacket&) = default;
 };

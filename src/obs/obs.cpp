@@ -6,12 +6,12 @@ namespace locus::obs {
 
 namespace {
 
-// Mirrors MsgType in msg/packets.hpp (values 1..5 and 10..11). Kept as data
+// Mirrors MsgType in msg/packets.hpp (values 1..5 and 10..12). Kept as data
 // here so obs stays a leaf library the msg layer can link against.
-constexpr std::int32_t kMsgValues[] = {1, 2, 3, 4, 5, 10, 11};
+constexpr std::int32_t kMsgValues[] = {1, 2, 3, 4, 5, 10, 11, 12};
 constexpr const char* kMsgNames[] = {
     "SendLocData", "SendRmtData", "ReqLocData", "ReqRmtData",
-    "RspRmtData",  "WireRequest", "WireGrant",
+    "RspRmtData",  "WireRequest", "WireGrant",  "Ack",
 };
 constexpr std::size_t kNamedKinds = std::size(kMsgValues);
 static_assert(kNamedKinds + 1 == MpNodeObs::kKinds);
@@ -40,6 +40,7 @@ void NetworkObs::bind(Obs* o) {
   byte_hops = reg.counter("net.byte_hops");
   hops = reg.counter("net.hops");
   link_wait_ns = reg.counter("net.link_wait_ns");
+  dup_deliveries = reg.counter("net.dup_deliveries");
   latency_ns = reg.histogram("net.packet_latency_ns");
   packet_bytes = reg.histogram("net.packet_bytes");
   if (TraceSink* t = obs->trace()) {

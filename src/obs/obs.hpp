@@ -91,6 +91,7 @@ struct NetworkObs {
   MetricId byte_hops = 0;
   MetricId hops = 0;
   MetricId link_wait_ns = 0;
+  MetricId dup_deliveries = 0;  ///< fault-injected duplicate wire copies
   MetricId latency_ns = 0;      ///< histogram: injection->delivery per packet
   MetricId packet_bytes = 0;    ///< histogram
   TraceSink::StrId cat_net = 0;
@@ -144,7 +145,7 @@ struct MpNodeObs {
   Obs* obs = nullptr;
   std::size_t shard = 0;
   /// Indexed by msg_kind_index(); the last slot catches unknown types.
-  static constexpr std::size_t kKinds = 8;
+  static constexpr std::size_t kKinds = 9;
   std::array<MetricId, kKinds> sent{};
   std::array<MetricId, kKinds> sent_bytes{};
   std::array<MetricId, kKinds> received{};

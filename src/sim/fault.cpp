@@ -81,6 +81,10 @@ std::optional<FaultPlan> FaultPlan::parse(std::string_view spec) {
       if (!r) return std::nullopt;
       plan.stall_rate = *r;
       stall_rate_set = true;
+    } else if (key == "max") {
+      auto n = parse_int(value);
+      if (!n) return std::nullopt;
+      plan.max_packet_faults = *n;
     } else if (key == "seed") {
       auto n = parse_int(value);
       if (!n) return std::nullopt;
@@ -140,6 +144,10 @@ std::string FaultPlan::describe() const {
     sep();
     os << "stall " << stall_ns << "ns@" << stall_rate;
   }
+  if (max_packet_faults > 0) {
+    sep();
+    os << "max " << max_packet_faults;
+  }
   if (first) os << "none";
   return os.str();
 }
@@ -147,6 +155,13 @@ std::string FaultPlan::describe() const {
 FaultInjector::Action FaultInjector::packet_action(std::int32_t type) {
   if (!plan_.packet_faults_enabled() || !plan_.applies_to(type)) {
     return Action::kDeliver;
+  }
+  if (plan_.max_packet_faults > 0) {
+    const std::uint64_t fired = stats_.dropped + stats_.duplicated +
+                                stats_.delayed + stats_.reordered;
+    if (fired >= static_cast<std::uint64_t>(plan_.max_packet_faults)) {
+      return Action::kDeliver;  // cap reached: clean delivery, no PRNG draw
+    }
   }
   ++stats_.packets_seen;
   // One draw decides among the mutually exclusive packet faults (rates sum

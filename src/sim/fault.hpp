@@ -56,6 +56,13 @@ struct FaultPlan {
   /// stalls are unaffected by this filter.
   std::vector<std::int32_t> packet_types;
 
+  /// Cap on the number of packet faults that actually fire (<= 0: no cap).
+  /// Once the cap is reached every later packet is delivered cleanly without
+  /// consuming PRNG state. With drop_rate 1.0, a type filter and a cap of 1
+  /// this yields "drop exactly the first packet of that kind" — the
+  /// deterministic single-fault scenarios the transport tests are built on.
+  std::int64_t max_packet_faults = 0;
+
   bool packet_faults_enabled() const {
     return drop_rate > 0.0 || dup_rate > 0.0 || delay_rate > 0.0 ||
            reorder_rate > 0.0;
@@ -69,6 +76,7 @@ struct FaultPlan {
   ///   delayp:<rate>   (override the delay probability)
   ///   stall:<ns>      (sets stall_ns; stall_rate defaults to 0.05)
   ///   stallp:<rate>   seed:<n>       types:<t>[+<t>...]
+  ///   max:<n>         (cap on fired packet faults; 0 = unlimited)
   /// Returns nullopt (instead of asserting) on malformed input so CLI typos
   /// surface as usage errors.
   static std::optional<FaultPlan> parse(std::string_view spec);

@@ -115,6 +115,12 @@ class Machine {
   void set_obs(obs::Obs* o);
 
   const Network& network() const { return *network_; }
+  /// Mutable network access for installing run-level hooks (a reliable
+  /// transport) before run().
+  Network& network_mut() { return *network_; }
+  /// The armed injector (null when no plan) — shared with hooks that draw
+  /// their own fault decisions (the transport control plane).
+  FaultInjector* fault_injector() { return injector_.get(); }
   /// The installed program for `proc` (for post-run inspection).
   Node* node(ProcId proc) { return state(proc).program.get(); }
   const Topology& topology() const { return topology_; }

@@ -20,6 +20,39 @@ Network::Network(const Topology& topology, NetworkParams params, EventQueue& que
 
 void Network::set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
+void Network::set_transport(PacketTransport* transport) { transport_ = transport; }
+
+SimTime Network::charge_control(ProcId src, ProcId dst, std::int32_t type,
+                                std::int32_t bytes, SimTime now) {
+  LOCUS_ASSERT(src >= 0 && src < topology_.num_nodes());
+  LOCUS_ASSERT(dst >= 0 && dst < topology_.num_nodes());
+  LOCUS_ASSERT(src != dst);
+  LOCUS_ASSERT(bytes > 0);
+  const std::int64_t L = bytes;
+  const std::vector<LinkId> path = topology_.route(src, dst);
+  const auto D = static_cast<std::int64_t>(path.size());
+  const SimTime latency =
+      2 * params_.process_time_ns + (D + L) * params_.hop_time_ns;
+
+  stats_.packets += 1;
+  stats_.bytes += static_cast<std::uint64_t>(L);
+  stats_.byte_hops += static_cast<std::uint64_t>(L) * path.size();
+  stats_.hops += path.size();
+  stats_.total_latency_ns += latency;
+  stats_.bytes_by_type[type] += static_cast<std::uint64_t>(L);
+
+  LOCUS_OBS_HOOK(if (obs_) {
+    auto& reg = obs_.obs->counters();
+    reg.add(obs_.shard, obs_.packets);
+    reg.add(obs_.shard, obs_.bytes, static_cast<std::uint64_t>(L));
+    reg.add(obs_.shard, obs_.byte_hops, static_cast<std::uint64_t>(L) * path.size());
+    reg.add(obs_.shard, obs_.hops, path.size());
+    reg.observe(obs_.shard, obs_.latency_ns, static_cast<std::uint64_t>(latency));
+    reg.observe(obs_.shard, obs_.packet_bytes, static_cast<std::uint64_t>(L));
+  });
+  return now + latency;
+}
+
 std::size_t Network::packets_in_flight() const {
   return slots_.size() - free_slots_.size();
 }
@@ -100,7 +133,11 @@ SimTime Network::inject(Packet packet, SimTime ready) {
   LOCUS_ASSERT_MSG(packet.src != packet.dst, "self-send must bypass the network");
   LOCUS_ASSERT(packet.bytes > 0);
 
-  const std::int64_t L = packet.bytes;
+  // With a reliable transport installed every data packet carries its frame
+  // (seqno + piggybacked ack) on the wire; the application-level byte count
+  // in packet.bytes — and thus the receiver's unpack cost — is unchanged.
+  const std::int64_t L =
+      packet.bytes + (transport_ != nullptr ? transport_->frame_bytes() : 0);
   const std::vector<LinkId> path = topology_.route(packet.src, packet.dst);
   LOCUS_ASSERT(!path.empty());
 
@@ -147,6 +184,12 @@ SimTime Network::inject(Packet packet, SimTime ready) {
   // already charged (the bytes crossed the network before the fault).
   FaultInjector::Action action = FaultInjector::Action::kDeliver;
   if (injector_ != nullptr) action = injector_->packet_action(packet.type);
+  if (action == FaultInjector::Action::kDuplicate) {
+    ++stats_.duplicate_deliveries;
+    LOCUS_OBS_HOOK(if (obs_) {
+      obs_.obs->counters().add(obs_.shard, obs_.dup_deliveries);
+    });
+  }
 
   LOCUS_OBS_HOOK(if (obs_) {
     auto& reg = obs_.obs->counters();
@@ -164,7 +207,10 @@ SimTime Network::inject(Packet packet, SimTime ready) {
       t->instant(packet.src, obs_.cat_net, obs_.n_inject, inject_at, obs_.a_type,
                  packet.type, obs_.a_peer, packet.dst);
       t->flow_begin(packet.src, obs_.cat_net, obs_.n_flow, inject_at, flow);
-      if (action != FaultInjector::Action::kDrop) {
+      // With a transport the application is always served at the nominal
+      // time (the drop is recovered below the app), so the deliver instant
+      // is unconditional.
+      if (transport_ != nullptr || action != FaultInjector::Action::kDrop) {
         t->flow_end(packet.dst, obs_.cat_net, obs_.n_flow, delivered, flow);
         t->instant(packet.dst, obs_.cat_net, obs_.n_deliver, delivered,
                    obs_.a_type, packet.type, obs_.a_bytes, L);
@@ -173,6 +219,15 @@ SimTime Network::inject(Packet packet, SimTime ready) {
   });
 
   const ProcId dst = packet.dst;
+  if (transport_ != nullptr) {
+    // Reliable transport: the fault action is the fate of this wire
+    // *attempt*, handled entirely by the transport's control plane. The
+    // application sees the packet exactly once, at its nominal fault-free
+    // time — per-channel FIFO and timeline both preserved by construction.
+    transport_->on_wire(packet, delivered, action);
+    schedule_delivery(alloc_slot(std::move(packet), 1), delivered);
+    return ni;
+  }
   switch (action) {
     case FaultInjector::Action::kDrop:
       break;  // no delivery event: the packet is gone

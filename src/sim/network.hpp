@@ -41,7 +41,31 @@ struct NetworkStats {
   std::uint64_t hops = 0;
   SimTime total_latency_ns = 0;  ///< injection to delivery, summed
   SimTime total_link_wait_ns = 0;
+  /// Fault-injected duplicate wire copies (FaultInjector kDuplicate). The
+  /// dup path used to be invisible here — only the injector's own tally saw
+  /// it; now the network surfaces it next to the traffic it inflates.
+  std::uint64_t duplicate_deliveries = 0;
   std::map<std::int32_t, std::uint64_t> bytes_by_type;
+};
+
+/// Reliable-delivery hook installed beneath the network's fault handling
+/// (msg/transport.hpp implements it). When present, the network delivers
+/// every data packet to the application exactly once at its nominal
+/// (fault-free) time and hands the fault action to the transport, which
+/// simulates the recovery control plane (seqnos, acks, retransmits, dedup)
+/// and charges its traffic back through charge_control().
+class PacketTransport {
+ public:
+  virtual ~PacketTransport() = default;
+  /// Extra on-wire framing bytes the transport adds to every data packet
+  /// (sequence number + piggybacked cumulative ack).
+  virtual std::int32_t frame_bytes() const = 0;
+  /// Called once per injected data packet, after traffic is charged and the
+  /// fault action drawn. `nominal` is the fault-free delivery time; the
+  /// application-plane delivery at `nominal` is scheduled by the network
+  /// itself, so the transport only tracks the wire-level fate of attempts.
+  virtual void on_wire(const Packet& packet, SimTime nominal,
+                       FaultInjector::Action action) = 0;
 };
 
 /// Transports packets between nodes over the topology, charging simulated
@@ -69,6 +93,23 @@ class Network {
   /// on-wire traffic and link occupancy are charged normally — the bytes
   /// crossed the network before the fault struck.
   void set_fault_injector(FaultInjector* injector);
+
+  /// Installs a reliable transport (not owned; may be null). With a
+  /// transport, inject() adds frame_bytes() to every packet's wire length,
+  /// schedules the application delivery at the nominal fault-free time
+  /// regardless of the fault action, and forwards the action to the
+  /// transport's control plane instead of acting on it itself.
+  void set_transport(PacketTransport* transport);
+
+  /// Charges a transport control-plane packet (retransmit or ack) to the
+  /// traffic statistics without reserving links: control traffic is modeled
+  /// as a dedicated virtual channel, so it never perturbs the foreground
+  /// timeline (DESIGN.md §10). Returns the uncontended delivery time
+  /// `now + 2·ProcessTime + HopTime·(D + L)`.
+  SimTime charge_control(ProcId src, ProcId dst, std::int32_t type,
+                         std::int32_t bytes, SimTime now);
+
+  const FaultInjector* fault_injector() const { return injector_; }
 
   /// Attach observability (null to detach): traffic counters mirroring
   /// NetworkStats, latency/size histograms, and — when tracing — an inject
@@ -116,6 +157,7 @@ class Network {
   DeliverFn deliver_;
   NetworkStats stats_;
   FaultInjector* injector_ = nullptr;
+  PacketTransport* transport_ = nullptr;
   obs::NetworkObs obs_;
   std::vector<SimTime> link_free_;  ///< per directed link
   std::vector<SimTime> ni_free_;    ///< per node injection interface

@@ -21,14 +21,15 @@ namespace {
 /// Draws a random packet that encode_packet() must accept.
 WirePacket random_valid_packet(Rng& rng) {
   WirePacket p;
-  switch (rng.bounded(7)) {
+  switch (rng.bounded(8)) {
     case 0: p.type = kMsgSendLocData; break;
     case 1: p.type = kMsgSendRmtData; break;
     case 2: p.type = kMsgRspRmtData; break;
     case 3: p.type = kMsgReqLocData; break;
     case 4: p.type = kMsgReqRmtData; break;
     case 5: p.type = kMsgWireRequest; break;
-    default: p.type = kMsgWireGrant; break;
+    case 6: p.type = kMsgWireGrant; break;
+    default: p.type = kMsgAck; break;
   }
   p.region = static_cast<ProcId>(rng.bounded(64));
   const bool update = p.type == kMsgSendLocData || p.type == kMsgSendRmtData ||
@@ -54,9 +55,16 @@ WirePacket random_valid_packet(Rng& rng) {
   } else if (p.type == kMsgWireGrant) {
     p.wire = static_cast<WireId>(rng.bounded(10'000)) - 1;  // includes -1
     p.iteration = static_cast<std::int32_t>(rng.bounded(8));
-  } else if (rng.chance(0.5)) {
+  } else if (p.type != kMsgAck && rng.chance(0.5)) {
     // Requests may scope a sub-box of interest.
     p.bbox = Rect::of(0, 1, 2, 3);
+  }
+  // Any kind may carry the reliable-transport frame; kMsgAck must (the
+  // frame is the ack). Seq/ack exercise the full u32 range.
+  if (p.type == kMsgAck || rng.chance(0.5)) {
+    p.has_transport = true;
+    p.seq = static_cast<std::uint32_t>(rng.bounded(std::uint64_t{1} << 32));
+    p.ack = static_cast<std::uint32_t>(rng.bounded(std::uint64_t{1} << 32));
   }
   return p;
 }
