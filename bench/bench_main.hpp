@@ -7,10 +7,15 @@
 // wall time plus any counters the section recorded via benchmain::record()),
 // the format scripts/bench_compare.py diffs to catch performance
 // regressions. Convention: counters named *_s are wall-clock seconds (lower
-// is better, 15% gate), *_x are ratios (higher is better, 15% gate),
-// unsuffixed integers are exact-match work counters (cells_probed,
-// events_executed, ...), and unsuffixed non-integers are informational only
-// (host-dependent numbers like thread-pool wall times and speedups).
+// is better, 15% gate), *_x are ratios and *_rps are throughput rates (both
+// higher is better, 15% gate), unsuffixed integers are exact-match work
+// counters (cells_probed, events_executed, ...), and unsuffixed non-integers
+// are informational only (host-dependent numbers like thread-pool wall
+// times and speedups).
+//
+// --only=SUBSTRING restricts a run to the sections whose title contains the
+// substring (case-sensitive) — e.g. `micro_sim --only=pool_profile` is the
+// pool contention profiler on its own.
 #pragma once
 
 #include <cstdio>
@@ -81,6 +86,8 @@ inline int run(int argc, char** argv, const std::string& heading,
   Cli cli;
   cli.flag("csv", "emit CSV instead of aligned tables", false);
   cli.flag("json", "also write a JSON run record to this path", "");
+  cli.flag("only", "run only sections whose title contains this substring",
+           "");
   cli.flag("threads",
            "worker threads for the simulation fan-outs; table bytes are "
            "identical at any value (0: LOCUS_THREADS, else serial)",
@@ -88,6 +95,7 @@ inline int run(int argc, char** argv, const std::string& heading,
   if (!cli.parse(argc, argv)) return 1;
   const bool csv = cli.get_bool("csv");
   const std::string json_path = cli.get("json");
+  const std::string only = cli.get("only");
   set_sim_threads(static_cast<int>(cli.get_int("threads")));
 
   struct SectionRecord {
@@ -100,6 +108,9 @@ inline int run(int argc, char** argv, const std::string& heading,
   std::printf("=== %s ===\n", heading.c_str());
   Stopwatch total;
   for (const Section& section : sections) {
+    if (!only.empty() && section.title.find(only) == std::string::npos) {
+      continue;
+    }
     detail::counters().clear();
     Stopwatch sw;
     Table table = section.build();

@@ -6,18 +6,30 @@
 //   * payload: intrusive PayloadRef against shared_ptr control blocks;
 //   * pool scaling: a batch of independent MP routing sims at 1/2/4/8
 //     worker threads (results are submission-ordered, so the batch output
-//     is identical at every thread count; only the wall time moves).
+//     is identical at every thread count; only the wall time moves);
+//   * pool_profile: isolates the three contended resources a pooled run
+//     leans on — the payload allocator (arena vs global new), the pool's
+//     dispatch/steal machinery (trivial jobs), and obs shard padding
+//     (padded vs unpadded counter slots) — so a future scaling regression
+//     is attributable to one of them (run alone: --only=pool_profile);
+//   * route service: batch throughput of examples/route_service's engine,
+//     with the serial routes/sec gated (*_rps) against the baseline.
 // Run via scripts/bench_smoke.sh, which records BENCH_sim.json for
 // scripts/bench_compare.py to diff against future PRs.
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <queue>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_main.hpp"
 #include "harness/experiments.hpp"
+#include "harness/route_service.hpp"
 #include "harness/sim_pool.hpp"
+#include "sim/arena.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/machine.hpp"
 #include "sim/packet.hpp"
@@ -42,6 +54,24 @@ double best_of(Fn&& fn, double min_seconds) {
     best = std::min(best, sw.seconds());
   } while (total.seconds() < min_seconds);
   return best;
+}
+
+/// Steady-state timer for the pool sections: one untimed warm-up rep (so
+/// thread-local arenas are acquired, slabs carved, and pages faulted before
+/// the clock starts) followed by `reps` timed reps, reporting the median —
+/// robust to the occasional descheduling blip a min- or mean-based timer
+/// would either hide or amplify when worker threads are in play.
+template <typename Fn>
+double median_of(Fn&& fn, int reps) {
+  fn();  // warm-up: not timed
+  std::vector<double> times(static_cast<std::size_t>(reps));
+  for (double& t : times) {
+    Stopwatch sw;
+    fn();
+    t = sw.seconds();
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
 }
 
 // ---------------------------------------------------------------------------
@@ -281,40 +311,258 @@ Table run_pool_scaling(const Circuit& circuit) {
   };
   ExperimentConfig config;
 
+  const std::vector<int> widths = {1, 2, 4, 8};
+  constexpr int kReps = 5;
+
+  std::int64_t baseline_height = 0;
+  const auto batch = [&](int threads) {
+    SimPool pool(threads);
+    std::int64_t height_sum = 0;
+    std::vector<std::int64_t> heights(schedules.size());
+    pool.run_indexed(schedules.size(), [&](std::size_t i) {
+      const MpRunResult r = run_message_passing(circuit, config.procs,
+                                                config.mp(schedules[i]));
+      heights[i] = r.circuit_height;
+    });
+    for (std::int64_t h : heights) height_sum += h;
+    return height_sum;
+  };
+
+  // Steady state, not cold start: one untimed warm-up batch per width
+  // acquires the per-worker arenas and carves their slabs, so the timed
+  // reps measure routing, not first-touch page faults. The reps are
+  // interleaved across widths (all widths once, then again, ...) so slow
+  // drift in host load lands on every width equally instead of
+  // systematically penalizing whichever width happens to run last; the
+  // median over reps absorbs the occasional descheduling blip.
+  for (int threads : widths) {
+    const std::int64_t h = batch(threads);
+    if (threads == 1) baseline_height = h;
+    // Identical work at every width — the determinism invariant.
+    LOCUS_ASSERT(h == baseline_height);
+  }
+  std::vector<std::vector<double>> times(widths.size());
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (std::size_t w = 0; w < widths.size(); ++w) {
+      Stopwatch sw;
+      const std::int64_t h = batch(widths[w]);
+      times[w].push_back(sw.seconds());
+      LOCUS_ASSERT(h == baseline_height);
+    }
+  }
+
   Table t;
   t.column("threads").column("batch s").column("speedup");
   double t1 = 0.0;
-  std::int64_t baseline_height = 0;
-  for (int threads : {1, 2, 4, 8}) {
-    std::int64_t height_sum = 0;
-    const double wall = best_of(
-        [&] {
-          SimPool pool(threads);
-          height_sum = 0;
-          std::vector<std::int64_t> heights(schedules.size());
-          pool.run_indexed(schedules.size(), [&](std::size_t i) {
-            const MpRunResult r = run_message_passing(
-                circuit, config.procs, config.mp(schedules[i]));
-            heights[i] = r.circuit_height;
-          });
-          for (std::int64_t h : heights) height_sum += h;
-        },
-        0.25);
-    if (threads == 1) {
-      t1 = wall;
-      baseline_height = height_sum;
-    }
-    // Identical work at every width — the determinism invariant.
-    LOCUS_ASSERT(height_sum == baseline_height);
+  for (std::size_t w = 0; w < widths.size(); ++w) {
+    std::sort(times[w].begin(), times[w].end());
+    const double wall = times[w][times[w].size() / 2];
+    if (widths[w] == 1) t1 = wall;
     // No _s suffix: thread-pool wall time depends on host load and core
     // count, so bench_compare.py treats these as informational, not gated.
-    benchmain::record("pool_wall_" + std::to_string(threads) + "t", wall);
-    if (threads > 1) {
-      benchmain::record("pool_speedup_" + std::to_string(threads) + "t",
+    benchmain::record("pool_wall_" + std::to_string(widths[w]) + "t", wall);
+    if (widths[w] > 1) {
+      benchmain::record("pool_speedup_" + std::to_string(widths[w]) + "t",
                         t1 / wall);
     }
-    t.row().cell(threads).cell(wall, 3).cell(t1 / wall, 2);
+    t.row().cell(widths[w]).cell(wall, 3).cell(t1 / wall, 2);
   }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// pool_profile: allocator vs dispatch vs obs-shard contention, isolated.
+
+/// RAII toggle for LOCUS_POOL_IGNORE_AFFINITY so the dispatch probe can
+/// force real worker threads even on hosts whose affinity mask would clamp
+/// the pool to the inline path.
+struct ForceThreadsScope {
+  std::string saved;
+  bool had = false;
+  ForceThreadsScope() {
+    const char* env = std::getenv("LOCUS_POOL_IGNORE_AFFINITY");
+    if (env != nullptr) {
+      had = true;
+      saved = env;
+    }
+    ::setenv("LOCUS_POOL_IGNORE_AFFINITY", "1", 1);
+  }
+  ~ForceThreadsScope() {
+    if (had) {
+      ::setenv("LOCUS_POOL_IGNORE_AFFINITY", saved.c_str(), 1);
+    } else {
+      ::unsetenv("LOCUS_POOL_IGNORE_AFFINITY");
+    }
+  }
+};
+
+Table run_pool_profile(const Circuit& circuit) {
+  Table t;
+  t.column("probe", Align::kLeft).column("ms / batch").column("note",
+                                                             Align::kLeft);
+
+  // --- Allocator: per-thread arena vs global operator new on the payload
+  // churn pattern (a sliding window of live blocks, FIFO frees). Serial on
+  // purpose: the arena's fast path must win, or at worst tie, *before* any
+  // contention enters the picture — its scaling benefit is on top of this.
+  constexpr std::int64_t kAllocs = 20000;
+  constexpr std::size_t kWindow = 256;
+  constexpr std::size_t kBytes = 96;  // RegionUpdatePayload territory
+  std::vector<void*> window;
+  window.reserve(kWindow);
+  const double arena_s = best_of(
+      [&] {
+        for (std::int64_t i = 0; i < kAllocs; ++i) {
+          window.push_back(PayloadArena::allocate(kBytes));
+          if (window.size() == kWindow) {
+            for (void* p : window) PayloadArena::deallocate(p);
+            window.clear();
+          }
+        }
+        for (void* p : window) PayloadArena::deallocate(p);
+        window.clear();
+      },
+      0.25);
+  const double malloc_s = best_of(
+      [&] {
+        for (std::int64_t i = 0; i < kAllocs; ++i) {
+          window.push_back(::operator new(kBytes));
+          if (window.size() == kWindow) {
+            for (void* p : window) ::operator delete(p);
+            window.clear();
+          }
+        }
+        for (void* p : window) ::operator delete(p);
+        window.clear();
+      },
+      0.25);
+  benchmain::record("arena_alloc_s", arena_s);
+  benchmain::record("malloc_alloc_s", malloc_s);
+  t.row().cell("alloc: global new").cell(malloc_s * 1e3, 3)
+      .cell("20k alloc/free, 256 live");
+  t.row().cell("alloc: payload arena").cell(arena_s * 1e3, 3)
+      .cell("same churn, thread-local");
+
+  // Deterministic attribution counter: payload blocks one fixed serial MP
+  // run draws from the arena. Exact-match gated, so a routing change that
+  // silently alters allocator pressure shows up here even if timings hide
+  // it in noise.
+  ExperimentConfig config;
+  {
+    const ArenaStats before = PayloadArena::current().stats();
+    const MpRunResult r = run_message_passing(
+        circuit, config.procs, config.mp(UpdateSchedule::sender(2, 5)));
+    LOCUS_ASSERT(r.work.wires_routed > 0);
+    const ArenaStats after = PayloadArena::current().stats();
+    benchmain::record("arena_payload_allocs",
+                      static_cast<double>(after.allocs - before.allocs));
+  }
+
+  // --- Dispatch: what the pool machinery itself costs. Trivial jobs make
+  // queue push/pop, the remaining-counter, and steals the whole bill.
+  constexpr std::size_t kJobs = 4096;
+  std::vector<std::uint64_t> slots(kJobs, 0);
+  const double loop_s = best_of(
+      [&] {
+        for (std::size_t i = 0; i < kJobs; ++i) slots[i] += i;
+      },
+      0.1);
+  const double pool1_s = best_of(
+      [&] {
+        SimPool pool(1);
+        pool.run_indexed(kJobs, [&](std::size_t i) { slots[i] += i; });
+      },
+      0.1);
+  double forced2 = 0.0;
+  {
+    ForceThreadsScope force;
+    forced2 = best_of(
+        [&] {
+          SimPool pool(2);
+          pool.run_indexed(kJobs, [&](std::size_t i) { slots[i] += i; });
+        },
+        0.1);
+  }
+  benchmain::record("dispatch_loop_s", loop_s);
+  benchmain::record("dispatch_pool1_s", pool1_s);
+  // Host-dependent (real threads on whatever cpus exist): informational.
+  benchmain::record("dispatch_pool2_forced", forced2);
+  t.row().cell("dispatch: plain loop").cell(loop_s * 1e3, 3)
+      .cell("4096 trivial jobs");
+  t.row().cell("dispatch: pool width 1").cell(pool1_s * 1e3, 3)
+      .cell("inline path");
+  t.row().cell("dispatch: pool width 2").cell(forced2 * 1e3, 3)
+      .cell("forced threads: queue+steal");
+
+  // --- Obs shards: padded (the real CounterRegistry layout) vs unpadded
+  // slots under two writer threads. On a single-cpu host the threads
+  // timeshare and the two probes tie; with real parallelism the unpadded
+  // variant pays coherence misses on every bump. Informational either way.
+  constexpr std::uint64_t kBumps = 200000;
+  struct PaddedSlot {
+    alignas(64) std::uint64_t value = 0;
+  };
+  struct UnpaddedSlot {
+    std::uint64_t value = 0;
+  };
+  const auto hammer = [&](auto* slots2) {
+    std::thread other([&] {
+      for (std::uint64_t i = 0; i < kBumps; ++i) slots2[1].value += 1;
+    });
+    for (std::uint64_t i = 0; i < kBumps; ++i) slots2[0].value += 1;
+    other.join();
+  };
+  PaddedSlot padded[2];
+  UnpaddedSlot unpadded[2];
+  const double padded_wall = best_of([&] { hammer(padded); }, 0.25);
+  const double unpadded_wall = best_of([&] { hammer(unpadded); }, 0.25);
+  LOCUS_ASSERT(padded[0].value > 0 && unpadded[1].value > 0);
+  benchmain::record("shard_padded_wall", padded_wall);
+  benchmain::record("shard_unpadded_wall", unpadded_wall);
+  t.row().cell("obs shards: unpadded").cell(unpadded_wall * 1e3, 3)
+      .cell("2 writers, shared line");
+  t.row().cell("obs shards: padded").cell(padded_wall * 1e3, 3)
+      .cell("2 writers, 64B apart");
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Route service: batch throughput through the pool with admission control.
+
+Table run_route_bench() {
+  const std::vector<RouteRequest> requests = generate_requests(256, 42);
+
+  RouteServiceOptions options;
+  options.max_inflight = 64;
+  std::uint64_t wires = 0;
+  const auto serve = [&](int width) {
+    options.width = width;
+    const RouteServiceReport report = run_route_service(requests, options);
+    wires = report.wires_routed;
+    return report;
+  };
+
+  // Serial replay is deterministic work on one core, so its routes/sec is
+  // gated (_rps, higher is better, 15%) like the other single-thread
+  // timings; pooled replays depend on the host's cpus and stay
+  // informational.
+  const double serial_wall = median_of([&] { serve(1); }, 3);
+  const double serial_rps = static_cast<double>(wires) / serial_wall;
+  const std::uint64_t serial_wires = wires;
+  const double pooled_wall = median_of([&] { serve(4); }, 3);
+  LOCUS_ASSERT(wires == serial_wires);  // width never changes the work
+
+  benchmain::record("route_serial_rps", serial_rps);
+  benchmain::record("route_pooled_wall_4w", pooled_wall);
+  benchmain::record("svc_jobs", static_cast<double>(requests.size()));
+  benchmain::record("svc_wires_routed", static_cast<double>(serial_wires));
+
+  Table t;
+  t.column("width").column("batch s").column("routes/s");
+  t.row().cell(1).cell(serial_wall, 3)
+      .cell(serial_rps, 0);
+  t.row().cell(4).cell(pooled_wall, 3)
+      .cell(static_cast<double>(serial_wires) / pooled_wall, 0);
   return t;
 }
 
@@ -330,5 +578,9 @@ int main(int argc, char** argv) {
        {"payload handle (shared_ptr vs PayloadRef)",
         [] { return run_payload(); }},
        {"pool scaling (8 independent MP sims)",
-        [&] { return run_pool_scaling(bnre); }}});
+        [&] { return run_pool_scaling(bnre); }},
+       {"pool_profile (allocator / dispatch / obs shards)",
+        [&] { return run_pool_profile(bnre); }},
+       {"route service (batch throughput)",
+        [] { return run_route_bench(); }}});
 }

@@ -74,6 +74,27 @@ if [[ "$RUN_BENCH" == 1 ]]; then
     fi
     echo "pool determinism: $b identical at --threads=1 and --threads=4"
   done
+  # Route-service determinism gate: a replayed request batch must produce
+  # byte-identical per-job results and metrics CSV at width 1 and width 8
+  # (with LOCUS_POOL_IGNORE_AFFINITY forcing real workers even on 1-cpu
+  # hosts, so the pooled path is genuinely exercised).
+  RS=/tmp/locus-route-service
+  mkdir -p "$RS"
+  "./$BUILD_DIR/examples/route_service" --generate=300 --seed=9 \
+    --out="$RS/requests.txt" >/dev/null
+  "./$BUILD_DIR/examples/route_service" --requests="$RS/requests.txt" \
+    --width=1 --results="$RS/results-1.txt" --metrics="$RS/metrics-1.csv" \
+    >/dev/null
+  LOCUS_POOL_IGNORE_AFFINITY=1 \
+    "./$BUILD_DIR/examples/route_service" --requests="$RS/requests.txt" \
+    --width=8 --inflight=32 --results="$RS/results-8.txt" \
+    --metrics="$RS/metrics-8.csv" >/dev/null
+  if ! diff -u "$RS/results-1.txt" "$RS/results-8.txt" ||
+     ! diff -u "$RS/metrics-1.csv" "$RS/metrics-8.csv"; then
+    echo "FAIL: route_service output diverges between width 1 and width 8" >&2
+    exit 1
+  fi
+  echo "route-service determinism: 300 jobs identical at width 1 and width 8"
   scripts/bench_smoke.sh /tmp/locus-bench
   scripts/bench_compare.py BENCH_explorer.json /tmp/locus-bench/BENCH_explorer.json
   scripts/bench_compare.py BENCH_network.json /tmp/locus-bench/BENCH_network.json

@@ -1,0 +1,290 @@
+#include "harness/route_service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <istream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "circuit/generator.hpp"
+#include "harness/sim_pool.hpp"
+#include "msg/driver.hpp"
+#include "obs/counters.hpp"
+#include "shm/shm_router.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+
+namespace locus {
+
+namespace {
+
+const char* kind_name(RouteRequest::Kind kind) {
+  return kind == RouteRequest::Kind::kMp ? "mp" : "shm";
+}
+
+bool parse_schedule(const std::string& spec, UpdateSchedule* out) {
+  std::istringstream in(spec);
+  std::string head;
+  if (!std::getline(in, head, ':')) return false;
+  std::string a, b, tail;
+  if (!std::getline(in, a, ':') || !std::getline(in, b, ':')) return false;
+  std::getline(in, tail, ':');
+  char* end = nullptr;
+  const long va = std::strtol(a.c_str(), &end, 10);
+  if (end == a.c_str() || *end != '\0' || va < 0) return false;
+  const long vb = std::strtol(b.c_str(), &end, 10);
+  if (end == b.c_str() || *end != '\0' || vb < 0) return false;
+  if (head == "sender" && tail.empty()) {
+    *out = UpdateSchedule::sender(static_cast<std::int32_t>(va),
+                                  static_cast<std::int32_t>(vb));
+    return true;
+  }
+  if (head == "receiver" && (tail.empty() || tail == "blocking")) {
+    *out = UpdateSchedule::receiver(static_cast<std::int32_t>(va),
+                                    static_cast<std::int32_t>(vb),
+                                    tail == "blocking");
+    return true;
+  }
+  return false;
+}
+
+const Circuit& cached_circuit(const std::string& name, std::uint64_t seed);
+
+}  // namespace
+
+std::string render_request(const RouteRequest& request) {
+  std::ostringstream out;
+  out << kind_name(request.kind) << ' ' << request.tenant << ' '
+      << request.circuit << ' ' << request.seed << ' ' << request.procs << ' '
+      << request.schedule_spec;
+  return out.str();
+}
+
+bool parse_request(const std::string& line, RouteRequest* out,
+                   std::string* error) {
+  error->clear();
+  std::istringstream in(line);
+  std::string kind;
+  if (!(in >> kind) || kind[0] == '#') return false;  // blank or comment
+  RouteRequest request;
+  if (kind == "mp") {
+    request.kind = RouteRequest::Kind::kMp;
+  } else if (kind == "shm") {
+    request.kind = RouteRequest::Kind::kShm;
+  } else {
+    *error = "unknown kind '" + kind + "' (want mp|shm)";
+    return false;
+  }
+  if (!(in >> request.tenant >> request.circuit >> request.seed >>
+        request.procs >> request.schedule_spec)) {
+    *error = "want: kind tenant circuit seed procs schedule";
+    return false;
+  }
+  if (request.circuit != "tiny" && request.circuit != "bnre" &&
+      request.circuit != "mdc") {
+    *error = "unknown circuit '" + request.circuit + "' (want tiny|bnre|mdc)";
+    return false;
+  }
+  if (request.procs < 1) {
+    *error = "procs must be >= 1";
+    return false;
+  }
+  if (!parse_schedule(request.schedule_spec, &request.schedule)) {
+    *error = "bad schedule '" + request.schedule_spec +
+             "' (want sender:R:L or receiver:L:T[:blocking])";
+    return false;
+  }
+  std::string extra;
+  if (in >> extra) {
+    *error = "trailing field '" + extra + "'";
+    return false;
+  }
+  *out = std::move(request);
+  return true;
+}
+
+std::vector<RouteRequest> parse_request_file(std::istream& in) {
+  std::vector<RouteRequest> requests;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    RouteRequest request;
+    std::string error;
+    if (parse_request(line, &request, &error)) {
+      requests.push_back(std::move(request));
+    } else if (!error.empty()) {
+      throw std::runtime_error("request file line " + std::to_string(lineno) +
+                               ": " + error);
+    }
+  }
+  return requests;
+}
+
+std::vector<RouteRequest> generate_requests(std::size_t n,
+                                            std::uint64_t seed) {
+  // A deterministic multi-tenant mix: mostly small MP jobs under varied
+  // schedules (the service's bread and butter), a sprinkle of shm runs.
+  static const char* kTenants[] = {"acme", "globex", "initech", "umbrella"};
+  static const char* kSchedules[] = {
+      "sender:2:5",      "sender:5:10",     "sender:10:20",
+      "receiver:1:5",    "receiver:2:10",   "receiver:5:2",
+      "receiver:1:5:blocking",
+  };
+  Rng rng(seed);
+  std::vector<RouteRequest> requests;
+  requests.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    RouteRequest request;
+    request.tenant = kTenants[rng() % 4];
+    request.circuit = "tiny";
+    request.seed = 1 + rng() % 64;
+    request.procs = 4;
+    if (rng() % 8 == 0) {
+      request.kind = RouteRequest::Kind::kShm;
+    } else {
+      request.kind = RouteRequest::Kind::kMp;
+      request.schedule_spec = kSchedules[rng() % 7];
+      LOCUS_ASSERT(parse_schedule(request.schedule_spec, &request.schedule));
+    }
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+namespace {
+
+/// Read-only circuit cache. Filled on demand under a mutex; jobs only ever
+/// read the (immutable) circuits, so sharing one across pooled jobs is the
+/// same contract every harness sweep already relies on.
+const Circuit& cached_circuit(const std::string& name, std::uint64_t seed) {
+  struct Cache {
+    std::mutex mutex;
+    std::map<std::pair<std::string, std::uint64_t>, Circuit> circuits;
+  };
+  static Cache* cache = new Cache;
+  std::lock_guard<std::mutex> lock(cache->mutex);
+  const auto key = std::make_pair(name, name == "tiny" ? seed : 0);
+  auto it = cache->circuits.find(key);
+  if (it == cache->circuits.end()) {
+    Circuit circuit = name == "bnre"  ? make_bnre_like()
+                      : name == "mdc" ? make_mdc_like()
+                                      : make_tiny_test_circuit(seed);
+    it = cache->circuits.emplace(key, std::move(circuit)).first;
+  }
+  return it->second;
+}
+
+/// Runs one request against its own private registry and renders the
+/// deterministic result line.
+std::string run_one(std::size_t index, const RouteRequest& request,
+                    obs::CounterRegistry& reg, std::uint64_t* wires) {
+  const std::string prefix = "svc.tenant." + request.tenant + ".";
+  reg.add(0, reg.counter(prefix + "jobs"));
+  std::ostringstream out;
+  out << "job=" << index << ' ' << render_request(request);
+  const Circuit& circuit = cached_circuit(request.circuit, request.seed);
+  if (request.kind == RouteRequest::Kind::kMp) {
+    MpConfig config;
+    config.schedule = request.schedule;
+    const MpRunResult r =
+        run_message_passing(circuit, request.procs, config);
+    const auto routed = static_cast<std::uint64_t>(r.work.wires_routed);
+    *wires = routed;
+    reg.add(0, reg.counter(prefix + "wires"), routed);
+    reg.add(0, reg.counter(prefix + "bytes"), r.bytes_transferred);
+    reg.add(0, reg.counter(prefix + "sim_ns"),
+            static_cast<std::uint64_t>(r.completion_ns));
+    out << " height=" << r.circuit_height << " occ=" << r.occupancy_factor
+        << " bytes=" << r.bytes_transferred << " t_ns=" << r.completion_ns
+        << " wires=" << routed;
+  } else {
+    ShmConfig config;
+    config.procs = request.procs;
+    config.capture_trace = false;  // quality/throughput only: no trace RAM
+    const ShmRunResult r = run_shared_memory(circuit, config);
+    const auto routed = static_cast<std::uint64_t>(r.work.wires_routed);
+    *wires = routed;
+    reg.add(0, reg.counter(prefix + "wires"), routed);
+    reg.add(0, reg.counter(prefix + "sim_ns"),
+            static_cast<std::uint64_t>(r.completion_ns));
+    out << " height=" << r.circuit_height << " occ=" << r.occupancy_factor
+        << " t_ns=" << r.completion_ns << " wires=" << routed;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+RouteServiceReport run_route_service(const std::vector<RouteRequest>& requests,
+                                     const RouteServiceOptions& options) {
+  LOCUS_ASSERT(options.max_inflight >= 1);
+  const std::size_t n = requests.size();
+  RouteServiceReport report;
+  report.jobs = n;
+  report.results.resize(n);
+
+  std::vector<std::unique_ptr<obs::CounterRegistry>> registries(n);
+  std::vector<std::uint64_t> wires(n, 0);
+
+  // Admission control: the pool only ever sees one wave of at most
+  // max_inflight jobs; `inflight` measures the bound actually held (the
+  // high-water mark is published, and asserted on, below).
+  std::atomic<std::int64_t> inflight{0};
+  std::atomic<std::int64_t> high_water{0};
+
+  SimPool pool(options.width);
+  Stopwatch wall;
+  const auto wave = static_cast<std::size_t>(options.max_inflight);
+  std::size_t waves = 0;
+  for (std::size_t start = 0; start < n; start += wave, ++waves) {
+    const std::size_t count = std::min(wave, n - start);
+    pool.run_indexed(count, [&, start](std::size_t offset) {
+      const std::size_t i = start + offset;
+      const std::int64_t now = inflight.fetch_add(1) + 1;
+      std::int64_t seen = high_water.load();
+      while (now > seen && !high_water.compare_exchange_weak(seen, now)) {
+      }
+      auto reg = std::make_unique<obs::CounterRegistry>();
+      wires[i] = 0;
+      report.results[i] = run_one(i, requests[i], *reg, &wires[i]);
+      registries[i] = std::move(reg);
+      inflight.fetch_sub(1);
+    });
+  }
+  report.wall_s = wall.seconds();
+  report.inflight_high_water =
+      static_cast<std::uint64_t>(high_water.load());
+  LOCUS_ASSERT(report.inflight_high_water <=
+               static_cast<std::uint64_t>(options.max_inflight));
+
+  // Deterministic artifacts: absorb per-job registries in submission
+  // order, fold in service-level totals, render the CSV.
+  obs::CounterRegistry merged;
+  for (const auto& reg : registries) {
+    if (reg != nullptr) merged.merge_from(*reg);
+  }
+  for (std::uint64_t w : wires) report.wires_routed += w;
+  merged.add(0, merged.counter("svc.jobs"), n);
+  merged.add(0, merged.counter("svc.wires_routed"), report.wires_routed);
+  report.metrics_csv = merged.metrics_csv();
+
+  // Host-side (non-deterministic) counters stay off the deterministic CSV.
+  if (options.host_obs != nullptr) {
+    obs::CounterRegistry& host = *options.host_obs;
+    host.add(0, host.counter("svc.inflight_high_water"),
+             report.inflight_high_water);
+    host.add(0, host.counter("svc.width"),
+             static_cast<std::uint64_t>(pool.threads()));
+    host.add(0, host.counter("svc.waves"), waves);
+  }
+  return report;
+}
+
+}  // namespace locus

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
 
+#include "shm/numa.hpp"
 #include "support/assert.hpp"
 
 namespace locus {
@@ -15,6 +17,7 @@ namespace locus {
 namespace {
 
 int g_default_threads = 0;  // 0: resolve from the environment
+int g_pinning = -1;         // -1: resolve from the environment
 
 int resolve_env_threads() {
   const char* env = std::getenv("LOCUS_THREADS");
@@ -22,6 +25,13 @@ int resolve_env_threads() {
   const int n = std::atoi(env);
   return n > 0 ? n : 1;
 }
+
+bool env_flag(const char* name) {
+  const char* env = std::getenv(name);
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+thread_local int t_worker_index = 0;
 
 }  // namespace
 
@@ -31,9 +41,31 @@ int sim_threads() {
   return g_default_threads > 0 ? g_default_threads : resolve_env_threads();
 }
 
+void set_pool_pinning(bool on) { g_pinning = on ? 1 : 0; }
+
+bool pool_pinning() {
+  if (g_pinning >= 0) return g_pinning != 0;
+  return env_flag("LOCUS_POOL_PIN");
+}
+
+int pool_worker_index() { return t_worker_index; }
+
 SimPool::SimPool(int threads)
     : threads_(threads > 0 ? threads : sim_threads()) {
   LOCUS_ASSERT(threads_ >= 1);
+}
+
+int SimPool::effective_workers(std::size_t jobs) const {
+  std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(threads_), jobs);
+  if (!env_flag("LOCUS_POOL_IGNORE_AFFINITY")) {
+    // Spawning more workers than the affinity mask offers cpus buys no
+    // parallelism and pays spawn + context-switch + steal overhead; on a
+    // 1-cpu host this turns every pooled run back into the inline path.
+    workers = std::min<std::size_t>(
+        workers, static_cast<std::size_t>(numa::available_cpus()));
+  }
+  return static_cast<int>(std::max<std::size_t>(workers, 1));
 }
 
 namespace {
@@ -45,7 +77,9 @@ namespace {
 /// merely claimed), which also keeps a worker alive to steal the tail of a
 /// long job list.
 struct RunState {
-  struct WorkerQueue {
+  /// Cache-line aligned so one worker's queue mutations (and the mutex
+  /// word a thief spins on) never invalidate a neighbour worker's line.
+  struct alignas(64) WorkerQueue {
     std::mutex mutex;
     std::deque<std::size_t> jobs;
   };
@@ -53,7 +87,7 @@ struct RunState {
   explicit RunState(std::size_t workers) : queues(workers) {}
 
   std::vector<WorkerQueue> queues;
-  std::atomic<std::size_t> remaining{0};
+  alignas(64) std::atomic<std::size_t> remaining{0};
 
   std::mutex error_mutex;
   std::exception_ptr error;        ///< first failure by job index
@@ -92,13 +126,31 @@ struct RunState {
 
 void worker_loop(RunState& state, std::size_t worker,
                  const std::function<void(std::size_t)>& fn) {
+  struct IndexScope {
+    int prev;
+    explicit IndexScope(std::size_t w) : prev(t_worker_index) {
+      t_worker_index = static_cast<int>(w);
+    }
+    ~IndexScope() { t_worker_index = prev; }
+  } index_scope(worker);
+
   std::size_t job;
+  int idle_rounds = 0;
   while (state.remaining.load(std::memory_order_acquire) > 0) {
     if (!state.pop_own(worker, job) && !state.steal(worker, job)) {
       if (worker == 0) return;  // caller thread: nothing left to claim
-      std::this_thread::yield();
+      // Idle helper: yield first (a queued job may appear within one
+      // quantum), then back off to short sleeps so a tail of long jobs is
+      // not shadowed by N-1 workers burning the cores the jobs need.
+      if (++idle_rounds < 8) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            std::min(idle_rounds * 4, 200)));
+      }
       continue;
     }
+    idle_rounds = 0;
     try {
       fn(job);
     } catch (...) {
@@ -113,28 +165,35 @@ void worker_loop(RunState& state, std::size_t worker,
 void SimPool::run_indexed(std::size_t n,
                           const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  if (threads_ == 1 || n == 1) {
+  const std::size_t workers =
+      static_cast<std::size_t>(effective_workers(n));
+  if (workers == 1) {
     // Serial fast path: run inline, spawn nothing. This is bit-for-bit the
     // pre-pool behaviour and the reference the determinism tests diff
-    // against.
+    // against; it also absorbs widths the affinity mask cannot serve.
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
 
-  const std::size_t workers =
-      std::min<std::size_t>(static_cast<std::size_t>(threads_), n);
   RunState state(workers);
   for (std::size_t i = 0; i < n; ++i) {
     state.queues[i % workers].jobs.push_back(i);
   }
   state.remaining.store(n, std::memory_order_release);
 
+  const bool pin = pool_pinning() && numa::pinning_supported();
   std::vector<std::thread> helpers;
   helpers.reserve(workers - 1);
   for (std::size_t w = 1; w < workers; ++w) {
-    helpers.emplace_back([&state, w, &fn] { worker_loop(state, w, fn); });
+    helpers.emplace_back([&state, w, &fn, pin] {
+      // Optional NUMA-aware placement: spread helpers round-robin over the
+      // allowed cpus so each worker's first-touched arena pages stay
+      // local. Failure means "run unpinned" — never an error.
+      if (pin) (void)numa::pin_current_thread(static_cast<int>(w));
+      worker_loop(state, w, fn);
+    });
   }
-  worker_loop(state, 0, fn);  // the caller is worker 0
+  worker_loop(state, 0, fn);  // the caller is worker 0 (never pinned)
   for (std::thread& t : helpers) t.join();
 
   if (state.error != nullptr) std::rethrow_exception(state.error);

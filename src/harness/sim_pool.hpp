@@ -25,6 +25,24 @@
 //   4. serial (1 thread — the pool then runs jobs inline on the caller,
 //      spawning nothing, which is the mode every existing test runs in).
 //
+// Hardware awareness: a run never spawns more workers than the process
+// affinity mask can actually execute in parallel (numa::available_cpus) —
+// on a 1-cpu host a width-8 pool runs inline rather than paying spawn,
+// context-switch and steal traffic for zero parallelism, and results are
+// identical either way by the determinism contract. Set
+// LOCUS_POOL_IGNORE_AFFINITY=1 to force real threads anyway (the TSan
+// preset does, so cross-thread edges are exercised even on small hosts).
+// With LOCUS_POOL_PIN=1 (or set_pool_pinning(true)) each helper worker
+// pins itself round-robin over the allowed cpus via
+// numa::pin_current_thread; hosts without affinity control fall back to
+// unpinned workers automatically. The caller (worker 0) is never pinned —
+// its affinity outlives the pool.
+//
+// Memory: each worker thread owns a private PayloadArena (sim/arena.hpp,
+// installed thread-locally on first payload allocation), so per-job
+// payload churn never touches a shared allocator; per-worker deques are
+// cache-line aligned so queue state and steal traffic don't false-share.
+//
 // Per-job observability: give each job its own obs::Obs (or its own shard)
 // and merge after run_all returns via CounterRegistry::merge_from — the
 // same post-join shard merge the threaded routers already rely on.
@@ -45,6 +63,17 @@ void set_sim_threads(int n);
 /// The resolved process-wide default (>= 1).
 int sim_threads();
 
+/// Process-wide worker-pinning default. Unset (the initial state) resolves
+/// from the LOCUS_POOL_PIN environment variable; set_pool_pinning overrides
+/// it for the process.
+void set_pool_pinning(bool on);
+bool pool_pinning();
+
+/// Index of the pool worker running the calling thread: 0 on the caller
+/// (and outside any pool run), 1..N-1 on helper workers. Lets per-worker
+/// instrumentation attribute work without a lookup table.
+int pool_worker_index();
+
 /// One unit of work: an independent, self-contained simulation. The
 /// callable must not touch state shared with any other job in the same
 /// run_all call (the pool-backed suites run under TSan to enforce this).
@@ -59,6 +88,11 @@ class SimPool {
   explicit SimPool(int threads = 0);
 
   int threads() const { return threads_; }
+
+  /// Workers a run over `jobs` jobs would actually use: threads() clamped
+  /// to the job count and to the cpus the affinity mask offers (unless
+  /// LOCUS_POOL_IGNORE_AFFINITY=1). 1 means the run executes inline.
+  int effective_workers(std::size_t jobs) const;
 
   /// Runs every job exactly once and returns when all are done. Jobs are
   /// indexed by submission order; any exception is rethrown on the caller

@@ -1,6 +1,91 @@
 #include "shm/numa.hpp"
 
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace locus {
+
+namespace numa {
+
+#if defined(__linux__)
+
+namespace {
+
+/// The process mask captured on first query, so unpin_current_thread can
+/// restore it even after a worker narrowed its own affinity.
+const cpu_set_t& process_mask() {
+  static const cpu_set_t mask = [] {
+    cpu_set_t m;
+    CPU_ZERO(&m);
+    if (sched_getaffinity(0, sizeof(m), &m) != 0) {
+      // No mask readable: pretend single-cpu; pinning_supported() stays
+      // false because the mask is empty of usable ids only when the
+      // syscall failed, which allowed_cpus() surfaces as empty.
+      CPU_ZERO(&m);
+    }
+    return m;
+  }();
+  return mask;
+}
+
+}  // namespace
+
+int available_cpus() {
+  const int n = CPU_COUNT(&process_mask());
+  if (n > 0) return n;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::vector<int> allowed_cpus() {
+  const cpu_set_t& mask = process_mask();
+  std::vector<int> cpus;
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (CPU_ISSET(cpu, &mask)) cpus.push_back(cpu);
+  }
+  return cpus;
+}
+
+bool pinning_supported() { return !allowed_cpus().empty(); }
+
+bool pin_current_thread(int slot) {
+  const std::vector<int> cpus = allowed_cpus();
+  if (cpus.empty() || slot < 0) return false;
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  CPU_SET(cpus[static_cast<std::size_t>(slot) % cpus.size()], &mask);
+  return pthread_setaffinity_np(pthread_self(), sizeof(mask), &mask) == 0;
+}
+
+bool unpin_current_thread() {
+  const cpu_set_t& mask = process_mask();
+  if (CPU_COUNT(&mask) == 0) return false;
+  cpu_set_t restore = mask;
+  return pthread_setaffinity_np(pthread_self(), sizeof(restore), &restore) == 0;
+}
+
+#else  // !__linux__: no affinity control; report honestly and do nothing.
+
+int available_cpus() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::vector<int> allowed_cpus() { return {}; }
+
+bool pinning_supported() { return false; }
+
+bool pin_current_thread(int) { return false; }
+
+bool unpin_current_thread() { return false; }
+
+#endif
+
+}  // namespace numa
 
 NumaEstimate estimate_numa(const RefTrace& trace, const Partition& partition,
                            const NumaParams& params) {

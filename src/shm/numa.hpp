@@ -11,12 +11,62 @@
 // the remote fraction — the mechanism behind the paper's prediction.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "geom/partition.hpp"
 #include "shm/trace.hpp"
+#include "support/mem.hpp"
 
 namespace locus {
+
+// ---------------------------------------------------------------------------
+// Host-machine placement helpers.
+//
+// The model above argues locality matters; these helpers act on it for our
+// own host-side parallelism (SimPool workers, the batch routing service):
+// thread pinning over the process affinity mask and first-touch page
+// placement for per-worker arenas. Everything degrades gracefully on
+// machines without affinity control (CI runners, non-Linux): the queries
+// report pinning unsupported, pin attempts return false without touching
+// thread state, and first_touch remains a plain page warm-up — callers
+// never need a platform #ifdef of their own.
+
+namespace numa {
+
+/// CPUs the calling process may run on (the affinity mask size when the OS
+/// exposes one, else hardware_concurrency), clamped to >= 1. The pool uses
+/// this to stop spawning workers the kernel cannot actually run in
+/// parallel.
+int available_cpus();
+
+/// Concrete cpu ids in the process affinity mask, ascending. Empty when
+/// the platform exposes no mask (pinning is then unsupported).
+std::vector<int> allowed_cpus();
+
+/// Whether pin_current_thread can work here at all.
+bool pinning_supported();
+
+/// Pins the calling thread to allowed_cpus()[slot % n] — workers pass
+/// their worker index and spread round-robin over the allowed cpus.
+/// Returns false (thread affinity untouched) when pinning is unsupported
+/// or the syscall fails; callers treat that as "run unpinned", not an
+/// error.
+bool pin_current_thread(int slot);
+
+/// Restores the full process affinity mask on the calling thread. Returns
+/// false when pinning is unsupported (nothing to restore).
+bool unpin_current_thread();
+
+/// Page size / first-touch placement, re-exported from support/mem.hpp so
+/// NUMA-aware callers find the whole placement toolkit in one header.
+inline std::size_t page_size() { return mem::page_size(); }
+inline void first_touch(void* p, std::size_t bytes) {
+  mem::first_touch(p, bytes);
+}
+
+}  // namespace numa
 
 struct NumaParams {
   SimTime local_ns = 400;    ///< reference into the local memory module

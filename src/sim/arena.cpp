@@ -1,0 +1,244 @@
+#include "sim/arena.hpp"
+
+#include <new>
+
+#include "sim/packet.hpp"
+#include "support/assert.hpp"
+#include "support/mem.hpp"
+
+namespace locus {
+
+namespace {
+
+/// Precedes every arena block. For class blocks `owner` is the allocating
+/// arena and `cls` indexes kClassSizes; oversize passthrough blocks carry
+/// `owner == nullptr` and go back to the global allocator directly.
+struct BlockHeader {
+  PayloadArena* owner;
+  std::uint32_t cls;
+  std::uint32_t pad;
+};
+static_assert(sizeof(BlockHeader) == 16, "user area must stay 16-aligned");
+
+constexpr std::size_t kSlabBytes = 16 * 1024;
+constexpr std::uint32_t kOversize = 0xffffffffu;
+
+BlockHeader* header_of(const void* user) {
+  return reinterpret_cast<BlockHeader*>(
+      const_cast<char*>(static_cast<const char*>(user)) - sizeof(BlockHeader));
+}
+
+/// The process-wide arena registry. Immortal (leaked on purpose): blocks
+/// and thread-exit destructors may run after static teardown has begun,
+/// and both must still find live arenas.
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<PayloadArena>> arenas;  ///< all ever created
+  std::vector<PayloadArena*> idle;                    ///< LIFO: warmest first
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+/// Calling thread's arena. `owned` marks the lazy acquisition path, which
+/// returns the arena to the registry when the thread exits; a Scope
+/// installs a borrowed arena and restores the previous one.
+struct TlsSlot {
+  PayloadArena* arena = nullptr;
+  bool owned = false;
+
+  ~TlsSlot() {
+    if (owned && arena != nullptr) PayloadArena::release(arena);
+  }
+};
+
+thread_local TlsSlot t_slot;
+
+}  // namespace
+
+struct PayloadArena::FreeNode {
+  FreeNode* next;
+};
+
+PayloadArena& PayloadArena::current() {
+  if (t_slot.arena == nullptr) {
+    t_slot.arena = acquire();
+    t_slot.owned = true;
+  }
+  return *t_slot.arena;
+}
+
+PayloadArena* PayloadArena::acquire() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  if (!reg.idle.empty()) {
+    PayloadArena* arena = reg.idle.back();
+    reg.idle.pop_back();
+    return arena;
+  }
+  reg.arenas.push_back(std::unique_ptr<PayloadArena>(
+      new PayloadArena(static_cast<int>(reg.arenas.size()))));
+  return reg.arenas.back().get();
+}
+
+void PayloadArena::release(PayloadArena* arena) {
+  if (arena == nullptr) return;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.idle.push_back(arena);
+}
+
+std::size_t PayloadArena::registry_size() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.arenas.size();
+}
+
+PayloadArena::Scope::Scope(PayloadArena* arena)
+    : prev_(t_slot.arena), prev_owned_(t_slot.owned) {
+  LOCUS_ASSERT(arena != nullptr);
+  t_slot.arena = arena;
+  t_slot.owned = false;
+}
+
+PayloadArena::Scope::~Scope() {
+  t_slot.arena = prev_;
+  t_slot.owned = prev_owned_;
+}
+
+void* PayloadArena::allocate(std::size_t bytes) {
+  PayloadArena& arena = current();
+  const std::size_t needed = bytes + sizeof(BlockHeader);
+  for (std::size_t cls = 0; cls < kClassSizes.size(); ++cls) {
+    if (needed <= kClassSizes[cls]) return arena.allocate_class(cls);
+  }
+  // Oversize passthrough: the global allocator owns the storage; the
+  // header's null owner routes deallocate() straight back to it.
+  auto* header = static_cast<BlockHeader*>(::operator new(needed));
+  header->owner = nullptr;
+  header->cls = kOversize;
+  ++arena.stats_.oversize_allocs;
+  return header + 1;
+}
+
+void* PayloadArena::allocate_class(std::size_t cls) {
+  if (free_[cls] == nullptr) {
+    // Local list dry: drain the reclamation list (blocks freed on other
+    // threads come home here and nowhere else), then carve a fresh slab.
+    std::uint64_t drained = 0;
+    {
+      std::lock_guard<std::mutex> lock(remote_mutex_);
+      drained = drain_remote_locked();
+    }
+    if (free_[cls] == nullptr) carve_slab(cls);
+    (void)drained;
+  }
+  FreeNode* node = free_[cls];
+  free_[cls] = node->next;
+  ++stats_.allocs;
+  BlockHeader* header = header_of(node);
+  LOCUS_ASSERT(header->owner == this && header->cls == cls);
+  return node;
+}
+
+void PayloadArena::carve_slab(std::size_t cls) {
+  slabs_.push_back(std::make_unique<std::byte[]>(kSlabBytes));
+  std::byte* slab = slabs_.back().get();
+  // First touch on the owning thread: under the first-touch NUMA policy
+  // the slab's pages land in this worker's local memory module, and the
+  // page faults are paid here rather than inside a timed simulation.
+  mem::first_touch(slab, kSlabBytes);
+  const std::size_t block = kClassSizes[cls];
+  for (std::size_t off = 0; off + block <= kSlabBytes; off += block) {
+    auto* header = reinterpret_cast<BlockHeader*>(slab + off);
+    header->owner = this;
+    header->cls = static_cast<std::uint32_t>(cls);
+    auto* node = reinterpret_cast<FreeNode*>(header + 1);
+    node->next = free_[cls];
+    free_[cls] = node;
+  }
+  ++stats_.slabs;
+}
+
+std::uint64_t PayloadArena::drain_remote_locked() {
+  std::uint64_t drained = 0;
+  FreeNode* node = remote_head_;
+  remote_head_ = nullptr;
+  while (node != nullptr) {
+    FreeNode* next = node->next;
+    const BlockHeader* header = header_of(node);
+    LOCUS_ASSERT(header->owner == this);
+    node->next = free_[header->cls];
+    free_[header->cls] = node;
+    ++drained;
+    node = next;
+  }
+  stats_.reclaimed += drained;
+  return drained;
+}
+
+std::uint64_t PayloadArena::reclaim() {
+  std::lock_guard<std::mutex> lock(remote_mutex_);
+  return drain_remote_locked();
+}
+
+void PayloadArena::deallocate(void* p) {
+  if (p == nullptr) return;
+  BlockHeader* header = header_of(p);
+  PayloadArena* owner = header->owner;
+  if (owner == nullptr) {
+    LOCUS_ASSERT(header->cls == kOversize);
+    PayloadArena& arena = current();
+    {
+      std::lock_guard<std::mutex> lock(arena.remote_mutex_);
+      ++arena.oversize_frees_;
+    }
+    ::operator delete(header);
+    return;
+  }
+  LOCUS_ASSERT(header->cls < kClassSizes.size());
+  auto* node = static_cast<FreeNode*>(p);
+  if (owner == t_slot.arena) {
+    node->next = owner->free_[header->cls];
+    owner->free_[header->cls] = node;
+    ++owner->stats_.local_frees;
+    return;
+  }
+  // Cross-thread free: defer to the owner's reclamation list. The block
+  // only re-enters circulation when the owner drains it — never directly
+  // into another worker's lists.
+  std::lock_guard<std::mutex> lock(owner->remote_mutex_);
+  node->next = owner->remote_head_;
+  owner->remote_head_ = node;
+  ++owner->remote_frees_;
+}
+
+PayloadArena* PayloadArena::owner_of(const void* p) {
+  return p == nullptr ? nullptr : header_of(p)->owner;
+}
+
+ArenaStats PayloadArena::stats() const {
+  ArenaStats out = stats_;
+  std::lock_guard<std::mutex> lock(remote_mutex_);
+  out.remote_frees = remote_frees_;
+  out.oversize_frees = oversize_frees_;
+  return out;
+}
+
+// PacketPayload's class-level allocation functions (declared in
+// sim/packet.hpp) route every payload in the repo through the arena.
+void* PacketPayload::operator new(std::size_t bytes) {
+  return PayloadArena::allocate(bytes);
+}
+
+void PacketPayload::operator delete(void* p) noexcept {
+  PayloadArena::deallocate(p);
+}
+
+void PacketPayload::operator delete(void* p, std::size_t) noexcept {
+  PayloadArena::deallocate(p);
+}
+
+}  // namespace locus

@@ -1,0 +1,46 @@
+// Page-granularity memory helpers shared by the payload arena (src/sim)
+// and the NUMA placement layer (src/shm/numa). Header-only so the lowest
+// layers can use them without a new link dependency.
+//
+// `first_touch` implements the placement half of the first-touch NUMA
+// policy: Linux assigns a page's physical frame to the node of the CPU
+// that first writes it, so an arena slab touched by the worker that will
+// own it lands in that worker's local memory module. On UMA hosts (and CI
+// runners) the touch is a cheap page-fault warm-up — it still moves the
+// fault cost out of the timed region, which is why the bench warm-up path
+// uses it too.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace locus::mem {
+
+inline std::size_t page_size() {
+#if defined(__unix__) || defined(__APPLE__)
+  static const std::size_t size = [] {
+    const long n = ::sysconf(_SC_PAGESIZE);
+    return n > 0 ? static_cast<std::size_t>(n) : std::size_t{4096};
+  }();
+  return size;
+#else
+  return 4096;
+#endif
+}
+
+/// Writes one byte per page of [p, p+bytes) so the calling thread is the
+/// first toucher. The memory must be writable and not yet hold live data
+/// (the touch stores a zero byte; freshly reserved slabs qualify).
+inline void first_touch(void* p, std::size_t bytes) {
+  if (p == nullptr || bytes == 0) return;
+  const std::size_t step = page_size();
+  volatile auto* bytes_p = static_cast<unsigned char*>(p);
+  for (std::size_t off = 0; off < bytes; off += step) bytes_p[off] = 0;
+  bytes_p[bytes - 1] = 0;  // the last page, when bytes is not page-aligned
+}
+
+}  // namespace locus::mem

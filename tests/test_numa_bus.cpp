@@ -1,6 +1,13 @@
 // Tests for the extension models: Dragon write-update coherence, the bus
-// occupancy estimate, and the NUMA reference-cost model.
+// occupancy estimate, and the NUMA reference-cost model — plus the numa::
+// machine helpers (affinity introspection, pinning, first-touch) the
+// SimPool's placement logic builds on.
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+#include <vector>
 
 #include "assign/assignment.hpp"
 #include "circuit/generator.hpp"
@@ -160,6 +167,70 @@ TEST(Numa, LocalityAssignmentLowersRemoteFraction) {
   EXPECT_LT(local.remote_fraction(), rr.remote_fraction());
   // Round robin over 16 regions is ~15/16 remote by construction.
   EXPECT_NEAR(rr.remote_fraction(), 0.9375, 0.03);
+}
+
+// ---------------------------------------------------------------------------
+// numa:: machine helpers. These must degrade, never fail: on hosts without
+// affinity syscalls (and on CI runners whose masks are restricted) every
+// helper still answers coherently and pinning reports false instead of
+// erroring — SimPool treats "cannot pin" as "run unpinned".
+
+TEST(NumaMachine, AvailableCpusIsCoherentWithAllowedList) {
+  const int cpus = numa::available_cpus();
+  EXPECT_GE(cpus, 1);
+  const std::vector<int> allowed = numa::allowed_cpus();
+  if (numa::pinning_supported()) {
+    // The count and the enumeration come from the same affinity mask.
+    EXPECT_EQ(static_cast<int>(allowed.size()), cpus);
+    for (int cpu : allowed) EXPECT_GE(cpu, 0);
+    EXPECT_TRUE(std::is_sorted(allowed.begin(), allowed.end()));
+  } else {
+    // Fallback path: no enumeration, but the count still answers.
+    EXPECT_TRUE(allowed.empty());
+  }
+}
+
+TEST(NumaMachine, PinFollowsSupportAndSlotsWrapModulo) {
+  const bool supported = numa::pinning_supported();
+  // Success must agree with the advertised support either way — this is
+  // the exact check SimPool performs before pinning workers.
+  EXPECT_EQ(numa::pin_current_thread(0), supported);
+  // Slots beyond the mask wrap (worker w on cpu allowed[w % n]), so any
+  // worker index is pinnable on any machine.
+  EXPECT_EQ(numa::pin_current_thread(1000003), supported);
+  EXPECT_EQ(numa::unpin_current_thread(), supported);
+  // After unpinning, the full original mask is visible again.
+  EXPECT_GE(numa::available_cpus(), 1);
+}
+
+TEST(NumaMachine, PinnedWorkerStillComputes) {
+  // The pool's usage shape: a helper thread pins itself by slot (best
+  // effort), does sim work, exits. Must hold on both the pinned and the
+  // unsupported/fallback path.
+  std::uint64_t sum = 0;
+  std::thread worker([&] {
+    (void)numa::pin_current_thread(1);
+    for (std::uint64_t i = 0; i < 1000; ++i) sum += i;
+  });
+  worker.join();
+  EXPECT_EQ(sum, 499500u);
+}
+
+TEST(NumaMachine, FirstTouchWarmsWithoutResizingPages) {
+  EXPECT_GE(mem::page_size(), 512u);
+  // Power of two (sysconf guarantees it; the fallback constant is too).
+  EXPECT_EQ(mem::page_size() & (mem::page_size() - 1), 0u);
+
+  // Touch a multi-page buffer, then verify it is fully writable and
+  // zero-initialized where touched (the arena carves slabs from
+  // freshly-reserved memory, so the zero store is safe by contract).
+  const std::size_t bytes = 3 * mem::page_size() + 17;
+  std::vector<unsigned char> slab(bytes, 0);
+  numa::first_touch(slab.data(), slab.size());
+  EXPECT_TRUE(std::all_of(slab.begin(), slab.end(),
+                          [](unsigned char b) { return b == 0; }));
+  numa::first_touch(nullptr, 0);  // degenerate inputs are no-ops
+  numa::first_touch(slab.data(), 0);
 }
 
 }  // namespace

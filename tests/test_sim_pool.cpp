@@ -6,20 +6,26 @@
 // and bit-identical merged observability output at every thread count.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "circuit/generator.hpp"
 #include "harness/experiments.hpp"
+#include "harness/route_service.hpp"
 #include "harness/sim_pool.hpp"
 #include "msg/driver.hpp"
 #include "obs/counters.hpp"
+#include "shm/numa.hpp"
+#include "sim/arena.hpp"
 #include "sim/event_queue.hpp"
+#include "support/stopwatch.hpp"
 
 namespace locus {
 namespace {
@@ -211,6 +217,244 @@ TEST(PoolDeterminism, MergedObsCsvIsBitIdenticalAtAnyWidth) {
   EXPECT_FALSE(serial_csv.empty());
   EXPECT_EQ(run_at(2), serial_csv);
   EXPECT_EQ(run_at(4), serial_csv);
+}
+
+// ---------------------------------------------------------------------------
+// Per-worker payload arenas: ownership, reclamation, reuse.
+
+/// RAII toggle so pool tests can force real worker threads on hosts whose
+/// affinity mask would otherwise clamp the pool to the inline path.
+struct ForceThreadsScope {
+  std::string saved;
+  bool had = false;
+  ForceThreadsScope() {
+    if (const char* env = std::getenv("LOCUS_POOL_IGNORE_AFFINITY")) {
+      had = true;
+      saved = env;
+    }
+    ::setenv("LOCUS_POOL_IGNORE_AFFINITY", "1", 1);
+  }
+  ~ForceThreadsScope() {
+    if (had) {
+      ::setenv("LOCUS_POOL_IGNORE_AFFINITY", saved.c_str(), 1);
+    } else {
+      ::unsetenv("LOCUS_POOL_IGNORE_AFFINITY");
+    }
+  }
+};
+
+TEST(PayloadArena, LocalAllocFreeBalancesAndStaysLockFree) {
+  PayloadArena& arena = PayloadArena::current();
+  const ArenaStats before = arena.stats();
+  std::vector<void*> blocks;
+  for (int i = 0; i < 64; ++i) blocks.push_back(PayloadArena::allocate(96));
+  for (void* p : blocks) {
+    EXPECT_EQ(PayloadArena::owner_of(p), &arena);
+    PayloadArena::deallocate(p);
+  }
+  const ArenaStats after = arena.stats();
+  EXPECT_EQ(after.allocs, before.allocs + 64);
+  EXPECT_EQ(after.local_frees, before.local_frees + 64);
+  EXPECT_EQ(after.remote_frees, before.remote_frees);  // never crossed
+  EXPECT_EQ(after.live(), before.live());
+}
+
+TEST(PayloadArena, CrossOwnerFreeOnlyEverUsesReclamationList) {
+  // The regression the arena design hinges on: a block allocated under
+  // arena A and freed while arena B is current must land on A's
+  // reclamation list — never on B's free lists (whence B would hand
+  // A-owned memory to its own callers) and never directly on A's free
+  // lists (a data race with A's owner).
+  PayloadArena* a = PayloadArena::acquire();
+  PayloadArena* b = PayloadArena::acquire();
+  ASSERT_NE(a, b);
+
+  void* p = nullptr;
+  {
+    PayloadArena::Scope scope(a);
+    p = PayloadArena::allocate(96);
+  }
+  ASSERT_EQ(PayloadArena::owner_of(p), a);
+
+  const ArenaStats a_before = a->stats();
+  const ArenaStats b_before = b->stats();
+  {
+    PayloadArena::Scope scope(b);
+    PayloadArena::deallocate(p);  // B is current, A owns the block
+  }
+  const ArenaStats a_after = a->stats();
+  const ArenaStats b_after = b->stats();
+  EXPECT_EQ(a_after.remote_frees, a_before.remote_frees + 1);
+  EXPECT_EQ(a_after.local_frees, a_before.local_frees);
+  EXPECT_EQ(a_after.reclaimed, a_before.reclaimed);  // not drained yet
+  EXPECT_EQ(b_after.local_frees, b_before.local_frees);
+  EXPECT_EQ(b_after.remote_frees, b_before.remote_frees);
+
+  // Only the owner drains the list back onto its free lists.
+  {
+    PayloadArena::Scope scope(a);
+    EXPECT_EQ(a->reclaim(), 1u);
+  }
+  EXPECT_EQ(a->stats().reclaimed, a_before.reclaimed + 1);
+
+  PayloadArena::release(b);
+  PayloadArena::release(a);
+}
+
+TEST(PayloadArena, ThreadExitReleasesArenaForReuse) {
+  // A worker's lazily acquired arena returns to the registry at thread
+  // exit, so pool runs recycle warm arenas instead of growing the registry
+  // per run. The block itself stays valid after the owner thread is gone;
+  // freeing it from here goes through the (immortal) owner's reclamation
+  // list.
+  PayloadArena& mine = PayloadArena::current();  // claim ours before the
+                                                 // worker's hits the registry
+  void* p = nullptr;
+  std::thread worker([&] { p = PayloadArena::allocate(96); });
+  worker.join();
+  const std::size_t registry = PayloadArena::registry_size();
+
+  PayloadArena* owner = PayloadArena::owner_of(p);
+  ASSERT_NE(owner, nullptr);
+  EXPECT_NE(owner, &mine);
+  const ArenaStats before = owner->stats();
+  PayloadArena::deallocate(p);
+  EXPECT_EQ(owner->stats().remote_frees, before.remote_frees + 1);
+
+  // A second worker reuses an idle arena: the registry does not grow.
+  std::thread next([] { PayloadArena::deallocate(PayloadArena::allocate(96)); });
+  next.join();
+  EXPECT_EQ(PayloadArena::registry_size(), registry);
+}
+
+TEST(PayloadArena, OversizeBlocksPassThroughTheGlobalAllocator) {
+  void* p = PayloadArena::allocate(4096);  // above the largest class
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(PayloadArena::owner_of(p), nullptr);
+  PayloadArena::deallocate(p);
+}
+
+// ---------------------------------------------------------------------------
+// Scaling smoke: the pool must actually go faster where the hardware can
+// serve it. Release-only (Debug wall times measure the allocator's
+// bookkeeping, not the pool) and guarded on the affinity mask — on 1-cpu
+// CI runners the clamp makes pooled == serial and a speedup assertion
+// would be asserting on physics.
+
+TEST(PoolScaling, FourWorkersBeatSerialOnMultiCoreHosts) {
+#ifndef NDEBUG
+  GTEST_SKIP() << "Release-only: Debug timings do not reflect the pool";
+#endif
+  const int cpus = numa::available_cpus();
+  if (cpus < 4) {
+    GTEST_SKIP() << "needs >= 4 available cpus, have " << cpus;
+  }
+
+  // At least 8 independent MP sims (2 per worker at width 4).
+  const Circuit circuit = make_bnre_like();
+  const std::vector<UpdateSchedule> schedules = {
+      UpdateSchedule::sender(2, 5),    UpdateSchedule::sender(2, 10),
+      UpdateSchedule::sender(5, 10),   UpdateSchedule::sender(10, 20),
+      UpdateSchedule::receiver(1, 5),  UpdateSchedule::receiver(1, 30),
+      UpdateSchedule::receiver(2, 10), UpdateSchedule::receiver(5, 2),
+  };
+  const ExperimentConfig config;
+  const auto batch = [&](int threads) {
+    SimPool pool(threads);
+    std::vector<std::int64_t> heights(schedules.size());
+    pool.run_indexed(schedules.size(), [&](std::size_t i) {
+      heights[i] = run_message_passing(circuit, config.procs,
+                                       config.mp(schedules[i]))
+                       .circuit_height;
+    });
+    return heights;
+  };
+  // Steady state: warm arenas/caches once per width, then median of 3.
+  const auto median3 = [&](int threads) {
+    batch(threads);  // warm-up, not timed
+    std::vector<double> times(3);
+    for (double& t : times) {
+      Stopwatch sw;
+      batch(threads);
+      t = sw.seconds();
+    }
+    std::sort(times.begin(), times.end());
+    return times[1];
+  };
+  EXPECT_EQ(batch(4), batch(1)) << "width changed the results";
+  const double t1 = median3(1);
+  const double t4 = median3(4);
+  EXPECT_GE(t1 / t4, 1.5) << "4-worker batch speedup regressed: t1=" << t1
+                          << "s t4=" << t4 << "s";
+}
+
+// ---------------------------------------------------------------------------
+// Route service: the batch front-end's determinism and admission contract.
+
+TEST(RouteServiceProperty, ResultsAndMetricsBitIdenticalAcrossWidths) {
+  // 50 request-mix seeds, replayed at widths 1/2/8: per-job result lines
+  // and the merged obs CSV must be byte-identical to the serial run.
+  ForceThreadsScope force;  // real workers even on clamped hosts
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const std::vector<RouteRequest> requests = generate_requests(12, seed);
+    RouteServiceOptions options;
+    options.max_inflight = 5;  // several waves, not one
+    options.width = 1;
+    const RouteServiceReport serial = run_route_service(requests, options);
+    ASSERT_EQ(serial.results.size(), requests.size());
+    EXPECT_FALSE(serial.metrics_csv.empty());
+    for (int width : {2, 8}) {
+      options.width = width;
+      const RouteServiceReport pooled = run_route_service(requests, options);
+      ASSERT_EQ(pooled.results, serial.results)
+          << "seed=" << seed << " width=" << width;
+      ASSERT_EQ(pooled.metrics_csv, serial.metrics_csv)
+          << "seed=" << seed << " width=" << width;
+      EXPECT_EQ(pooled.wires_routed, serial.wires_routed);
+    }
+  }
+}
+
+TEST(RouteServiceProperty, AdmissionControlHoldsTheInflightBound) {
+  ForceThreadsScope force;
+  obs::CounterRegistry host;
+  RouteServiceOptions options;
+  options.width = 8;        // more workers than the bound permits in flight
+  options.max_inflight = 4;
+  options.host_obs = &host;
+  const RouteServiceReport report =
+      run_route_service(generate_requests(64, 7), options);
+  // Asserted via the published high-water obs counter, as callers would.
+  const std::uint64_t high_water = host.total("svc.inflight_high_water");
+  EXPECT_EQ(high_water, report.inflight_high_water);
+  EXPECT_GE(high_water, 1u);
+  EXPECT_LE(high_water, 4u);
+  EXPECT_EQ(report.jobs, 64u);
+  EXPECT_GT(report.wires_routed, 0u);
+}
+
+TEST(RouteServiceProperty, RequestLinesRoundTripAndRejectGarbage) {
+  for (const RouteRequest& request : generate_requests(32, 11)) {
+    const std::string line = render_request(request);
+    RouteRequest parsed;
+    std::string error;
+    ASSERT_TRUE(parse_request(line, &parsed, &error)) << line << ": " << error;
+    EXPECT_EQ(render_request(parsed), line);
+  }
+  RouteRequest out;
+  std::string error;
+  EXPECT_FALSE(parse_request("", &out, &error));
+  EXPECT_TRUE(error.empty());  // blank: skipped, not an error
+  EXPECT_FALSE(parse_request("# comment", &out, &error));
+  EXPECT_TRUE(error.empty());
+  EXPECT_FALSE(parse_request("udp acme tiny 1 4 sender:2:5", &out, &error));
+  EXPECT_FALSE(error.empty());  // unknown kind
+  EXPECT_FALSE(parse_request("mp acme tiny 1 4 sender:2", &out, &error));
+  EXPECT_FALSE(error.empty());  // malformed schedule
+  EXPECT_FALSE(parse_request("mp acme tiny 1 0 sender:2:5", &out, &error));
+  EXPECT_FALSE(error.empty());  // procs < 1
+  EXPECT_FALSE(parse_request("mp acme tiny 1 4 sender:2:5 extra", &out, &error));
+  EXPECT_FALSE(error.empty());  // trailing field
 }
 
 }  // namespace
