@@ -7,11 +7,13 @@
 // wall time plus any counters the section recorded via benchmain::record()),
 // the format scripts/bench_compare.py diffs to catch performance
 // regressions. Convention: counters named *_s are wall-clock seconds (lower
-// is better, 15% gate), *_x are ratios and *_rps are throughput rates (both
-// higher is better, 15% gate), unsuffixed integers are exact-match work
-// counters (cells_probed, events_executed, ...), and unsuffixed non-integers
-// are informational only (host-dependent numbers like thread-pool wall
-// times and speedups).
+// is better, 15% gate), *_rps are throughput rates (higher is better, 15%
+// gate), *_x are ratios — displayed in diffs but never gated, since a ratio
+// of two measured times doubles the host noise and its components are
+// already gated individually — unsuffixed integers are exact-match work
+// counters (cells_probed, events_executed, ...), and unsuffixed
+// non-integers are informational only (host-dependent numbers like
+// thread-pool wall times and speedups).
 //
 // --only=SUBSTRING restricts a run to the sections whose title contains the
 // substring (case-sensitive) — e.g. `micro_sim --only=pool_profile` is the

@@ -5,10 +5,14 @@ Usage: bench_compare.py BASELINE.json CURRENT.json [--tolerance=0.15]
 
 Counter conventions (see bench/bench_main.hpp): names ending in `_s` are
 wall-clock seconds (lower is better; regression = current > baseline by more
-than the tolerance), names ending in `_x` are speedup ratios (higher is
-better; regression = current < baseline by more than the tolerance), and
-names ending in `_rps` are throughput rates in requests/routes per second
-(higher is better, same gate as `_x`).
+than the tolerance), and names ending in `_rps` are throughput rates in
+requests/routes per second (higher is better; regression = current <
+baseline by more than the tolerance). Names ending in `_x` are speedup
+ratios: informational only — displayed in the diff, never gated. A ratio
+divides two measured times, so it carries the noise of both, and its
+components are already gated individually via their `_s` counters; gating it
+too would double-count noise (e.g. a faster reference engine would "regress"
+the speedup with no change to the engine under test).
 Integer-valued counters without either suffix are work counts and must match
 exactly — the benches assert engine equivalence, so a drifting work count
 means the workload changed and the baseline should be re-recorded.
@@ -66,19 +70,23 @@ def main(argv):
                 )
             else:
                 notes.append(f"{key}: {curr_value:.6f}s (baseline {base_value:.6f}s) ok")
-        elif name.endswith("_x") or name.endswith("_rps"):
-            unit = "x" if name.endswith("_x") else " r/s"
+        elif name.endswith("_x"):
+            notes.append(
+                f"{key}: {curr_value:.2f}x "
+                f"(baseline {base_value:.2f}x) informational"
+            )
+        elif name.endswith("_rps"):
             if base_value > 0 and curr_value < base_value * (1 - tolerance):
                 failures.append(
-                    f"{key}: {curr_value:.2f}{unit} vs baseline "
-                    f"{base_value:.2f}{unit} "
+                    f"{key}: {curr_value:.2f} r/s vs baseline "
+                    f"{base_value:.2f} r/s "
                     f"(-{(1 - curr_value / base_value) * 100:.1f}%, "
                     f"tolerance {tolerance * 100:.0f}%)"
                 )
             else:
                 notes.append(
-                    f"{key}: {curr_value:.2f}{unit} "
-                    f"(baseline {base_value:.2f}{unit}) ok"
+                    f"{key}: {curr_value:.2f} r/s "
+                    f"(baseline {base_value:.2f} r/s) ok"
                 )
         elif float(base_value).is_integer() and float(curr_value).is_integer():
             if curr_value != base_value:

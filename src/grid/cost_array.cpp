@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/assert.hpp"
+#include "support/simd.hpp"
 
 namespace locus {
 
@@ -27,9 +28,20 @@ void CostArray::read_row(std::int32_t channel, std::int32_t x_lo, std::int32_t x
   LOCUS_ASSERT(span_out.size() >= count);
   const std::int32_t* row = cells_.data() +
                             static_cast<std::size_t>(channel) * grids_ + x_lo;
+  simd::clamp_nonneg(row, span_out.data(), count);
+}
+
+void CostArray::read_rows(std::int32_t c_lo, std::int32_t c_hi, std::int32_t x_lo,
+                          std::int32_t x_hi, std::span<std::int32_t> span_out) {
+  LOCUS_ASSERT_MSG(c_lo >= 0 && c_lo <= c_hi && c_hi < channels_,
+                   "channel range out of range");
+  LOCUS_ASSERT_MSG(x_lo >= 0 && x_lo <= x_hi && x_hi < grids_, "span out of range");
+  const auto width = static_cast<std::size_t>(x_hi - x_lo + 1);
+  LOCUS_ASSERT(span_out.size() >= width * static_cast<std::size_t>(c_hi - c_lo + 1));
   std::int32_t* out = span_out.data();
-  for (std::size_t i = 0; i < count; ++i) {
-    out[i] = row[i] < 0 ? 0 : row[i];
+  for (std::int32_t c = c_lo; c <= c_hi; ++c, out += width) {
+    simd::clamp_nonneg(cells_.data() + static_cast<std::size_t>(c) * grids_ + x_lo,
+                       out, width);
   }
 }
 

@@ -23,6 +23,7 @@
 #include "grid/delta_array.hpp"
 #include "msg/config.hpp"
 #include "msg/packets.hpp"
+#include "msg/view.hpp"
 #include "route/cost_view.hpp"
 #include "route/router.hpp"
 #include "sim/machine.hpp"
@@ -99,28 +100,6 @@ class RouterNode final : public Node {
   std::int32_t pending_responses() const { return pending_responses_; }
 
  private:
-  /// CostView that mirrors every write into the delta array. Reads go
-  /// straight to the (possibly drifted) private view, so bulk span reads
-  /// forward to the CostArray fast path — clamping included.
-  class ViewWithDelta final : public CostView {
-   public:
-    ViewWithDelta(CostArray& view, DeltaArray& delta) : view_(view), delta_(delta) {}
-    std::int32_t read(GridPoint p) override { return view_.read(p); }
-    void add(GridPoint p, std::int32_t d) override {
-      view_.add(p, d);
-      delta_.add(p, d);
-    }
-    void read_row(std::int32_t channel, std::int32_t x_lo, std::int32_t x_hi,
-                  std::span<std::int32_t> span_out) override {
-      view_.read_row(channel, x_lo, x_hi, span_out);
-    }
-    bool supports_bulk_read() const override { return true; }
-
-   private:
-    CostArray& view_;
-    DeltaArray& delta_;
-  };
-
   void advance_lookahead(NodeApi& api);
   void route_one_wire(NodeApi& api);
   /// Rip up + re-route one wire; returns the compute cost. Charges the

@@ -9,6 +9,7 @@
 #include "grid/cost_array.hpp"
 #include "grid/delta_array.hpp"
 #include "msg/packets.hpp"
+#include "msg/view.hpp"
 #include "route/quality.hpp"
 #include "support/assert.hpp"
 #include "support/stopwatch.hpp"
@@ -129,24 +130,7 @@ ThreadsMpResult run_threads_message_passing(const Circuit& circuit,
         drain();
         WireRoute& slot = result.routes[static_cast<std::size_t>(wire_id)];
         // Mirror every write into the delta array, as the simulator does.
-        class ViewWithDelta final : public CostView {
-         public:
-          ViewWithDelta(CostArray& v, DeltaArray& d) : v_(v), d_(d) {}
-          std::int32_t read(GridPoint p) override { return v_.read(p); }
-          void add(GridPoint p, std::int32_t d) override {
-            v_.add(p, d);
-            d_.add(p, d);
-          }
-          void read_row(std::int32_t channel, std::int32_t x_lo, std::int32_t x_hi,
-                        std::span<std::int32_t> span_out) override {
-            v_.read_row(channel, x_lo, x_hi, span_out);
-          }
-          bool supports_bulk_read() const override { return true; }
-
-         private:
-          CostArray& v_;
-          DeltaArray& d_;
-        } tracked(view, delta);
+        ViewWithDelta tracked(view, delta);
         if (slot.routed()) {
           WireRouter::rip_up(slot, tracked);
           LOCUS_OBS_HOOK(if (node_obs) {

@@ -8,12 +8,15 @@
 // message passing views clamp — because route costs feed a minimization.
 //
 // Bulk span API: read_row() fills a caller buffer with one channel row's
-// clamped values in a single virtual call, so pricing kernels touch memory
-// at span granularity instead of paying one dispatch per cell. The default
-// implementation falls back to per-cell read(); backings with side-effecting
-// reads (the shared memory tracer while capturing) keep that fallback and
-// report supports_bulk_read() == false so the router stays on the exact
-// per-cell pricing path.
+// clamped values in a single virtual call, and read_rows() loads a whole
+// row-major window in one call, so pricing kernels touch memory at span or
+// window granularity instead of paying one dispatch per cell. The default
+// implementations fall back to per-cell read(); backings with
+// side-effecting reads (the shared memory tracer while capturing) keep that
+// fallback and report supports_bulk_read() == false so the router stays on
+// the exact per-cell pricing path. CostArray devirtualizes both into SIMD
+// clamp loops (support/simd.hpp); the message passing ViewWithDelta
+// forwards them to its private view.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +43,20 @@ class CostView {
                         std::span<std::int32_t> span_out) {
     for (std::int32_t x = x_lo; x <= x_hi; ++x) {
       span_out[static_cast<std::size_t>(x - x_lo)] = read(GridPoint{channel, x});
+    }
+  }
+
+  /// Bulk read of the window [c_lo, c_hi] x [x_lo, x_hi] (both inclusive),
+  /// row-major into `span_out` (size >= (c_hi-c_lo+1) * (x_hi-x_lo+1)),
+  /// clamped like read(). One virtual call loads a whole candidate window.
+  /// Default: one read_row() per row, preserving each backing's per-row
+  /// semantics (tracing views keep noting every cell).
+  virtual void read_rows(std::int32_t c_lo, std::int32_t c_hi, std::int32_t x_lo,
+                         std::int32_t x_hi, std::span<std::int32_t> span_out) {
+    const auto width = static_cast<std::size_t>(x_hi - x_lo + 1);
+    for (std::int32_t c = c_lo; c <= c_hi; ++c) {
+      read_row(c, x_lo, x_hi,
+               span_out.subspan(static_cast<std::size_t>(c - c_lo) * width, width));
     }
   }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "support/assert.hpp"
+#include "support/simd.hpp"
 
 namespace locus {
 
@@ -91,12 +92,24 @@ std::int64_t price(const Route& route, CostView& view, std::int32_t bend_penalty
 
 /// Reusable buffers for the prefix-sum engine. One instance per thread: the
 /// threaded routers price concurrently, and capacity persists across calls
-/// so steady-state pricing allocates nothing.
+/// so steady-state pricing allocates nothing. Everything after `win` is
+/// structure-of-arrays: per-channel rows of contiguous lanes the SIMD
+/// kernels (support/simd.hpp) stream over.
 struct PricingScratch {
-  std::vector<std::int64_t> pv;    ///< priced value per window cell (C x W)
+  std::vector<std::int32_t> win;   ///< clamped window values (C x W)
   std::vector<std::int64_t> rowp;  ///< per-channel prefix sums (C x (W+1))
-  std::vector<std::int64_t> colp;  ///< per-column prefix sums (W x (C+1))
-  std::vector<std::int32_t> rowbuf;  ///< read_row staging (W)
+  std::vector<std::int64_t> colt;  ///< transposed column prefix sums ((C+1) x W)
+  // Per-channel Z-candidate constants (C entries each): everything about a
+  // pair (c1, c2) that does not depend on the jog column folds into
+  // hconst[c1] + tconst[c2].
+  std::vector<std::int64_t> hconst, tconst;
+  std::vector<std::int32_t> hcells, tcells;  ///< entry-drop lengths, for stats
+  // Jog-sample tables, gathered once per window at the stride-sampled
+  // columns (m samples in enumeration order; rows padded to the BatchMin
+  // lane multiple so masked vector loads stay inside the allocation):
+  std::vector<std::int64_t> fwd;  ///< C rows: rowp[c][sample]
+  std::vector<std::int64_t> rev;  ///< C rows: -rowp[c][sample+1]
+  std::vector<std::int64_t> jog;  ///< C+1 rows: colt[ci][sample]
 };
 
 thread_local PricingScratch g_scratch;
@@ -105,55 +118,53 @@ thread_local PricingScratch g_scratch;
 /// O(1) as a sum of segment spans minus junction-cell corrections — the
 /// exact decomposition for_each_cell implies (each segment after the first
 /// skips its first cell, which is the previous segment's last).
+///
+/// The Z tail is evaluated in whole batches per channel pair: with the jog
+/// columns sampled at a fixed stride, a candidate's cost decomposes into a
+/// pair constant plus four SoA lanes indexed by the sample —
+///   head(c1)[k] + tail(c2)[k] + colt[hi+1][k] - colt[lo][k]
+/// — which simd::batch_argmin folds and minimizes in vector lanes while
+/// preserving the scalar tie-break (first candidate in enumeration order).
+/// All math is int64 addition, so SIMD/scalar and batch/per-candidate
+/// orders are bit-identical; only *independent* candidates are reordered.
 ExploreResult explore_bulk(const Pin& a, const Pin& b, CostView& view,
                            const ExplorerParams& params, const CandidateWindow& w) {
   const std::int32_t C = w.c_hi - w.c_lo + 1;
   const std::int32_t W = w.x_hi - w.x_lo + 1;
   const bool squared = params.congestion_power == 2;
+  const auto Wz = static_cast<std::size_t>(W);
 
   PricingScratch& s = g_scratch;
-  s.pv.resize(static_cast<std::size_t>(C) * W);
-  s.rowp.resize(static_cast<std::size_t>(C) * (W + 1));
-  s.colp.resize(static_cast<std::size_t>(W) * (C + 1));
-  s.rowbuf.resize(static_cast<std::size_t>(W));
+  s.win.resize(static_cast<std::size_t>(C) * Wz);
+  s.rowp.resize(static_cast<std::size_t>(C) * (Wz + 1));
+  s.colt.resize(static_cast<std::size_t>(C + 1) * Wz);
 
+  // Window load: one virtual call for the whole window, then one fused SIMD
+  // pass per row producing the row prefix sums and the next transposed
+  // column-prefix row (colt[ci][xi] = sum of priced rows 0..ci-1 at xi, row 0
+  // zero — W independent lanes per step). The priced values are never stored:
+  // pv[c][x] = rowp[c][x+1] - rowp[c][x] wherever one is needed.
+  view.read_rows(w.c_lo, w.c_hi, w.x_lo, w.x_hi, s.win);
+  std::fill(s.colt.begin(), s.colt.begin() + static_cast<std::ptrdiff_t>(Wz), 0);
   for (std::int32_t ci = 0; ci < C; ++ci) {
-    view.read_row(w.c_lo + ci, w.x_lo, w.x_hi, s.rowbuf);
-    std::int64_t* pv_row = s.pv.data() + static_cast<std::size_t>(ci) * W;
-    for (std::int32_t xi = 0; xi < W; ++xi) {
-      const std::int64_t v = s.rowbuf[static_cast<std::size_t>(xi)];
-      pv_row[xi] = squared ? v * v : v;
-    }
-  }
-  for (std::int32_t ci = 0; ci < C; ++ci) {
-    const std::int64_t* pv_row = s.pv.data() + static_cast<std::size_t>(ci) * W;
-    std::int64_t* rp = s.rowp.data() + static_cast<std::size_t>(ci) * (W + 1);
-    rp[0] = 0;
-    for (std::int32_t xi = 0; xi < W; ++xi) rp[xi + 1] = rp[xi] + pv_row[xi];
-  }
-  for (std::int32_t xi = 0; xi < W; ++xi) {
-    std::int64_t* cp = s.colp.data() + static_cast<std::size_t>(xi) * (C + 1);
-    cp[0] = 0;
-    for (std::int32_t ci = 0; ci < C; ++ci) {
-      cp[ci + 1] = cp[ci] + s.pv[static_cast<std::size_t>(ci) * W + xi];
-    }
+    simd::price_scan_add(s.win.data() + static_cast<std::size_t>(ci) * Wz, squared,
+                         s.rowp.data() + static_cast<std::size_t>(ci) * (Wz + 1),
+                         s.colt.data() + static_cast<std::size_t>(ci) * Wz,
+                         s.colt.data() + static_cast<std::size_t>(ci + 1) * Wz, Wz);
   }
 
   // O(1) lookups over the window (coordinates in grid space, inclusive).
   const auto pv_at = [&](std::int32_t c, std::int32_t x) {
-    return s.pv[static_cast<std::size_t>(c - w.c_lo) * W + (x - w.x_lo)];
-  };
-  const auto row_sum = [&](std::int32_t c, std::int32_t xa, std::int32_t xb) {
-    const auto [lo, hi] = std::minmax(xa, xb);
     const std::int64_t* rp =
-        s.rowp.data() + static_cast<std::size_t>(c - w.c_lo) * (W + 1);
-    return rp[hi - w.x_lo + 1] - rp[lo - w.x_lo];
+        s.rowp.data() + static_cast<std::size_t>(c - w.c_lo) * (Wz + 1);
+    const std::size_t xi = static_cast<std::size_t>(x - w.x_lo);
+    return rp[xi + 1] - rp[xi];
   };
   const auto col_sum = [&](std::int32_t x, std::int32_t ca, std::int32_t cb) {
     const auto [lo, hi] = std::minmax(ca, cb);
-    const std::int64_t* cp =
-        s.colp.data() + static_cast<std::size_t>(x - w.x_lo) * (C + 1);
-    return cp[hi - w.c_lo + 1] - cp[lo - w.c_lo];
+    const std::size_t xi = static_cast<std::size_t>(x - w.x_lo);
+    return s.colt[static_cast<std::size_t>(hi - w.c_lo + 1) * Wz + xi] -
+           s.colt[static_cast<std::size_t>(lo - w.c_lo) * Wz + xi];
   };
   const auto vdist = [](std::int32_t u, std::int32_t v) { return std::abs(u - v); };
 
@@ -163,58 +174,130 @@ ExploreResult explore_bulk(const Pin& a, const Pin& b, CostView& view,
   bool have_best = false;
   const std::int64_t bend = params.bend_penalty;
 
-  const auto consider = [&](std::int64_t cost, std::int32_t c1, std::int32_t c2,
-                            std::int32_t xj) {
-    ++best.stats.routes_evaluated;
-    if (!have_best || cost < best_cost) {
-      best_cost = cost;
-      best_c1 = c1;
-      best_c2 = c2;
-      best_xj = xj;
-      have_best = true;
-    }
-  };
-
-  // Single-channel candidates.
+  // Per-channel pass: evaluates the single-channel candidate for every c
+  // and precomputes the Z-pair constants. With pins at the window edges,
+  // the head run (a.x -> xj) takes the fwd lane when a is the left pin and
+  // the rev lane plus the full-row sum when a is the right pin (the row sum
+  // is constant per channel, so it folds into the pair constant); the tail
+  // run mirrors it. A Z candidate always turns at least 3 times (xj is
+  // strictly between the pin columns); only the entry drops are
+  // conditional, and each depends on one endpoint channel alone, so the
+  // whole bend term splits across hconst/tconst too.
+  const bool a_is_left = a.x <= b.x;
+  s.hconst.resize(static_cast<std::size_t>(C));
+  s.tconst.resize(static_cast<std::size_t>(C));
+  s.hcells.resize(static_cast<std::size_t>(C));
+  s.tcells.resize(static_cast<std::size_t>(C));
   for (std::int32_t c = w.c_lo; c <= w.c_hi; ++c) {
+    const auto ci = static_cast<std::size_t>(c - w.c_lo);
     const std::int32_t ea = entry_channel(a, c);
     const std::int32_t eb = entry_channel(b, c);
-    std::int64_t cost = col_sum(a.x, ea, c) + row_sum(c, a.x, b.x) - pv_at(c, a.x) +
-                        col_sum(b.x, c, eb) - pv_at(c, b.x);
+    const std::int64_t head = col_sum(a.x, ea, c) - pv_at(c, a.x);
+    const std::int64_t tail = col_sum(b.x, c, eb) - pv_at(c, b.x);
+    const std::int64_t row_total = s.rowp[ci * (Wz + 1) + Wz];
+
+    std::int64_t cost = head + row_total + tail;
     if (bend != 0) {
       const std::int32_t turns = (ea != c) + (a.x != b.x) + (eb != c);
       if (turns > 1) cost += bend * (turns - 1);
     }
     best.stats.cells_probed += (vdist(ea, c) + 1) + W + (vdist(eb, c) + 1) - 2;
-    consider(cost, c, c, 0);
+    ++best.stats.routes_evaluated;
+    if (!have_best || cost < best_cost) {
+      best_cost = cost;
+      best_c1 = c;
+      best_c2 = c;
+      best_xj = 0;
+      have_best = true;
+    }
+
+    s.hconst[ci] = head + (a_is_left ? 0 : row_total) + bend * (ea != c ? 1 : 0);
+    s.tconst[ci] = tail + (a_is_left ? row_total : 0) + bend * (2 + (eb != c ? 1 : 0));
+    s.hcells[ci] = vdist(ea, c);
+    s.tcells[ci] = vdist(eb, c);
   }
 
-  // Z candidates.
-  if (w.stride > 0) {
-    for (std::int32_t c1 = w.c_lo; c1 <= w.c_hi; ++c1) {
-      const std::int32_t ea = entry_channel(a, c1);
-      const std::int64_t head = col_sum(a.x, ea, c1) - pv_at(c1, a.x);
-      const std::int32_t head_cells = vdist(ea, c1);
-      for (std::int32_t c2 = w.c_lo; c2 <= w.c_hi; ++c2) {
-        if (c1 == c2) continue;  // equals the single-channel shape
-        const std::int32_t eb = entry_channel(b, c2);
-        const std::int64_t tail = col_sum(b.x, c2, eb) - pv_at(c2, b.x);
-        const std::int32_t jog_cells = vdist(c1, c2);
-        for (std::int32_t xj = w.x_lo + w.stride; xj < w.x_hi; xj += w.stride) {
-          if (xj == a.x || xj == b.x) continue;  // duplicates the single-channel shape
-          std::int64_t cost = head + row_sum(c1, a.x, xj) + col_sum(xj, c1, c2) -
-                              pv_at(c1, xj) + row_sum(c2, xj, b.x) - pv_at(c2, xj) +
-                              tail;
-          if (bend != 0) {
-            const std::int32_t turns =
-                (ea != c1) + (a.x != xj) + 1 + (xj != b.x) + (eb != c2);
-            if (turns > 1) cost += bend * (turns - 1);
-          }
-          best.stats.cells_probed += head_cells + vdist(a.x, xj) + jog_cells +
-                                     vdist(xj, b.x) + vdist(eb, c2) + 1;
-          consider(cost, c1, c2, xj);
-        }
+  // Z candidates, batched per channel pair. The sampled jog columns are
+  // xj = x_lo + (k+1)*stride for k in [0, m): all strictly inside
+  // (x_lo, x_hi), so they never collide with the pin columns (which sit at
+  // the window edges) and the scalar engine's duplicate-skip never fires.
+  const std::int32_t span = w.x_hi - w.x_lo;
+  const std::int32_t m = w.stride > 0 ? (span - 1) / w.stride : 0;
+  if (m > 0 && C >= 2) {
+    const auto mz = static_cast<std::size_t>(m);
+    const std::size_t mzp =
+        (mz + simd::BatchMin::kPad - 1) / simd::BatchMin::kPad * simd::BatchMin::kPad;
+    s.fwd.resize(static_cast<std::size_t>(C) * mzp);
+    s.rev.resize(static_cast<std::size_t>(C) * mzp);
+    s.jog.resize(static_cast<std::size_t>(C + 1) * mzp);
+
+    // Gather the strided samples into dense SoA lanes. For a channel c with
+    // window row rp = rowp[c] and sample column xi, the junction-corrected
+    // run sums collapse to plain prefix entries (pv[xi] = rp[xi+1] - rp[xi]):
+    //   fwd[c][k] = rp[xi+1] - pv[xi] = rp[xi]    (run x_lo -> xj, junction
+    //                                              cell folded out)
+    //   rev[c][k] = -(rp[xi] + pv[xi]) = -rp[xi+1] (run xj -> x_hi, minus
+    //                                              rp[W] which folds into the
+    //                                              pair constant)
+    for (std::int32_t ci = 0; ci < C; ++ci) {
+      const std::int64_t* rp = s.rowp.data() + static_cast<std::size_t>(ci) * (Wz + 1);
+      std::int64_t* f = s.fwd.data() + static_cast<std::size_t>(ci) * mzp;
+      std::int64_t* r = s.rev.data() + static_cast<std::size_t>(ci) * mzp;
+      for (std::int32_t k = 0; k < m; ++k) {
+        const std::int32_t xi = (k + 1) * w.stride;
+        f[k] = rp[xi];
+        r[k] = -rp[xi + 1];
       }
+    }
+    for (std::int32_t ci = 0; ci <= C; ++ci) {
+      const std::int64_t* ct = s.colt.data() + static_cast<std::size_t>(ci) * Wz;
+      std::int64_t* j = s.jog.data() + static_cast<std::size_t>(ci) * mzp;
+      for (std::int32_t k = 0; k < m; ++k) {
+        j[k] = ct[(k + 1) * w.stride];
+      }
+    }
+
+    // One fused pass: every pair's whole batch folds into running vector
+    // (min, index) lanes; flat candidate indices follow enumeration order
+    // (c1 asc, c2 asc, xj asc), so BatchMin's first-index tie-break is the
+    // scalar engine's tie-break.
+    const std::int64_t* hbase = a_is_left ? s.fwd.data() : s.rev.data();
+    const std::int64_t* tbase = a_is_left ? s.rev.data() : s.fwd.data();
+    simd::BatchMin bm;
+    std::int64_t flat = 0;
+    std::int64_t probe_cells = 0;  // sum over pairs of the per-sample cells
+    for (std::int32_t ci1 = 0; ci1 < C; ++ci1) {
+      const std::int64_t* hvec = hbase + static_cast<std::size_t>(ci1) * mzp;
+      const std::int64_t h = s.hconst[static_cast<std::size_t>(ci1)];
+      for (std::int32_t ci2 = 0; ci2 < C; ++ci2) {
+        if (ci1 == ci2) continue;  // equals the single-channel shape
+        const auto jlo = static_cast<std::size_t>(std::min(ci1, ci2));
+        const auto jhi = static_cast<std::size_t>(std::max(ci1, ci2)) + 1;
+        bm.fold(h + s.tconst[static_cast<std::size_t>(ci2)],
+                hvec, tbase + static_cast<std::size_t>(ci2) * mzp,
+                s.jog.data() + jhi * mzp, s.jog.data() + jlo * mzp, mz, flat);
+        flat += m;
+        probe_cells += s.hcells[static_cast<std::size_t>(ci1)] +
+                       s.tcells[static_cast<std::size_t>(ci2)] + vdist(ci1, ci2);
+      }
+    }
+    best.stats.routes_evaluated += flat;
+    best.stats.cells_probed +=
+        static_cast<std::int64_t>(m) * probe_cells + flat * (span + 1);
+
+    std::int64_t zmin = 0;
+    std::int64_t zidx = 0;
+    bm.resolve(&zmin, &zidx);
+    if (!have_best || zmin < best_cost) {
+      const std::int64_t pair_seq = zidx / m;
+      const auto k = static_cast<std::int32_t>(zidx % m);
+      const auto ci1 = static_cast<std::int32_t>(pair_seq / (C - 1));
+      const auto r = static_cast<std::int32_t>(pair_seq % (C - 1));
+      best_cost = zmin;
+      best_c1 = w.c_lo + ci1;
+      best_c2 = w.c_lo + (r < ci1 ? r : r + 1);
+      best_xj = w.x_lo + (k + 1) * w.stride;
+      have_best = true;
     }
   }
 

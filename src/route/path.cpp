@@ -6,20 +6,6 @@
 
 namespace locus {
 
-namespace {
-
-/// Steps from `a` toward `b` along the single differing axis.
-GridPoint step_toward(GridPoint a, GridPoint b) {
-  if (a.channel != b.channel) {
-    a.channel += (b.channel > a.channel) ? 1 : -1;
-  } else if (a.x != b.x) {
-    a.x += (b.x > a.x) ? 1 : -1;
-  }
-  return a;
-}
-
-}  // namespace
-
 void Route::append(Segment seg) {
   LOCUS_ASSERT_MSG(seg.from.channel == seg.to.channel || seg.from.x == seg.to.x,
                    "segment must be axis-aligned");
@@ -28,21 +14,6 @@ void Route::append(Segment seg) {
                      "segments must chain end-to-start");
   }
   segments_.push_back(seg);
-}
-
-void Route::for_each_cell(const std::function<void(GridPoint)>& fn) const {
-  for (std::size_t i = 0; i < segments_.size(); ++i) {
-    const Segment& seg = segments_[i];
-    GridPoint p = seg.from;
-    // The junction cell was already emitted as the previous segment's `to`.
-    bool skip_first = (i > 0);
-    for (;;) {
-      if (!skip_first) fn(p);
-      skip_first = false;
-      if (p == seg.to) break;
-      p = step_toward(p, seg.to);
-    }
-  }
 }
 
 std::int32_t Route::cell_count() const {
@@ -61,12 +32,75 @@ Rect Route::bbox() const {
 }
 
 std::vector<GridPoint> collect_unique_cells(const std::vector<Route>& routes) {
-  std::vector<GridPoint> cells;
+  // Interval-union sweep instead of push-all + sort + unique: each route is
+  // at most a handful of axis-aligned segments, so per channel there are
+  // only a few x-intervals. Merging those directly skips materializing (and
+  // sorting) every covered cell — the dominant cost for long wires.
+  struct Interval {
+    std::int32_t lo;
+    std::int32_t hi;
+  };
+  struct Scratch {
+    std::vector<std::vector<Interval>> buckets;  ///< per channel, kept empty
+    std::vector<std::int32_t> used;              ///< channels with intervals
+  };
+  thread_local Scratch s;
+
+  std::size_t bound = 0;  // cell-count upper bound (overlaps double-counted)
+  const auto add_interval = [&](std::int32_t c, std::int32_t lo, std::int32_t hi) {
+    const auto cz = static_cast<std::size_t>(c);
+    if (cz >= s.buckets.size()) s.buckets.resize(cz + 1);
+    std::vector<Interval>& b = s.buckets[cz];
+    if (b.empty()) s.used.push_back(c);
+    b.push_back(Interval{lo, hi});
+    bound += static_cast<std::size_t>(hi - lo + 1);
+  };
+
   for (const Route& r : routes) {
-    r.for_each_cell([&](GridPoint p) { cells.push_back(p); });
+    for (const Segment& seg : r.segments()) {
+      if (seg.horizontal()) {
+        const auto [lo, hi] = std::minmax(seg.from.x, seg.to.x);
+        add_interval(seg.from.channel, lo, hi);
+      } else {
+        const auto [clo, chi] = std::minmax(seg.from.channel, seg.to.channel);
+        for (std::int32_t c = clo; c <= chi; ++c) {
+          add_interval(c, seg.from.x, seg.from.x);
+        }
+      }
+    }
   }
-  std::sort(cells.begin(), cells.end());
-  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+
+  std::sort(s.used.begin(), s.used.end());
+  std::vector<GridPoint> cells;
+  cells.reserve(bound);
+  for (const std::int32_t c : s.used) {
+    std::vector<Interval>& b = s.buckets[static_cast<std::size_t>(c)];
+    // Insertion sort by lo: a channel rarely holds more than a few intervals.
+    for (std::size_t i = 1; i < b.size(); ++i) {
+      const Interval v = b[i];
+      std::size_t j = i;
+      while (j > 0 && b[j - 1].lo > v.lo) {
+        b[j] = b[j - 1];
+        --j;
+      }
+      b[j] = v;
+    }
+    // Sweep, coalescing overlapping or touching intervals, emitting each
+    // covered x exactly once in ascending order.
+    std::size_t i = 0;
+    while (i < b.size()) {
+      std::int32_t lo = b[i].lo;
+      std::int32_t hi = b[i].hi;
+      ++i;
+      while (i < b.size() && b[i].lo <= hi + 1) {
+        hi = std::max(hi, b[i].hi);
+        ++i;
+      }
+      for (std::int32_t x = lo; x <= hi; ++x) cells.push_back(GridPoint{c, x});
+    }
+    b.clear();
+  }
+  s.used.clear();
   return cells;
 }
 

@@ -5,7 +5,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "geom/point.hpp"
@@ -47,8 +46,24 @@ class Route {
   }
 
   /// Visits every covered cell exactly once in path order (junction cells
-  /// shared between consecutive segments are visited once).
-  void for_each_cell(const std::function<void(GridPoint)>& fn) const;
+  /// shared between consecutive segments are visited once). Templated so
+  /// the per-cell pricing and commit loops pay a direct call per cell
+  /// instead of a std::function dispatch.
+  template <typename Fn>
+  void for_each_cell(Fn&& fn) const {
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+      const Segment& seg = segments_[i];
+      GridPoint p = seg.from;
+      // The junction cell was already emitted as the previous segment's `to`.
+      bool skip_first = (i > 0);
+      for (;;) {
+        if (!skip_first) fn(p);
+        skip_first = false;
+        if (p == seg.to) break;
+        p = step_toward(p, seg.to);
+      }
+    }
+  }
 
   /// Number of distinct cells along the path (junctions counted once).
   std::int32_t cell_count() const;
@@ -57,6 +72,16 @@ class Route {
   Rect bbox() const;
 
  private:
+  /// Steps from `a` toward `b` along the single differing axis.
+  static GridPoint step_toward(GridPoint a, GridPoint b) {
+    if (a.channel != b.channel) {
+      a.channel += (b.channel > a.channel) ? 1 : -1;
+    } else if (a.x != b.x) {
+      a.x += (b.x > a.x) ? 1 : -1;
+    }
+    return a;
+  }
+
   std::vector<Segment> segments_;
 };
 

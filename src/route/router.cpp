@@ -79,9 +79,29 @@ WireRoute WireRouter::route_wire(const Wire& wire, CostView& view,
   out.cells = collect_unique_cells(out.connections);
 
   // Price the final (deduplicated) path at decision time: this is the
-  // wire's occupancy-factor contribution, and each read is a probe.
-  for (const GridPoint& p : out.cells) {
-    out.path_cost += view.read(p);
+  // wire's occupancy-factor contribution, and each read is a probe. Cells
+  // are sorted (channel, then x), so each channel's cells form contiguous
+  // runs priced with one bulk read per run; views with side-effecting reads
+  // keep the exact per-cell path.
+  if (view.supports_bulk_read()) {
+    thread_local std::vector<std::int32_t> run;
+    std::size_t i = 0;
+    while (i < out.cells.size()) {
+      std::size_t j = i + 1;
+      while (j < out.cells.size() &&
+             out.cells[j].channel == out.cells[i].channel &&
+             out.cells[j].x == out.cells[j - 1].x + 1) {
+        ++j;
+      }
+      run.resize(j - i);
+      view.read_row(out.cells[i].channel, out.cells[i].x, out.cells[j - 1].x, run);
+      for (std::size_t k = 0; k < run.size(); ++k) out.path_cost += run[k];
+      i = j;
+    }
+  } else {
+    for (const GridPoint& p : out.cells) {
+      out.path_cost += view.read(p);
+    }
   }
   stats.probes += static_cast<std::int64_t>(out.cells.size());
 

@@ -57,6 +57,14 @@ class TracingView final : public CostView {
       shared_.read_row(channel, x_lo, x_hi, span_out);
     }
   }
+  void read_rows(std::int32_t c_lo, std::int32_t c_hi, std::int32_t x_lo,
+                 std::int32_t x_hi, std::span<std::int32_t> span_out) override {
+    if (capture_) {
+      CostView::read_rows(c_lo, c_hi, x_lo, x_hi, span_out);  // notes each read
+    } else {
+      shared_.read_rows(c_lo, c_hi, x_lo, x_hi, span_out);
+    }
+  }
   bool supports_bulk_read() const override { return !capture_; }
 
   void add(GridPoint p, std::int32_t d) override {

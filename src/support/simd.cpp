@@ -1,0 +1,20 @@
+#include "support/simd.hpp"
+
+namespace locus::simd {
+
+namespace {
+// One process-wide switch shared by every per-TU kernel copy (the kernels
+// themselves are static inline and may be compiled with different ISA
+// flags; this flag must not be).
+bool g_force_scalar = false;
+}  // namespace
+
+void set_force_scalar(bool value) { g_force_scalar = value; }
+bool force_scalar() { return g_force_scalar; }
+
+// This TU is compiled with the same ISA flags as the explorer's kernels, so
+// its per-TU isa_name()/compiled_vector() copies describe the real engine.
+const char* active_isa() { return isa_name(); }
+bool active_vector() { return compiled_vector(); }
+
+}  // namespace locus::simd

@@ -1,0 +1,735 @@
+// Portable SIMD kernels for the candidate-pricing hot loop.
+//
+// Four data-parallel primitives (clamp, widen-and-price, prefix sum, row
+// add) plus one fused candidate-batch argmin cover everything the explorer's
+// structure-of-arrays pricing tail needs. Each kernel has a scalar
+// implementation and, when `LOCUS_SIMD_ENABLED` is defined (the LOCUS_SIMD
+// CMake option) and the compiler targets a known ISA, a vector
+// implementation: AVX2 (8x i32 / 4x i64 lanes), SSE2 (4x i32 / 2x i64), or
+// NEON (4x i32 / 2x i64). All kernels are integer-exact — lanes compute the
+// same i64 additions the scalar loop would, only reordered across
+// *independent* elements, never reassociated within one sum — so vector and
+// scalar paths are bit-identical by construction (tests/test_simd.cpp and
+// the ExplorerProperty matrix enforce it).
+//
+// Kernels are `static inline`: every translation unit compiles its own copy
+// with its *own* ISA flags (CMake raises -march only on the files that
+// include this header), which keeps mixed-ISA builds ODR-clean. The
+// force-scalar switch lives in simd.cpp with external linkage so one flag
+// governs all copies — bench binaries and tests flip it to time/compare the
+// scalar fallback head-to-head inside a single process.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(LOCUS_SIMD_ENABLED)
+#if defined(__AVX2__)
+#define LOCUS_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(__SSE2__) || (defined(__x86_64__) && !defined(__AVX2__))
+#define LOCUS_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+#define LOCUS_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+#endif
+
+namespace locus::simd {
+
+/// Bench/test hook: when true, every kernel takes its scalar path. Global
+/// (not thread-local): flip it only from single-threaded setup code, as the
+/// bench and test harnesses do. Defined in simd.cpp so all per-TU kernel
+/// copies share one switch.
+void set_force_scalar(bool value);
+bool force_scalar();
+
+/// ISA of the kernels in the hot pricing TUs: simd.cpp is compiled with the
+/// same LOCUS_SIMD_ARCH flags as the explorer (see src/support/CMakeLists),
+/// and these have external linkage, so benches and tests report the routing
+/// engine's actual ISA rather than their own translation unit's.
+const char* active_isa();
+bool active_vector();
+
+/// Name of the instruction set this translation unit's kernels use when the
+/// scalar switch is off: "avx2", "sse2", "neon" or "scalar".
+static inline const char* isa_name() {
+#if defined(LOCUS_SIMD_AVX2)
+  return "avx2";
+#elif defined(LOCUS_SIMD_SSE2)
+  return "sse2";
+#elif defined(LOCUS_SIMD_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+/// True when this TU compiled a vector path (regardless of the runtime
+/// force-scalar switch).
+static inline bool compiled_vector() {
+#if defined(LOCUS_SIMD_AVX2) || defined(LOCUS_SIMD_SSE2) || defined(LOCUS_SIMD_NEON)
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace detail {
+
+static inline void clamp_nonneg_scalar(const std::int32_t* in, std::int32_t* out,
+                                       std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = in[i] < 0 ? 0 : in[i];
+  }
+}
+
+static inline void widen_price_scalar(const std::int32_t* in, std::int64_t* pv,
+                                      std::size_t n, bool squared) {
+  if (squared) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int64_t v = in[i];
+      pv[i] = v * v;
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) pv[i] = in[i];
+  }
+}
+
+static inline void prefix_sum_scalar(const std::int64_t* v, std::int64_t* prefix,
+                                     std::size_t n) {
+  std::int64_t acc = 0;
+  prefix[0] = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += v[i];
+    prefix[i + 1] = acc;
+  }
+}
+
+static inline void add_rows_scalar(const std::int64_t* a, const std::int64_t* b,
+                                   std::int64_t* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+static inline std::size_t batch_argmin_scalar(std::int64_t base, const std::int64_t* h,
+                                              const std::int64_t* t,
+                                              const std::int64_t* jhi,
+                                              const std::int64_t* jlo, std::size_t n,
+                                              std::int64_t* min_out) {
+  std::int64_t best = base + h[0] + t[0] + jhi[0] - jlo[0];
+  std::size_t best_k = 0;
+  for (std::size_t k = 1; k < n; ++k) {
+    const std::int64_t c = base + h[k] + t[k] + jhi[k] - jlo[k];
+    if (c < best) {
+      best = c;
+      best_k = k;
+    }
+  }
+  *min_out = best;
+  return best_k;
+}
+
+}  // namespace detail
+
+/// out[i] = max(in[i], 0). The routing-decision clamp: drifted message
+/// passing views can hold transiently negative cells, and route costs feed
+/// a minimization (see grid/cost_array.hpp).
+static inline void clamp_nonneg(const std::int32_t* in, std::int32_t* out,
+                                std::size_t n) {
+#if defined(LOCUS_SIMD_AVX2)
+  if (!force_scalar()) {
+    const __m256i zero = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      const __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                          _mm256_max_epi32(v, zero));
+    }
+    detail::clamp_nonneg_scalar(in + i, out + i, n - i);
+    return;
+  }
+#elif defined(LOCUS_SIMD_SSE2)
+  if (!force_scalar()) {
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+      // max(v, 0) without SSE4.1: clear lanes whose sign bit is set.
+      const __m128i keep = _mm_srai_epi32(v, 31);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), _mm_andnot_si128(keep, v));
+    }
+    detail::clamp_nonneg_scalar(in + i, out + i, n - i);
+    return;
+  }
+#elif defined(LOCUS_SIMD_NEON)
+  if (!force_scalar()) {
+    const int32x4_t zero = vdupq_n_s32(0);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      vst1q_s32(out + i, vmaxq_s32(vld1q_s32(in + i), zero));
+    }
+    detail::clamp_nonneg_scalar(in + i, out + i, n - i);
+    return;
+  }
+#endif
+  detail::clamp_nonneg_scalar(in, out, n);
+}
+
+/// pv[i] = (i64)in[i], or (i64)in[i] * in[i] when `squared` (the
+/// congestion_power == 2 price). Inputs are already clamped to [0, 2^31),
+/// so the squared product is exact in 64 bits.
+static inline void widen_price(const std::int32_t* in, std::int64_t* pv,
+                               std::size_t n, bool squared) {
+#if defined(LOCUS_SIMD_AVX2)
+  if (!force_scalar()) {
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+      __m256i w = _mm256_cvtepi32_epi64(v);
+      if (squared) {
+        // mul_epi32 multiplies the sign-extended low 32 bits of each 64-bit
+        // lane — exactly v*v for the clamped non-negative inputs.
+        w = _mm256_mul_epi32(w, w);
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(pv + i), w);
+    }
+    detail::widen_price_scalar(in + i, pv + i, n - i, squared);
+    return;
+  }
+#elif defined(LOCUS_SIMD_SSE2)
+  if (!force_scalar()) {
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+      if (squared) {
+        // Unsigned 32x32->64 on even lanes; odd lanes via a 32-bit shift.
+        const __m128i even = _mm_mul_epu32(v, v);
+        const __m128i vs = _mm_srli_epi64(v, 32);
+        const __m128i odd = _mm_mul_epu32(vs, vs);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(pv + i),
+                         _mm_unpacklo_epi64(even, odd));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(pv + i + 2),
+                         _mm_unpackhi_epi64(even, odd));
+      } else {
+        const __m128i sign = _mm_srai_epi32(v, 31);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(pv + i),
+                         _mm_unpacklo_epi32(v, sign));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(pv + i + 2),
+                         _mm_unpackhi_epi32(v, sign));
+      }
+    }
+    detail::widen_price_scalar(in + i, pv + i, n - i, squared);
+    return;
+  }
+#elif defined(LOCUS_SIMD_NEON)
+  if (!force_scalar()) {
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const int32x4_t v = vld1q_s32(in + i);
+      const int32x2_t lo = vget_low_s32(v);
+      const int32x2_t hi = vget_high_s32(v);
+      if (squared) {
+        vst1q_s64(pv + i, vmull_s32(lo, lo));
+        vst1q_s64(pv + i + 2, vmull_s32(hi, hi));
+      } else {
+        vst1q_s64(pv + i, vmovl_s32(lo));
+        vst1q_s64(pv + i + 2, vmovl_s32(hi));
+      }
+    }
+    detail::widen_price_scalar(in + i, pv + i, n - i, squared);
+    return;
+  }
+#endif
+  detail::widen_price_scalar(in, pv, n, squared);
+}
+
+/// prefix[0] = 0; prefix[i+1] = prefix[i] + v[i]. In-register inclusive
+/// scan (shift-and-add) plus a broadcast carry between blocks; the adds are
+/// the same i64 additions in the same order as the scalar loop, so the sums
+/// are identical (integer math — no reassociation rounding exists).
+static inline void prefix_sum(const std::int64_t* v, std::int64_t* prefix,
+                              std::size_t n) {
+#if defined(LOCUS_SIMD_AVX2)
+  if (!force_scalar()) {
+    prefix[0] = 0;
+    const __m256i zero = _mm256_setzero_si256();
+    __m256i carry = zero;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+      // x += (x << one lane): [a, b, c, d] + [0, a, b, c]
+      __m256i t = _mm256_permute4x64_epi64(x, 0b10010000);
+      t = _mm256_blend_epi32(t, zero, 0b00000011);
+      x = _mm256_add_epi64(x, t);
+      // x += (x << two lanes): [a, a+b, b+c, c+d] + [0, 0, a, a+b]
+      t = _mm256_permute4x64_epi64(x, 0b01000000);
+      t = _mm256_blend_epi32(t, zero, 0b00001111);
+      x = _mm256_add_epi64(x, t);
+      x = _mm256_add_epi64(x, carry);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(prefix + i + 1), x);
+      carry = _mm256_permute4x64_epi64(x, 0b11111111);
+    }
+    std::int64_t acc = prefix[i];
+    for (; i < n; ++i) {
+      acc += v[i];
+      prefix[i + 1] = acc;
+    }
+    return;
+  }
+#elif defined(LOCUS_SIMD_SSE2)
+  if (!force_scalar()) {
+    prefix[0] = 0;
+    __m128i carry = _mm_setzero_si128();
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+      __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i));
+      x = _mm_add_epi64(x, _mm_slli_si128(x, 8));  // [a, a+b]
+      x = _mm_add_epi64(x, carry);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(prefix + i + 1), x);
+      carry = _mm_shuffle_epi32(x, _MM_SHUFFLE(3, 2, 3, 2));
+    }
+    std::int64_t acc = prefix[i];
+    for (; i < n; ++i) {
+      acc += v[i];
+      prefix[i + 1] = acc;
+    }
+    return;
+  }
+#elif defined(LOCUS_SIMD_NEON)
+  if (!force_scalar()) {
+    prefix[0] = 0;
+    const int64x2_t zero = vdupq_n_s64(0);
+    int64x2_t carry = zero;
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+      int64x2_t x = vld1q_s64(v + i);
+      x = vaddq_s64(x, vextq_s64(zero, x, 1));  // [a, a+b]
+      x = vaddq_s64(x, carry);
+      vst1q_s64(prefix + i + 1, x);
+      carry = vdupq_laneq_s64(x, 1);
+    }
+    std::int64_t acc = prefix[i];
+    for (; i < n; ++i) {
+      acc += v[i];
+      prefix[i + 1] = acc;
+    }
+    return;
+  }
+#endif
+  detail::prefix_sum_scalar(v, prefix, n);
+}
+
+/// out[i] = a[i] + b[i]. Builds the transposed column prefix sums one
+/// channel row at a time (out may alias neither input's tail; the explorer
+/// always writes a fresh row).
+static inline void add_rows(const std::int64_t* a, const std::int64_t* b,
+                            std::int64_t* out, std::size_t n) {
+#if defined(LOCUS_SIMD_AVX2)
+  if (!force_scalar()) {
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      const __m256i y = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                          _mm256_add_epi64(x, y));
+    }
+    detail::add_rows_scalar(a + i, b + i, out + i, n - i);
+    return;
+  }
+#elif defined(LOCUS_SIMD_SSE2)
+  if (!force_scalar()) {
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+      const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+      const __m128i y = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), _mm_add_epi64(x, y));
+    }
+    detail::add_rows_scalar(a + i, b + i, out + i, n - i);
+    return;
+  }
+#elif defined(LOCUS_SIMD_NEON)
+  if (!force_scalar()) {
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+      vst1q_s64(out + i, vaddq_s64(vld1q_s64(a + i), vld1q_s64(b + i)));
+    }
+    detail::add_rows_scalar(a + i, b + i, out + i, n - i);
+    return;
+  }
+#endif
+  detail::add_rows_scalar(a, b, out, n);
+}
+
+/// Fused per-row window build — one pass instead of three. With
+/// p(i) = price(in[i]) (widened, optionally squared):
+///   prefix[0]   = 0; prefix[i+1] = prefix[i] + p(i)
+///   colt_out[i] = colt_in[i] + p(i)       (next column-prefix row)
+/// The priced values themselves are never materialized: a consumer can
+/// recover p(i) = prefix[i+1] - prefix[i]. colt_out must not alias
+/// in/prefix and may not overlap colt_in's tail; the explorer always
+/// writes a fresh row. Arithmetic is the identical i64 addition sequence
+/// as the separate widen_price/prefix_sum/add_rows kernels.
+static inline void price_scan_add(const std::int32_t* in, bool squared,
+                                  std::int64_t* prefix, const std::int64_t* colt_in,
+                                  std::int64_t* colt_out, std::size_t n) {
+#if defined(LOCUS_SIMD_AVX2)
+  if (!force_scalar()) {
+    prefix[0] = 0;
+    const __m256i zero = _mm256_setzero_si256();
+    __m256i carry = zero;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+      __m256i p = _mm256_cvtepi32_epi64(v);
+      if (squared) p = _mm256_mul_epi32(p, p);
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(colt_out + i),
+          _mm256_add_epi64(
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(colt_in + i)), p));
+      __m256i x = p;
+      __m256i t = _mm256_permute4x64_epi64(x, 0b10010000);
+      t = _mm256_blend_epi32(t, zero, 0b00000011);
+      x = _mm256_add_epi64(x, t);
+      t = _mm256_permute4x64_epi64(x, 0b01000000);
+      t = _mm256_blend_epi32(t, zero, 0b00001111);
+      x = _mm256_add_epi64(x, t);
+      x = _mm256_add_epi64(x, carry);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(prefix + i + 1), x);
+      carry = _mm256_permute4x64_epi64(x, 0b11111111);
+    }
+    std::int64_t acc = prefix[i];
+    for (; i < n; ++i) {
+      const std::int64_t v = in[i];
+      const std::int64_t p = squared ? v * v : v;
+      colt_out[i] = colt_in[i] + p;
+      acc += p;
+      prefix[i + 1] = acc;
+    }
+    return;
+  }
+#elif defined(LOCUS_SIMD_SSE2)
+  if (!force_scalar()) {
+    prefix[0] = 0;
+    __m128i carry = _mm_setzero_si128();
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+      __m128i plo;
+      __m128i phi;
+      if (squared) {
+        const __m128i even = _mm_mul_epu32(v, v);
+        const __m128i vs = _mm_srli_epi64(v, 32);
+        const __m128i odd = _mm_mul_epu32(vs, vs);
+        plo = _mm_unpacklo_epi64(even, odd);
+        phi = _mm_unpackhi_epi64(even, odd);
+      } else {
+        const __m128i sign = _mm_srai_epi32(v, 31);
+        plo = _mm_unpacklo_epi32(v, sign);
+        phi = _mm_unpackhi_epi32(v, sign);
+      }
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(colt_out + i),
+          _mm_add_epi64(
+              _mm_loadu_si128(reinterpret_cast<const __m128i*>(colt_in + i)), plo));
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(colt_out + i + 2),
+          _mm_add_epi64(
+              _mm_loadu_si128(reinterpret_cast<const __m128i*>(colt_in + i + 2)),
+              phi));
+      __m128i x = _mm_add_epi64(plo, _mm_slli_si128(plo, 8));
+      x = _mm_add_epi64(x, carry);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(prefix + i + 1), x);
+      carry = _mm_shuffle_epi32(x, _MM_SHUFFLE(3, 2, 3, 2));
+      x = _mm_add_epi64(phi, _mm_slli_si128(phi, 8));
+      x = _mm_add_epi64(x, carry);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(prefix + i + 3), x);
+      carry = _mm_shuffle_epi32(x, _MM_SHUFFLE(3, 2, 3, 2));
+    }
+    std::int64_t acc = prefix[i];
+    for (; i < n; ++i) {
+      const std::int64_t v = in[i];
+      const std::int64_t p = squared ? v * v : v;
+      colt_out[i] = colt_in[i] + p;
+      acc += p;
+      prefix[i + 1] = acc;
+    }
+    return;
+  }
+#elif defined(LOCUS_SIMD_NEON)
+  if (!force_scalar()) {
+    prefix[0] = 0;
+    const int64x2_t zero = vdupq_n_s64(0);
+    int64x2_t carry = zero;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const int32x4_t v = vld1q_s32(in + i);
+      const int32x2_t lo = vget_low_s32(v);
+      const int32x2_t hi = vget_high_s32(v);
+      const int64x2_t plo = squared ? vmull_s32(lo, lo) : vmovl_s32(lo);
+      const int64x2_t phi = squared ? vmull_s32(hi, hi) : vmovl_s32(hi);
+      vst1q_s64(colt_out + i, vaddq_s64(vld1q_s64(colt_in + i), plo));
+      vst1q_s64(colt_out + i + 2, vaddq_s64(vld1q_s64(colt_in + i + 2), phi));
+      int64x2_t x = vaddq_s64(plo, vextq_s64(zero, plo, 1));
+      x = vaddq_s64(x, carry);
+      vst1q_s64(prefix + i + 1, x);
+      carry = vdupq_laneq_s64(x, 1);
+      x = vaddq_s64(phi, vextq_s64(zero, phi, 1));
+      x = vaddq_s64(x, carry);
+      vst1q_s64(prefix + i + 3, x);
+      carry = vdupq_laneq_s64(x, 1);
+    }
+    std::int64_t acc = prefix[i];
+    for (; i < n; ++i) {
+      const std::int64_t v = in[i];
+      const std::int64_t p = squared ? v * v : v;
+      colt_out[i] = colt_in[i] + p;
+      acc += p;
+      prefix[i + 1] = acc;
+    }
+    return;
+  }
+#endif
+  std::int64_t acc = 0;
+  prefix[0] = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t v = in[i];
+    const std::int64_t p = squared ? v * v : v;
+    colt_out[i] = colt_in[i] + p;
+    acc += p;
+    prefix[i + 1] = acc;
+  }
+}
+
+/// The fused candidate batch: over one channel pair's jog samples,
+/// cost[k] = base + h[k] + t[k] + jhi[k] - jlo[k]; returns the *first*
+/// index attaining the minimum (the explorer's tie-break is first in
+/// enumeration order, and samples are laid out in enumeration order) and
+/// writes the minimum to *min_out. Requires n >= 1.
+///
+/// The vector path keeps a running per-lane (min, index) and resolves
+/// cross-lane ties toward the smaller index; within a lane the strict
+/// compare keeps the earliest. SSE2 lacks a 64-bit compare, so the x86
+/// baseline without AVX2 stays scalar here.
+static inline std::size_t batch_argmin(std::int64_t base, const std::int64_t* h,
+                                       const std::int64_t* t, const std::int64_t* jhi,
+                                       const std::int64_t* jlo, std::size_t n,
+                                       std::int64_t* min_out) {
+#if defined(LOCUS_SIMD_AVX2)
+  if (!force_scalar() && n >= 8) {
+    const __m256i vbase = _mm256_set1_epi64x(base);
+    __m256i best_v = _mm256_set1_epi64x(INT64_MAX);
+    __m256i best_i = _mm256_setzero_si256();
+    __m256i idx = _mm256_set_epi64x(3, 2, 1, 0);
+    const __m256i four = _mm256_set1_epi64x(4);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      __m256i c = _mm256_add_epi64(
+          vbase, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(h + i)));
+      c = _mm256_add_epi64(
+          c, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(t + i)));
+      c = _mm256_add_epi64(
+          c, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(jhi + i)));
+      c = _mm256_sub_epi64(
+          c, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(jlo + i)));
+      const __m256i lt = _mm256_cmpgt_epi64(best_v, c);  // c < best_v
+      best_v = _mm256_blendv_epi8(best_v, c, lt);
+      best_i = _mm256_blendv_epi8(best_i, idx, lt);
+      idx = _mm256_add_epi64(idx, four);
+    }
+    alignas(32) std::int64_t vals[4];
+    alignas(32) std::int64_t inds[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(vals), best_v);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(inds), best_i);
+    std::int64_t best = vals[0];
+    std::int64_t best_k = inds[0];
+    for (int lane = 1; lane < 4; ++lane) {
+      if (vals[lane] < best || (vals[lane] == best && inds[lane] < best_k)) {
+        best = vals[lane];
+        best_k = inds[lane];
+      }
+    }
+    for (; i < n; ++i) {
+      const std::int64_t c = base + h[i] + t[i] + jhi[i] - jlo[i];
+      if (c < best) {
+        best = c;
+        best_k = static_cast<std::int64_t>(i);
+      }
+    }
+    *min_out = best;
+    return static_cast<std::size_t>(best_k);
+  }
+#elif defined(LOCUS_SIMD_NEON)
+  if (!force_scalar() && n >= 4) {
+    const int64x2_t vbase = vdupq_n_s64(base);
+    int64x2_t best_v = vdupq_n_s64(INT64_MAX);
+    int64x2_t best_i = vdupq_n_s64(0);
+    int64x2_t idx = {0, 1};
+    const int64x2_t two = vdupq_n_s64(2);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+      int64x2_t c = vaddq_s64(vbase, vld1q_s64(h + i));
+      c = vaddq_s64(c, vld1q_s64(t + i));
+      c = vaddq_s64(c, vld1q_s64(jhi + i));
+      c = vsubq_s64(c, vld1q_s64(jlo + i));
+      const uint64x2_t lt = vcgtq_s64(best_v, c);  // c < best_v
+      best_v = vbslq_s64(lt, c, best_v);
+      best_i = vbslq_s64(lt, idx, best_i);
+      idx = vaddq_s64(idx, two);
+    }
+    std::int64_t vals[2] = {vgetq_lane_s64(best_v, 0), vgetq_lane_s64(best_v, 1)};
+    std::int64_t inds[2] = {vgetq_lane_s64(best_i, 0), vgetq_lane_s64(best_i, 1)};
+    std::int64_t best = vals[0];
+    std::int64_t best_k = inds[0];
+    if (vals[1] < best || (vals[1] == best && inds[1] < best_k)) {
+      best = vals[1];
+      best_k = inds[1];
+    }
+    for (; i < n; ++i) {
+      const std::int64_t c = base + h[i] + t[i] + jhi[i] - jlo[i];
+      if (c < best) {
+        best = c;
+        best_k = static_cast<std::int64_t>(i);
+      }
+    }
+    *min_out = best;
+    return static_cast<std::size_t>(best_k);
+  }
+#endif
+  return detail::batch_argmin_scalar(base, h, t, jhi, jlo, n, min_out);
+}
+
+/// Running minimum over many candidate batches, carrying a global index.
+/// fold() prices one batch — cost[k] = base + h[k] + t[k] + jhi[k] - jlo[k]
+/// for k in [0, n) with global candidate indices idx0 + k — into vector
+/// lanes; resolve() returns the minimum and the FIRST (smallest) global
+/// index attaining it. Because idx0 increases monotonically across fold()
+/// calls in enumeration order, a strict per-lane compare keeps the earliest
+/// candidate per lane and the cross-lane resolve picks the smallest index
+/// among tied lanes — the same tie-break as one scalar first-wins scan.
+///
+/// The vector path reads whole vectors, up to kPad - 1 elements past n
+/// (lanes beyond n are masked to INT64_MAX before comparing): callers must
+/// pad each array's allocation to a multiple of kPad. Padding contents are
+/// never observed.
+class BatchMin {
+ public:
+#if defined(LOCUS_SIMD_AVX2)
+  static constexpr std::size_t kPad = 4;
+#elif defined(LOCUS_SIMD_NEON)
+  static constexpr std::size_t kPad = 2;
+#else
+  static constexpr std::size_t kPad = 1;
+#endif
+
+  void fold(std::int64_t base, const std::int64_t* h, const std::int64_t* t,
+            const std::int64_t* jhi, const std::int64_t* jlo, std::size_t n,
+            std::int64_t idx0) {
+#if defined(LOCUS_SIMD_AVX2)
+    if (!force_scalar()) {
+      const __m256i vbase = _mm256_set1_epi64x(base);
+      const __m256i maxv = _mm256_set1_epi64x(INT64_MAX);
+      const __m256i four = _mm256_set1_epi64x(4);
+      __m256i idx =
+          _mm256_add_epi64(_mm256_set1_epi64x(idx0), _mm256_set_epi64x(3, 2, 1, 0));
+      for (std::size_t i = 0; i < n; i += 4) {
+        __m256i c = _mm256_add_epi64(
+            vbase, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(h + i)));
+        c = _mm256_add_epi64(
+            c, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(t + i)));
+        c = _mm256_add_epi64(
+            c, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(jhi + i)));
+        c = _mm256_sub_epi64(
+            c, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(jlo + i)));
+        if (i + 4 > n) c = _mm256_blendv_epi8(maxv, c, tail_mask(n - i));
+        const __m256i lt = _mm256_cmpgt_epi64(best_v_, c);  // c < best_v_
+        best_v_ = _mm256_blendv_epi8(best_v_, c, lt);
+        best_i_ = _mm256_blendv_epi8(best_i_, idx, lt);
+        idx = _mm256_add_epi64(idx, four);
+      }
+      return;
+    }
+#elif defined(LOCUS_SIMD_NEON)
+    if (!force_scalar()) {
+      const int64x2_t vbase = vdupq_n_s64(base);
+      const int64x2_t maxv = vdupq_n_s64(INT64_MAX);
+      const int64x2_t two = vdupq_n_s64(2);
+      int64x2_t idx = vaddq_s64(vdupq_n_s64(idx0), int64x2_t{0, 1});
+      for (std::size_t i = 0; i < n; i += 2) {
+        int64x2_t c = vaddq_s64(vbase, vld1q_s64(h + i));
+        c = vaddq_s64(c, vld1q_s64(t + i));
+        c = vaddq_s64(c, vld1q_s64(jhi + i));
+        c = vsubq_s64(c, vld1q_s64(jlo + i));
+        if (i + 2 > n) c = vbslq_s64(tail_mask(n - i), c, maxv);
+        const uint64x2_t lt = vcgtq_s64(best_v_, c);  // c < best_v_
+        best_v_ = vbslq_s64(lt, c, best_v_);
+        best_i_ = vbslq_s64(lt, idx, best_i_);
+        idx = vaddq_s64(idx, two);
+      }
+      return;
+    }
+#endif
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::int64_t c = base + h[k] + t[k] + jhi[k] - jlo[k];
+      if (c < sbest_) {
+        sbest_ = c;
+        sidx_ = idx0 + static_cast<std::int64_t>(k);
+      }
+    }
+  }
+
+  /// Minimum cost and its first global index over everything folded so far.
+  /// Meaningful only after at least one fold() of n >= 1.
+  void resolve(std::int64_t* min_out, std::int64_t* idx_out) const {
+    std::int64_t best = sbest_;
+    std::int64_t best_k = sidx_;
+#if defined(LOCUS_SIMD_AVX2)
+    alignas(32) std::int64_t vals[4];
+    alignas(32) std::int64_t inds[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(vals), best_v_);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(inds), best_i_);
+    for (int lane = 0; lane < 4; ++lane) {
+      if (vals[lane] < best || (vals[lane] == best && inds[lane] < best_k)) {
+        best = vals[lane];
+        best_k = inds[lane];
+      }
+    }
+#elif defined(LOCUS_SIMD_NEON)
+    const std::int64_t vals[2] = {vgetq_lane_s64(best_v_, 0),
+                                  vgetq_lane_s64(best_v_, 1)};
+    const std::int64_t inds[2] = {vgetq_lane_s64(best_i_, 0),
+                                  vgetq_lane_s64(best_i_, 1)};
+    for (int lane = 0; lane < 2; ++lane) {
+      if (vals[lane] < best || (vals[lane] == best && inds[lane] < best_k)) {
+        best = vals[lane];
+        best_k = inds[lane];
+      }
+    }
+#endif
+    *min_out = best;
+    *idx_out = best_k;
+  }
+
+ private:
+#if defined(LOCUS_SIMD_AVX2)
+  /// Selects the first `r` (1..3) lanes; the rest fall through to +inf.
+  static __m256i tail_mask(std::size_t r) {
+    alignas(32) static const std::int64_t kMask[8] = {-1, -1, -1, -1, 0, 0, 0, 0};
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(kMask + (4 - r)));
+  }
+  __m256i best_v_ = _mm256_set1_epi64x(INT64_MAX);
+  __m256i best_i_ = _mm256_setzero_si256();
+#elif defined(LOCUS_SIMD_NEON)
+  static uint64x2_t tail_mask(std::size_t r) {
+    static const std::uint64_t kMask[4] = {~0ULL, ~0ULL, 0, 0};
+    return vld1q_u64(kMask + (2 - r));
+  }
+  int64x2_t best_v_ = vdupq_n_s64(INT64_MAX);
+  int64x2_t best_i_ = vdupq_n_s64(0);
+#endif
+  // Scalar state: the fallback path, and the merge base for resolve().
+  std::int64_t sbest_ = INT64_MAX;
+  std::int64_t sidx_ = 0;
+};
+
+}  // namespace locus::simd

@@ -2,8 +2,14 @@
 // invariants that tie the pieces together.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "circuit/generator.hpp"
+#include "geom/partition.hpp"
 #include "grid/cost_array.hpp"
+#include "grid/delta_array.hpp"
+#include "msg/view.hpp"
 #include "route/explorer.hpp"
 #include "route/quality.hpp"
 #include "route/router.hpp"
@@ -11,6 +17,7 @@
 #include "sim/network.hpp"
 #include "sim/topology.hpp"
 #include "support/rng.hpp"
+#include "support/simd.hpp"
 #include "test_util.hpp"
 
 namespace locus {
@@ -82,12 +89,37 @@ TEST(ExplorerProperty, NeverWorseThanDirectRoute) {
   }
 }
 
-/// The two pricing engines are interchangeable: across random landscapes,
-/// pin placements, and parameter settings — including drifted views holding
-/// negative raw values, where read() clamps at zero — the prefix-sum engine
-/// returns the same cost, the same route, and the same work counters as the
-/// per-cell reference engine, bit for bit.
-TEST(ExplorerProperty, BulkPricingMatchesReferenceBitForBit) {
+/// Read-only CostView wrapper without bulk-read support: forces
+/// explore_connection onto the per-cell reference fallback, like the SHM
+/// router's tracing view does while capturing (shm/shm_router.cpp).
+class NonBulkView final : public CostView {
+ public:
+  explicit NonBulkView(CostArray& a) : array_(a) {}
+  std::int32_t read(GridPoint p) override { return array_.read(p); }
+  void add(GridPoint p, std::int32_t d) override { array_.add(p, d); }
+
+ private:
+  CostArray& array_;
+};
+
+/// The pricing engines are interchangeable across the full deployment
+/// matrix: {vector kernels, forced-scalar kernels} x {plain CostArray,
+/// drifted ViewWithDelta (the message passing node view, holding negative
+/// raw values that read() clamps at zero), non-bulk fallback view}. Every
+/// combination must return the same cost, the same route, and the same work
+/// counters as the per-cell reference engine, bit for bit.
+class BulkVsReferenceMatrix : public ::testing::TestWithParam<bool> {
+ public:
+  BulkVsReferenceMatrix() : prev_(simd::force_scalar()) {
+    simd::set_force_scalar(GetParam());
+  }
+  ~BulkVsReferenceMatrix() override { simd::set_force_scalar(prev_); }
+
+ private:
+  bool prev_;
+};
+
+TEST_P(BulkVsReferenceMatrix, BulkPricingMatchesReferenceBitForBit) {
   Rng rng(20'260'806);
   int tuples = 0;
   for (int trial = 0; trial < 60; ++trial) {
@@ -105,6 +137,10 @@ TEST(ExplorerProperty, BulkPricingMatchesReferenceBitForBit) {
         cost.set(p, -static_cast<std::int32_t>(1 + rng.bounded(3)));
       }
     }
+    Partition part(channels, grids, MeshShape{1, 1});
+    DeltaArray delta(part);
+    ViewWithDelta node_view(cost, delta);
+    NonBulkView fallback(cost);
     ExplorerParams params;
     params.channel_slack = static_cast<std::int32_t>(rng.bounded(3));
     params.jog_samples = 1 + static_cast<std::int32_t>(rng.bounded(16));
@@ -115,18 +151,68 @@ TEST(ExplorerProperty, BulkPricingMatchesReferenceBitForBit) {
             static_cast<std::int32_t>(rng.bounded(channels - 1))};
       Pin b{static_cast<std::int32_t>(rng.bounded(grids)),
             static_cast<std::int32_t>(rng.bounded(channels - 1))};
-      ExploreResult bulk = explore_connection(a, b, channels, cost, params);
-      ExploreResult ref =
+      const ExploreResult ref =
           explore_connection_reference(a, b, channels, cost, params);
-      ASSERT_EQ(bulk.cost, ref.cost)
-          << "trial " << trial << " a=(" << a.x << "," << a.row << ") b=("
-          << b.x << "," << b.row << ")";
-      ASSERT_TRUE(bulk.route == ref.route);
-      ASSERT_EQ(bulk.stats.cells_probed, ref.stats.cells_probed);
-      ASSERT_EQ(bulk.stats.routes_evaluated, ref.stats.routes_evaluated);
+      const auto expect_same = [&](const ExploreResult& got, const char* via) {
+        ASSERT_EQ(got.cost, ref.cost)
+            << via << " trial " << trial << " a=(" << a.x << "," << a.row
+            << ") b=(" << b.x << "," << b.row << ")";
+        ASSERT_TRUE(got.route == ref.route) << via << " trial " << trial;
+        ASSERT_EQ(got.stats.cells_probed, ref.stats.cells_probed) << via;
+        ASSERT_EQ(got.stats.routes_evaluated, ref.stats.routes_evaluated) << via;
+      };
+      expect_same(explore_connection(a, b, channels, cost, params),
+                  "bulk/CostArray");
+      expect_same(explore_connection(a, b, channels, node_view, params),
+                  "bulk/ViewWithDelta");
+      expect_same(explore_connection(a, b, channels, fallback, params),
+                  "fallback/NonBulkView");
     }
   }
   ASSERT_GE(tuples, 200);  // the tuple floor the PR promises
+}
+
+INSTANTIATE_TEST_SUITE_P(VectorAndScalar, BulkVsReferenceMatrix,
+                         ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& pi) {
+                           return pi.param ? "ForcedScalar" : "Vector";
+                         });
+
+/// collect_unique_cells' interval-union sweep against the brute-force
+/// specification: materialize every covered cell, sort, dedupe.
+TEST(RouterProperty2, CollectUniqueCellsMatchesSortBasedReference) {
+  Rng rng(20'260'808);
+  for (int trial = 0; trial < 120; ++trial) {
+    std::vector<Route> routes(1 + rng.bounded(4));
+    for (Route& r : routes) {
+      const std::int32_t segs = 1 + static_cast<std::int32_t>(rng.bounded(5));
+      GridPoint at{static_cast<std::int32_t>(rng.bounded(6)),
+                   static_cast<std::int32_t>(rng.bounded(30))};
+      for (std::int32_t i = 0; i < segs; ++i) {
+        GridPoint to = at;
+        if (rng.chance(0.5)) {
+          to.x = static_cast<std::int32_t>(rng.bounded(30));
+        } else {
+          to.channel = static_cast<std::int32_t>(rng.bounded(6));
+        }
+        r.append(Segment{at, to});
+        at = to;
+      }
+    }
+    std::vector<GridPoint> want;
+    for (const Route& r : routes) {
+      r.for_each_cell([&](GridPoint p) { want.push_back(p); });
+    }
+    std::sort(want.begin(), want.end(), [](GridPoint x, GridPoint y) {
+      return x.channel != y.channel ? x.channel < y.channel : x.x < y.x;
+    });
+    want.erase(std::unique(want.begin(), want.end()), want.end());
+    const std::vector<GridPoint> got = collect_unique_cells(routes);
+    ASSERT_EQ(got.size(), want.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_TRUE(got[i] == want[i]) << "trial " << trial << " i=" << i;
+    }
+  }
 }
 
 /// The verify_bulk_pricing debug flag runs both engines internally and

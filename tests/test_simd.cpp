@@ -1,0 +1,294 @@
+// Kernel unit tests for support/simd.hpp: each data-parallel primitive is
+// checked against a plain scalar loop written here (not the kernel's own
+// fallback), under both the vector path and the forced-scalar path — the
+// two must agree with the reference and with each other bit for bit. The
+// BatchMin tests additionally pin down the tie-break contract (first global
+// index wins) and the padded-tail masking the explorer's SoA layout relies
+// on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/simd.hpp"
+
+namespace locus {
+namespace {
+
+/// Scoped force-scalar switch: restores the previous global setting so test
+/// order never leaks state into the routing engine's kernels.
+class ScalarSwitch {
+ public:
+  explicit ScalarSwitch(bool value) : prev_(simd::force_scalar()) {
+    simd::set_force_scalar(value);
+  }
+  ~ScalarSwitch() { simd::set_force_scalar(prev_); }
+  ScalarSwitch(const ScalarSwitch&) = delete;
+  ScalarSwitch& operator=(const ScalarSwitch&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// Runs every test body once with vector kernels and once forced scalar.
+class SimdKernels : public ::testing::TestWithParam<bool> {
+ protected:
+  ScalarSwitch switch_{GetParam()};
+};
+
+INSTANTIATE_TEST_SUITE_P(VectorAndScalar, SimdKernels, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& pi) {
+                           return pi.param ? "ForcedScalar" : "Vector";
+                         });
+
+std::vector<std::int32_t> random_i32(Rng& rng, std::size_t n, bool extremes) {
+  std::vector<std::int32_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (extremes && rng.chance(0.1)) {
+      v[i] = rng.chance(0.5) ? std::numeric_limits<std::int32_t>::min()
+                             : std::numeric_limits<std::int32_t>::max();
+    } else {
+      v[i] = static_cast<std::int32_t>(rng.bounded(20'001)) - 10'000;
+    }
+  }
+  return v;
+}
+
+TEST_P(SimdKernels, ClampNonnegMatchesReference) {
+  Rng rng(11);
+  for (std::size_t n = 0; n <= 40; ++n) {
+    const std::vector<std::int32_t> in = random_i32(rng, n, true);
+    std::vector<std::int32_t> out(n + 1, 7777);  // +1 canary past the end
+    simd::clamp_nonneg(in.data(), out.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out[i], in[i] < 0 ? 0 : in[i]) << "n=" << n << " i=" << i;
+    }
+    ASSERT_EQ(out[n], 7777);
+  }
+}
+
+TEST_P(SimdKernels, WidenPriceMatchesReference) {
+  Rng rng(12);
+  for (const bool squared : {false, true}) {
+    for (std::size_t n = 0; n <= 40; ++n) {
+      // Pricing inputs are post-clamp: non-negative 32-bit values.
+      std::vector<std::int32_t> in = random_i32(rng, n, false);
+      for (auto& v : in) v = v < 0 ? -v : v;
+      std::vector<std::int64_t> pv(n, -1);
+      simd::widen_price(in.data(), pv.data(), n, squared);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::int64_t w = in[i];
+        ASSERT_EQ(pv[i], squared ? w * w : w) << "n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_P(SimdKernels, PrefixSumMatchesReference) {
+  Rng rng(13);
+  for (std::size_t n = 0; n <= 40; ++n) {
+    std::vector<std::int64_t> v(n);
+    for (auto& x : v) {
+      x = static_cast<std::int64_t>(rng.bounded(2'000'001)) - 1'000'000;
+    }
+    std::vector<std::int64_t> prefix(n + 1, -1);
+    simd::prefix_sum(v.data(), prefix.data(), n);
+    std::int64_t acc = 0;
+    ASSERT_EQ(prefix[0], 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += v[i];
+      ASSERT_EQ(prefix[i + 1], acc) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_P(SimdKernels, AddRowsMatchesReference) {
+  Rng rng(14);
+  for (std::size_t n = 0; n <= 40; ++n) {
+    std::vector<std::int64_t> a(n), b(n), out(n, -1);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<std::int64_t>(rng.bounded(1'000'000));
+      b[i] = static_cast<std::int64_t>(rng.bounded(1'000'000)) - 500'000;
+    }
+    simd::add_rows(a.data(), b.data(), out.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out[i], a[i] + b[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+/// The fused kernel must equal the composition of the three primitives it
+/// replaces — including over a nonzero incoming colt row, as every window
+/// row after the first sees.
+TEST_P(SimdKernels, PriceScanAddEqualsComposition) {
+  Rng rng(15);
+  for (const bool squared : {false, true}) {
+    for (std::size_t n = 0; n <= 70; ++n) {
+      std::vector<std::int32_t> in = random_i32(rng, n, false);
+      for (auto& v : in) v = v < 0 ? -v : v;
+      std::vector<std::int64_t> colt_in(n);
+      for (auto& v : colt_in) {
+        v = static_cast<std::int64_t>(rng.bounded(1'000'000));
+      }
+      std::vector<std::int64_t> prefix(n + 1, -1), colt_out(n, -1);
+      simd::price_scan_add(in.data(), squared, prefix.data(), colt_in.data(),
+                           colt_out.data(), n);
+
+      std::vector<std::int64_t> pv(n), want_prefix(n + 1), want_colt(n);
+      simd::widen_price(in.data(), pv.data(), n, squared);
+      simd::prefix_sum(pv.data(), want_prefix.data(), n);
+      simd::add_rows(colt_in.data(), pv.data(), want_colt.data(), n);
+      for (std::size_t i = 0; i <= n; ++i) {
+        ASSERT_EQ(prefix[i], want_prefix[i])
+            << "squared=" << squared << " n=" << n << " i=" << i;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(colt_out[i], want_colt[i])
+            << "squared=" << squared << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+std::vector<std::int64_t> random_lane(Rng& rng, std::size_t n) {
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) {
+    x = static_cast<std::int64_t>(rng.bounded(1'000'000)) - 500'000;
+  }
+  return v;
+}
+
+TEST_P(SimdKernels, BatchArgminMatchesReference) {
+  Rng rng(16);
+  for (std::size_t n = 1; n <= 24; ++n) {
+    const auto h = random_lane(rng, n), t = random_lane(rng, n);
+    const auto jhi = random_lane(rng, n), jlo = random_lane(rng, n);
+    const std::int64_t base = static_cast<std::int64_t>(rng.bounded(1000));
+    std::int64_t got_min = 0;
+    const std::size_t got_k =
+        simd::batch_argmin(base, h.data(), t.data(), jhi.data(), jlo.data(), n,
+                           &got_min);
+    std::int64_t want_min = std::numeric_limits<std::int64_t>::max();
+    std::size_t want_k = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::int64_t c = base + h[k] + t[k] + jhi[k] - jlo[k];
+      if (c < want_min) {
+        want_min = c;
+        want_k = k;
+      }
+    }
+    ASSERT_EQ(got_min, want_min) << "n=" << n;
+    ASSERT_EQ(got_k, want_k) << "n=" << n;
+  }
+}
+
+TEST_P(SimdKernels, BatchArgminBreaksTiesTowardFirst) {
+  // All-equal costs: the first candidate must win at every batch size,
+  // including sizes that exercise the vector path and its tail.
+  for (std::size_t n = 1; n <= 20; ++n) {
+    const std::vector<std::int64_t> zero(n, 0);
+    std::int64_t min = -1;
+    ASSERT_EQ(simd::batch_argmin(42, zero.data(), zero.data(), zero.data(),
+                                 zero.data(), n, &min),
+              0u)
+        << "n=" << n;
+    ASSERT_EQ(min, 42);
+  }
+  // Duplicate minimum later in the batch: still the first occurrence.
+  std::vector<std::int64_t> h = {5, 1, 3, 1, 9, 1, 4, 8, 1, 2};
+  const std::vector<std::int64_t> zero(h.size(), 0);
+  std::int64_t min = 0;
+  ASSERT_EQ(simd::batch_argmin(0, h.data(), zero.data(), zero.data(),
+                               zero.data(), h.size(), &min),
+            1u);
+  ASSERT_EQ(min, 1);
+}
+
+/// BatchMin folds many batches into one running minimum; the result must be
+/// the plain first-wins scan over the concatenated candidates. Lanes are
+/// padded to kPad and the padding is poisoned with the most negative value
+/// that cannot overflow — if masking ever leaked a padded lane, it would
+/// win and the test would fail loudly.
+TEST_P(SimdKernels, BatchMinMatchesConcatenatedScan) {
+  Rng rng(17);
+  constexpr std::int64_t kPoison = std::numeric_limits<std::int64_t>::min() / 8;
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t batches = 1 + rng.bounded(6);
+    simd::BatchMin bm;
+    std::int64_t want_min = std::numeric_limits<std::int64_t>::max();
+    std::int64_t want_idx = 0;
+    std::int64_t flat = 0;
+    for (std::size_t bi = 0; bi < batches; ++bi) {
+      const std::size_t n = 1 + rng.bounded(13);
+      const std::size_t np =
+          (n + simd::BatchMin::kPad - 1) / simd::BatchMin::kPad *
+          simd::BatchMin::kPad;
+      auto pad = [&](std::vector<std::int64_t> v) {
+        v.resize(np, kPoison);
+        return v;
+      };
+      const auto h = pad(random_lane(rng, n)), t = pad(random_lane(rng, n));
+      const auto jhi = pad(random_lane(rng, n)), jlo = pad(random_lane(rng, n));
+      const std::int64_t base = static_cast<std::int64_t>(rng.bounded(100));
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::int64_t c = base + h[k] + t[k] + jhi[k] - jlo[k];
+        if (c < want_min) {
+          want_min = c;
+          want_idx = flat + static_cast<std::int64_t>(k);
+        }
+      }
+      bm.fold(base, h.data(), t.data(), jhi.data(), jlo.data(), n, flat);
+      flat += static_cast<std::int64_t>(n);
+    }
+    std::int64_t got_min = 0, got_idx = -1;
+    bm.resolve(&got_min, &got_idx);
+    ASSERT_EQ(got_min, want_min) << "trial " << trial;
+    ASSERT_EQ(got_idx, want_idx) << "trial " << trial;
+  }
+}
+
+TEST_P(SimdKernels, BatchMinBreaksTiesTowardFirstGlobalIndex) {
+  // Identical costs across several folds: the smallest global index must
+  // win, regardless of which vector lane it landed in.
+  for (std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{5},
+                        std::size_t{8}}) {
+    const std::size_t np = (n + simd::BatchMin::kPad - 1) /
+                           simd::BatchMin::kPad * simd::BatchMin::kPad;
+    const std::vector<std::int64_t> zero(np, 0);
+    simd::BatchMin bm;
+    std::int64_t flat = 0;
+    for (int fold = 0; fold < 4; ++fold) {
+      bm.fold(9, zero.data(), zero.data(), zero.data(), zero.data(), n, flat);
+      flat += static_cast<std::int64_t>(n);
+    }
+    std::int64_t min = 0, idx = -1;
+    bm.resolve(&min, &idx);
+    EXPECT_EQ(min, 9) << "n=" << n;
+    EXPECT_EQ(idx, 0) << "n=" << n;
+  }
+}
+
+TEST(SimdConfig, IsaReportingIsConsistent) {
+  const std::string isa = simd::active_isa();
+  EXPECT_TRUE(isa == "avx2" || isa == "sse2" || isa == "neon" ||
+              isa == "scalar")
+      << isa;
+  if (simd::active_vector()) {
+    EXPECT_NE(isa, "scalar");
+  } else {
+    EXPECT_EQ(isa, "scalar");
+  }
+}
+
+TEST(SimdConfig, ForceScalarRoundTrips) {
+  const bool prev = simd::force_scalar();
+  simd::set_force_scalar(!prev);
+  EXPECT_EQ(simd::force_scalar(), !prev);
+  simd::set_force_scalar(prev);
+  EXPECT_EQ(simd::force_scalar(), prev);
+}
+
+}  // namespace
+}  // namespace locus
