@@ -38,5 +38,7 @@ locus_add_bench(ablation_schedule_knobs ${LOCUS_TABLE_LIBS})
 locus_add_bench(view_staleness ${LOCUS_TABLE_LIBS})
 locus_add_bench(micro_msg locus_msg locus_grid locus_geom locus_support benchmark::benchmark)
 locus_add_bench(scaling_large ${LOCUS_TABLE_LIBS})
+locus_add_bench(micro_scale ${LOCUS_TABLE_LIBS})
+locus_add_bench(scale_sweep ${LOCUS_TABLE_LIBS})
 locus_add_bench(ablation_cache_size ${LOCUS_TABLE_LIBS})
 locus_add_bench(seed_robustness ${LOCUS_TABLE_LIBS})

@@ -1,0 +1,53 @@
+// Nightly scale lane driver: the extended Table 6 sweep at configurable
+// size. Defaults reproduce the acceptance point -- a 100k-wire hierarchical
+// circuit routed to completion at 64 virtual processors -- and the CI
+// workflow_dispatch inputs override via environment:
+//   LOCUS_SCALE_WIRES  comma-separated wire counts   (default "100000")
+//   LOCUS_SCALE_PROCS  comma-separated proc counts   (default "16,64")
+// Runs with sharded views and region-batched updates (the configuration
+// the scale tier exists to exercise).
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_main.hpp"
+#include "harness/experiments.hpp"
+
+namespace {
+
+std::vector<std::int32_t> parse_list(const char* env, const char* fallback) {
+  const char* raw = std::getenv(env);
+  std::string s = raw != nullptr && raw[0] != '\0' ? raw : fallback;
+  std::vector<std::int32_t> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(
+        static_cast<std::int32_t>(std::stol(s.substr(pos, comma - pos))));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  locus::ScaleSweepOptions options;
+  options.wire_counts = parse_list("LOCUS_SCALE_WIRES", "100000");
+  options.proc_counts = parse_list("LOCUS_SCALE_PROCS", "16,64");
+  return locus::benchmain::run(
+      argc, argv, "Scale sweep: hierarchical circuits, sharded views",
+      {{"procs x wires", [&] {
+          locus::ScaleSweepResult result = locus::run_scale_sweep(options);
+          locus::benchmain::record("sim_route_rps", result.headline_route_rps);
+          locus::benchmain::record(
+              "traffic_bytes",
+              static_cast<double>(result.headline_traffic_bytes));
+          locus::benchmain::record(
+              "view_resident_bytes",
+              static_cast<double>(result.headline_resident_bytes));
+          return std::move(result.table);
+        }}});
+}

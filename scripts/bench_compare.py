@@ -20,21 +20,54 @@ Non-integer unsuffixed counters (e.g. thread-pool wall times and speedups,
 which depend on host load and core count) are informational only: printed,
 never gated.
 
-Exit status: 0 when no counter regressed, 1 otherwise.
+Exit status: 0 when no counter regressed, 1 on regression, 2 on a
+malformed invocation or an unreadable/malformed record (with a clear
+message naming the file and what is wrong with it — never a traceback).
 """
 
 import json
 import sys
 
 
+class RecordError(Exception):
+    """An unreadable or structurally invalid BENCH_*.json record."""
+
+
 def load(path):
-    with open(path) as f:
-        record = json.load(f)
+    try:
+        with open(path) as f:
+            record = json.load(f)
+    except OSError as e:
+        raise RecordError(f"{path}: cannot read record: {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        raise RecordError(f"{path}: not valid JSON ({e})")
+    if not isinstance(record, dict):
+        raise RecordError(f"{path}: expected a JSON object at top level")
+    sections = record.get("sections", [])
+    if not isinstance(sections, list):
+        raise RecordError(f"{path}: 'sections' must be a list")
     counters = {}
-    for section in record.get("sections", []):
+    for i, section in enumerate(sections):
+        if not isinstance(section, dict):
+            raise RecordError(f"{path}: section [{i}] is not an object")
         title = section.get("title", "?")
-        for name, value in section.get("counters", {}).items():
+        section_counters = section.get("counters", {})
+        if not isinstance(section_counters, dict):
+            raise RecordError(
+                f"{path}: section '{title}': 'counters' must be an object"
+            )
+        for name, value in section_counters.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise RecordError(
+                    f"{path}: section '{title}': counter '{name}' is not a "
+                    f"number (got {value!r})"
+                )
             counters[f"{title} / {name}"] = value
+    if not counters:
+        raise RecordError(
+            f"{path}: record has no counters — nothing to compare "
+            "(was the bench run with --json?)"
+        )
     return record.get("bench", path), counters
 
 
@@ -50,8 +83,12 @@ def main(argv):
         sys.stderr.write(__doc__)
         return 2
 
-    base_name, base = load(paths[0])
-    _, curr = load(paths[1])
+    try:
+        base_name, base = load(paths[0])
+        _, curr = load(paths[1])
+    except RecordError as e:
+        print(f"bench_compare: {e}", file=sys.stderr)
+        return 2
 
     failures = []
     notes = []
@@ -102,7 +139,10 @@ def main(argv):
             )
 
     for extra in sorted(set(curr) - set(base)):
-        notes.append(f"{extra}: new counter (not in baseline)")
+        notes.append(
+            f"{extra}: new counter, not in baseline — informational "
+            "(re-record the baseline to start gating it)"
+        )
 
     print(f"bench_compare: {base_name}")
     for line in notes:

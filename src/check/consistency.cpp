@@ -129,7 +129,7 @@ void ViewConsistencyChecker::check_conservation() {
   const CostArray& truth = *run_.truth;
   for (ProcId owner = 0; owner < partition.num_regions(); ++owner) {
     const Rect& region = partition.region(owner);
-    const CostArray& view = run_.nodes[static_cast<std::size_t>(owner)]->view();
+    const GridBacking& view = run_.nodes[static_cast<std::size_t>(owner)]->view();
     for (std::int32_t c = region.channel_lo; c <= region.channel_hi; ++c) {
       for (std::int32_t x = region.x_lo; x <= region.x_hi; ++x) {
         const GridPoint q{c, x};

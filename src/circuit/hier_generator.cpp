@@ -1,0 +1,266 @@
+#include "circuit/hier_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace locus {
+
+namespace {
+
+std::int32_t clamp_i32(std::int64_t v, std::int32_t lo, std::int32_t hi) {
+  return static_cast<std::int32_t>(std::clamp<std::int64_t>(v, lo, hi));
+}
+
+/// Inclusive [lo, hi] extent of band `b` of `count` over `total` units.
+struct Band {
+  std::int32_t lo;
+  std::int32_t hi;
+  std::int32_t width() const { return hi - lo + 1; }
+};
+
+Band band_of(std::int32_t total, std::int32_t count, std::int32_t b) {
+  const std::int64_t lo = static_cast<std::int64_t>(total) * b / count;
+  const std::int64_t hi = static_cast<std::int64_t>(total) * (b + 1) / count - 1;
+  return Band{static_cast<std::int32_t>(lo), static_cast<std::int32_t>(hi)};
+}
+
+/// Pin count: 2 with p=.55, 3 with p=.25, then a tail up to max_pins.
+std::int32_t draw_pin_count(Rng& rng, std::int32_t max_pins) {
+  double u = rng.uniform();
+  if (u < 0.55 || max_pins <= 2) return 2;
+  if (u < 0.80 || max_pins <= 3) return 3;
+  if (u < 0.90 || max_pins <= 4) return 4;
+  return clamp_i32(5 + static_cast<std::int32_t>(rng.bounded(
+                           static_cast<std::uint64_t>(max_pins - 4))),
+                   2, max_pins);
+}
+
+struct Anchor {
+  std::int32_t x;
+  std::int32_t row;
+};
+
+}  // namespace
+
+std::vector<double> hier_level_weights(const HierGeneratorParams& params) {
+  LOCUS_ASSERT(params.levels >= 1);
+  LOCUS_ASSERT(params.level_decay > 0.0 && params.level_decay <= 1.0);
+  std::vector<double> weights(static_cast<std::size_t>(params.levels));
+  double total = 0.0;
+  for (std::int32_t l = 0; l < params.levels; ++l) {
+    weights[static_cast<std::size_t>(l)] =
+        std::pow(params.level_decay, params.levels - 1 - l);
+    total += weights[static_cast<std::size_t>(l)];
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+Circuit generate_hierarchical_circuit(const HierGeneratorParams& params) {
+  LOCUS_ASSERT(params.channels >= 3);
+  LOCUS_ASSERT(params.grids >= 8);
+  LOCUS_ASSERT(params.num_wires >= 1);
+  LOCUS_ASSERT(params.levels >= 1);
+  LOCUS_ASSERT(params.clusters_per_block >= 1);
+  LOCUS_ASSERT(params.max_pins >= 2);
+  const std::int32_t rows = params.channels - 1;
+  const std::int32_t leaf_split = 1 << (params.levels - 1);
+  LOCUS_ASSERT_MSG(rows / leaf_split >= 2 && params.grids / leaf_split >= 8,
+                   "hierarchy too deep for the chip dimensions");
+
+  Rng rng(params.seed);
+
+  // Leaf placement clusters, one batch per leaf block, generated in block
+  // row-major order so the draw sequence is independent of wire order.
+  const std::int32_t leaf_blocks = leaf_split * leaf_split;
+  std::vector<Anchor> anchors(
+      static_cast<std::size_t>(leaf_blocks) * params.clusters_per_block);
+  for (std::int32_t by = 0; by < leaf_split; ++by) {
+    for (std::int32_t bx = 0; bx < leaf_split; ++bx) {
+      const Band rb = band_of(rows, leaf_split, by);
+      const Band cb = band_of(params.grids, leaf_split, bx);
+      const std::size_t base =
+          static_cast<std::size_t>(by * leaf_split + bx) * params.clusters_per_block;
+      for (std::int32_t k = 0; k < params.clusters_per_block; ++k) {
+        anchors[base + k] = Anchor{
+            cb.lo + static_cast<std::int32_t>(
+                        rng.bounded(static_cast<std::uint64_t>(cb.width()))),
+            rb.lo + static_cast<std::int32_t>(
+                        rng.bounded(static_cast<std::uint64_t>(rb.width())))};
+      }
+    }
+  }
+
+  // Zipf-ish cluster popularity inside a leaf block: anchor k has weight
+  // 1/(k+1), so some clusters attract more wires (load imbalance, §5.3.3).
+  std::vector<double> cum_weight(static_cast<std::size_t>(params.clusters_per_block));
+  double cluster_total = 0.0;
+  for (std::int32_t k = 0; k < params.clusters_per_block; ++k) {
+    cluster_total += 1.0 / static_cast<double>(k + 1);
+    cum_weight[static_cast<std::size_t>(k)] = cluster_total;
+  }
+
+  const std::vector<double> level_weights = hier_level_weights(params);
+  std::vector<double> level_cum(level_weights.size());
+  double acc = 0.0;
+  for (std::size_t l = 0; l < level_weights.size(); ++l) {
+    acc += level_weights[l];
+    level_cum[l] = acc;
+  }
+
+  std::vector<Wire> wires;
+  wires.reserve(static_cast<std::size_t>(params.num_wires));
+  for (std::int32_t w = 0; w < params.num_wires; ++w) {
+    // Hierarchy level, then a block at that level.
+    const double u = rng.uniform();
+    std::int32_t level = params.levels - 1;
+    for (std::size_t l = 0; l < level_cum.size(); ++l) {
+      if (u < level_cum[l]) {
+        level = static_cast<std::int32_t>(l);
+        break;
+      }
+    }
+    const std::int32_t split = 1 << level;
+    const auto by = static_cast<std::int32_t>(
+        rng.bounded(static_cast<std::uint64_t>(split)));
+    const auto bx = static_cast<std::int32_t>(
+        rng.bounded(static_cast<std::uint64_t>(split)));
+    const Band rb = band_of(rows, split, by);
+    const Band cb = band_of(params.grids, split, bx);
+
+    Wire wire;
+    const bool leaf = (level == params.levels - 1);
+    if (leaf) {
+      // Leaf-local wire: pins scatter geometrically around a cluster anchor,
+      // clamped to the block.
+      const double cu = rng.uniform() * cluster_total;
+      auto it = std::lower_bound(cum_weight.begin(), cum_weight.end(), cu);
+      std::size_t k = static_cast<std::size_t>(it - cum_weight.begin());
+      if (k >= cum_weight.size()) k = cum_weight.size() - 1;
+      const Anchor& anchor =
+          anchors[static_cast<std::size_t>(by * leaf_split + bx) *
+                      params.clusters_per_block +
+                  k];
+      const std::int32_t pin_count = draw_pin_count(rng, params.max_pins);
+      const double spread = static_cast<double>(cb.width()) / 8.0;
+      for (std::int32_t p = 0; p < pin_count; ++p) {
+        Pin pin;
+        std::int32_t dx = rng.geometric(1.0 / (1.0 + spread), cb.width() - 1);
+        if (rng.chance(0.5)) dx = -dx;
+        pin.x = clamp_i32(anchor.x + dx, cb.lo, cb.hi);
+        std::int32_t dr = rng.geometric(0.6, rb.width() - 1);
+        if (rng.chance(0.5)) dr = -dr;
+        pin.row = clamp_i32(anchor.row + dr, rb.lo, rb.hi);
+        wire.pins.push_back(pin);
+      }
+    } else {
+      // Escaped wire: spans a good fraction of its level-`level` block,
+      // multiple rows, extra pins (the global-net character).
+      const std::int32_t pin_count = clamp_i32(
+          3 + static_cast<std::int32_t>(
+                  rng.bounded(static_cast<std::uint64_t>(params.max_pins - 2))),
+          2, params.max_pins);
+      const std::int32_t span = clamp_i32(
+          cb.width() / 3 + static_cast<std::int32_t>(rng.bounded(
+                               static_cast<std::uint64_t>(2 * cb.width() / 3))),
+          cb.width() / 4, cb.width() - 1);
+      const std::int32_t x0 =
+          cb.lo + static_cast<std::int32_t>(rng.bounded(
+                      static_cast<std::uint64_t>(cb.width() - span)));
+      for (std::int32_t p = 0; p < pin_count; ++p) {
+        Pin pin;
+        pin.x = clamp_i32(
+            x0 + static_cast<std::int32_t>(
+                     rng.bounded(static_cast<std::uint64_t>(span) + 1)),
+            cb.lo, cb.hi);
+        pin.row = rb.lo + static_cast<std::int32_t>(
+                              rng.bounded(static_cast<std::uint64_t>(rb.width())));
+        wire.pins.push_back(pin);
+      }
+    }
+
+    // Degenerate wires (all pins at one grid) still need two distinct pin
+    // sites for the router's segment decomposition.
+    bool all_same = true;
+    for (const Pin& p : wire.pins) {
+      if (p.x != wire.pins.front().x || p.row != wire.pins.front().row) {
+        all_same = false;
+        break;
+      }
+    }
+    if (all_same) {
+      Pin& last = wire.pins.back();
+      last.x = last.x + 1 <= cb.hi ? last.x + 1 : last.x - 1;
+    }
+    wires.push_back(std::move(wire));
+  }
+
+  return Circuit(params.name, params.channels, params.grids, std::move(wires));
+}
+
+std::vector<double> measure_length_mix(const Circuit& circuit,
+                                       const HierGeneratorParams& params) {
+  LOCUS_ASSERT(params.levels >= 1);
+  const std::int32_t rows = circuit.num_cell_rows();
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(params.levels), 0);
+  for (const Wire& wire : circuit.wires()) {
+    std::int32_t x_lo = circuit.grids(), x_hi = 0, r_lo = rows, r_hi = 0;
+    for (const Pin& p : wire.pins) {
+      x_lo = std::min(x_lo, p.x);
+      x_hi = std::max(x_hi, p.x);
+      r_lo = std::min(r_lo, p.row);
+      r_hi = std::max(r_hi, p.row);
+    }
+    // Deepest level whose (largest) block dimensions contain the span. A
+    // wire generated in a level-l block always fits at level l, so the
+    // measured bucket is at least as deep as the drawn one.
+    std::int32_t deepest = 0;
+    for (std::int32_t l = params.levels - 1; l >= 1; --l) {
+      const std::int32_t split = 1 << l;
+      const std::int32_t block_w = (circuit.grids() + split - 1) / split;
+      const std::int32_t block_h = (rows + split - 1) / split;
+      if (x_hi - x_lo < block_w && r_hi - r_lo < block_h) {
+        deepest = l;
+        break;
+      }
+    }
+    ++counts[static_cast<std::size_t>(deepest)];
+  }
+  std::vector<double> mix(counts.size());
+  for (std::size_t l = 0; l < counts.size(); ++l) {
+    mix[l] = static_cast<double>(counts[l]) /
+             static_cast<double>(circuit.num_wires());
+  }
+  return mix;
+}
+
+HierGeneratorParams make_scale_params(std::int32_t num_wires, std::uint64_t seed) {
+  LOCUS_ASSERT(num_wires >= 100);
+  HierGeneratorParams p;
+  p.name = "hier-" + std::to_string(num_wires);
+  p.num_wires = num_wires;
+  p.seed = seed;
+  // ~8 cost cells per wire at the paper benchmarks' ~34:1 grid:channel
+  // aspect; at least 16 channels so a 16x16 mesh (256 virtual processors)
+  // can still band the chip.
+  const double cells = static_cast<double>(num_wires) * 8.0;
+  p.channels = std::max<std::int32_t>(
+      16, static_cast<std::int32_t>(std::lround(std::sqrt(cells / 34.0))));
+  p.grids = std::max<std::int32_t>(
+      256, static_cast<std::int32_t>(std::lround(cells / p.channels)));
+  p.levels = num_wires < 30'000 ? 3 : num_wires < 300'000 ? 4 : 5;
+  while (p.levels > 1 && ((p.channels - 1) / (1 << (p.levels - 1)) < 2 ||
+                          p.grids / (1 << (p.levels - 1)) < 8)) {
+    --p.levels;
+  }
+  return p;
+}
+
+Circuit make_scale_circuit(std::int32_t num_wires, std::uint64_t seed) {
+  return generate_hierarchical_circuit(make_scale_params(num_wires, seed));
+}
+
+}  // namespace locus

@@ -1,0 +1,77 @@
+// Hierarchical synthetic circuit generation for scaling studies.
+//
+// The paper's benchmarks top out at a few hundred wires; extending the
+// Table 6 scaling study to 64-256 virtual processors needs circuits in the
+// 10k-1M wire range with the *structure* of a real standard cell design,
+// not a uniform scatter. Real placements are hierarchical: a block of
+// logic is placed contiguously, most of its nets stay inside it, and a
+// geometrically thinning tail of nets escapes to the enclosing block at
+// each level up, ending in a few chip-spanning global nets (Rent's rule in
+// net-length form). This generator reproduces that shape directly:
+//
+//   * The chip is divided into a block hierarchy: level 0 is the whole
+//     chip, and each level splits every block of the previous one 2x2.
+//   * Each wire draws a hierarchy level -- leaf level with the largest
+//     probability, each level up damped by `level_decay` -- then a block
+//     at that level, then scatters its pins inside that block (around a
+//     per-block cluster anchor at the leaf, uniformly for upper levels).
+//
+// The emitted length mix is therefore declared, not emergent, which is
+// what the generator property tests pin down: the fraction of wires whose
+// bounding box fits a level-l block must track the level weights.
+// Everything flows through one deterministic Rng: same params (including
+// seed), same netlist, on every platform.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace locus {
+
+struct HierGeneratorParams {
+  std::string name = "hier";
+  std::int32_t channels = 48;
+  std::int32_t grids = 1632;
+  std::int32_t num_wires = 10000;
+  std::uint64_t seed = 0x5CA1EULL;
+
+  /// Hierarchy depth. Level 0 is the whole chip; level l has 2^l x 2^l
+  /// blocks. Must leave leaf blocks at least 2 cell rows x 8 grids.
+  std::int32_t levels = 3;
+  /// Weight damping per level up: weight(level l) = level_decay^(leaf - l).
+  /// 0.25 with 3 levels puts ~76% of wires in leaf blocks and ~5% chip-wide.
+  double level_decay = 0.25;
+  /// Placement cluster anchors per leaf block; leaf wires scatter
+  /// geometrically around one of them (popular clusters create the load
+  /// imbalance the assignment experiments need).
+  std::int32_t clusters_per_block = 3;
+  /// Maximum pins on a wire (2-heavy distribution, more pins when global).
+  std::int32_t max_pins = 8;
+};
+
+/// Normalized probability of each hierarchy level, index 0 = whole chip.
+std::vector<double> hier_level_weights(const HierGeneratorParams& params);
+
+/// Generates the deterministic hierarchical circuit described by `params`.
+Circuit generate_hierarchical_circuit(const HierGeneratorParams& params);
+
+/// Measured length mix: fraction of wires (by deepest level whose block
+/// dimensions contain the wire's pin bounding box) -- index 0 counts the
+/// chip-spanning wires, the last index the leaf-local ones. Sums to 1.
+std::vector<double> measure_length_mix(const Circuit& circuit,
+                                       const HierGeneratorParams& params);
+
+/// Parameters for an `num_wires`-wire scale circuit: dimensions follow the
+/// paper benchmarks' cell density (~8 cost cells per wire) and aspect ratio
+/// (~34 grids per channel), with at least 16 channels so every mesh up to
+/// 16x16 (256 virtual processors) can partition it. Hierarchy depth grows
+/// with the wire count (10k -> 3 levels, 100k -> 4, 1M -> 5).
+HierGeneratorParams make_scale_params(std::int32_t num_wires, std::uint64_t seed);
+
+/// Convenience: generate_hierarchical_circuit(make_scale_params(...)).
+Circuit make_scale_circuit(std::int32_t num_wires, std::uint64_t seed);
+
+}  // namespace locus

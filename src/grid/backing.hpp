@@ -1,0 +1,80 @@
+// Storage interface behind a cost-array-shaped grid.
+//
+// The routing core only needs CostView (read/add + bulk spans). The message
+// passing runtime needs more: raw cell access for bookkeeping, rectangle
+// apply/extract for update packets, and residency accounting for the
+// sharded-view memory story. GridBacking is that wider contract, with two
+// implementations:
+//   * CostArray       — one dense row-major allocation (the paper's array);
+//   * TiledCostArray  — lazily allocated power-of-two tiles where an absent
+//     tile reads as zero, so a view that only ever touches its own region,
+//     its neighbors' regions, and its assigned wires' bounding boxes holds
+//     only those tiles yet is *content-identical* to a dense array that
+//     started at zero. That equivalence is what keeps sharded runs
+//     bit-identical to monolithic ones (DESIGN.md "Sharded cost array").
+// Dimensions and index math live here, non-virtually: they are fixed at
+// construction and hot paths must not pay dispatch for them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+#include "route/cost_view.hpp"
+#include "support/assert.hpp"
+
+namespace locus {
+
+class GridBacking : public CostView {
+ public:
+  GridBacking(std::int32_t channels, std::int32_t grids)
+      : channels_(channels), grids_(grids) {
+    LOCUS_ASSERT(channels >= 1 && grids >= 1);
+  }
+
+  std::int32_t channels() const { return channels_; }
+  std::int32_t grids() const { return grids_; }
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(channels_) * grids_;
+  }
+  Rect bounds() const { return Rect::of(0, channels_ - 1, 0, grids_ - 1); }
+
+  /// Flat row-major index; this is also the "address" unit used when the
+  /// shared memory tracer turns accesses into byte addresses.
+  std::int64_t index(GridPoint p) const {
+    return static_cast<std::int64_t>(p.channel) * grids_ + p.x;
+  }
+
+  /// Raw cell value (may be negative in a drifted message passing view).
+  virtual std::int32_t at(GridPoint p) const = 0;
+  virtual void set(GridPoint p, std::int32_t value) = 0;
+
+  /// Copies the raw values inside `box` (row-major) into `out`.
+  virtual void read_rect(const Rect& box, std::vector<std::int32_t>& out) const = 0;
+
+  /// Overwrites the cells inside `box` with `values` (row-major, size must
+  /// equal box.area()). Used to apply absolute (SendLocData) updates.
+  virtual void write_rect(const Rect& box, std::span<const std::int32_t> values) = 0;
+
+  /// Adds `values` (row-major) into the cells inside `box`. Used to apply
+  /// delta (SendRmtData) updates.
+  virtual void add_rect(const Rect& box, std::span<const std::int32_t> values) = 0;
+
+  virtual void fill(std::int32_t value) = 0;
+
+  /// Maximum raw value in one channel row — the track count of that channel.
+  virtual std::int32_t max_in_channel(std::int32_t channel) const = 0;
+
+  /// Cells with storage actually allocated (== size() for dense backings).
+  virtual std::int64_t resident_cells() const = 0;
+  /// Bytes of cell storage actually allocated.
+  virtual std::int64_t resident_bytes() const = 0;
+
+ protected:
+  std::int32_t channels_;
+  std::int32_t grids_;
+};
+
+}  // namespace locus

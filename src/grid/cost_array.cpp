@@ -8,11 +8,9 @@
 namespace locus {
 
 CostArray::CostArray(std::int32_t channels, std::int32_t grids, std::int32_t initial)
-    : channels_(channels), grids_(grids),
+    : GridBacking(channels, grids),
       cells_(static_cast<std::size_t>(channels) * static_cast<std::size_t>(grids),
-             initial) {
-  LOCUS_ASSERT(channels >= 1 && grids >= 1);
-}
+             initial) {}
 
 std::size_t CostArray::checked_index(GridPoint p) const {
   LOCUS_ASSERT_MSG(p.channel >= 0 && p.channel < channels_, "channel out of range");

@@ -12,6 +12,12 @@
 // exactly; the per-region bounding box is conservative between extractions
 // and tightened by the scan that builds a packet (paper §4.3.1: "the sending
 // processor scans the delta array for changes").
+//
+// Storage is either one dense grid-sized vector (the default) or a sparse
+// TileGrid (sharded runs): the bookkeeping, scan order, and — critically —
+// last_scan_cells() are identical in both modes, so the simulated time model
+// and every extracted packet stay bit-identical whichever backing holds the
+// deltas.
 #pragma once
 
 #include <cstdint>
@@ -21,12 +27,17 @@
 #include "geom/partition.hpp"
 #include "geom/point.hpp"
 #include "geom/rect.hpp"
+#include "grid/tile_grid.hpp"
 
 namespace locus {
 
 class DeltaArray {
  public:
+  /// Dense storage covering the whole grid.
   explicit DeltaArray(const Partition& partition);
+  /// Sparse storage: tiles materialize where deltas land and are dropped
+  /// whenever a region extraction leaves them fully cancelled.
+  DeltaArray(const Partition& partition, TileDims dims);
 
   /// Records a change of `delta` at cell `p`.
   void add(GridPoint p, std::int32_t delta);
@@ -42,8 +53,9 @@ class DeltaArray {
   /// Number of currently nonzero cells in `region`.
   std::int64_t nonzero_count(ProcId region) const;
 
-  /// Simulated work performed by the last extract_region() scan, in cells
-  /// visited (drives the packet-assembly time model).
+  /// Simulated work performed by the last extract_region() /
+  /// extract_region_blocks() scan, in cells visited (drives the
+  /// packet-assembly time model).
   std::int64_t last_scan_cells() const { return last_scan_cells_; }
 
   struct Extract {
@@ -57,15 +69,32 @@ class DeltaArray {
   /// suppresses the update (paper §4.3.2).
   std::optional<Extract> extract_region(ProcId region);
 
+  /// Like extract_region(), but splits the changes into one tight rectangle
+  /// per `dims`-shaped tile (row-major tile order) instead of one bounding
+  /// box over them all — the per-destination batched packet format. The scan
+  /// visits exactly the cells extract_region() would (same last_scan_cells),
+  /// and concatenating the blocks covers exactly the nonzero deltas, so a
+  /// receiver applying every block reaches the same state as one applying
+  /// the single-bbox extract; only packet byte counts differ.
+  std::optional<std::vector<Extract>> extract_region_blocks(ProcId region,
+                                                            TileDims dims);
+
   const Partition& partition() const { return *partition_; }
+
+  /// Cells with delta storage allocated (grid size when dense).
+  std::int64_t resident_cells() const;
 
  private:
   std::size_t cell_index(GridPoint p) const;
+  std::int32_t cell_get(GridPoint p) const;
+  std::int32_t& cell_ref(GridPoint p);
+  void clear_region_bookkeeping(ProcId region);
 
   const Partition* partition_;
-  std::vector<std::int32_t> cells_;
-  std::vector<Rect> dirty_bbox_;            // per region, conservative
-  std::vector<std::int64_t> nonzero_count_; // per region, exact
+  std::vector<std::int32_t> cells_;          // dense mode (empty when tiled)
+  std::optional<TileGrid> tiles_;            // sparse mode
+  std::vector<Rect> dirty_bbox_;             // per region, conservative
+  std::vector<std::int64_t> nonzero_count_;  // per region, exact
   std::int64_t last_scan_cells_ = 0;
 };
 

@@ -1,0 +1,51 @@
+#include "grid/tile_grid.hpp"
+
+#include <bit>
+
+namespace locus {
+
+namespace {
+
+std::int32_t shift_for(std::int32_t v) {
+  LOCUS_ASSERT_MSG(v >= 1 && (v & (v - 1)) == 0, "tile dims must be powers of two");
+  return std::countr_zero(static_cast<std::uint32_t>(v));
+}
+
+}  // namespace
+
+TileGrid::TileGrid(std::int32_t channels, std::int32_t grids, TileDims dims)
+    : channels_(channels), grids_(grids),
+      ch_shift_(shift_for(dims.channels)), col_shift_(shift_for(dims.cols)),
+      ch_mask_(static_cast<std::size_t>(dims.channels) - 1),
+      col_mask_(static_cast<std::size_t>(dims.cols) - 1),
+      tiles_y_((channels + dims.channels - 1) / dims.channels),
+      tiles_x_((grids + dims.cols - 1) / dims.cols),
+      tiles_(static_cast<std::size_t>(tiles_y_) * static_cast<std::size_t>(tiles_x_)) {
+  LOCUS_ASSERT(channels >= 1 && grids >= 1);
+}
+
+void TileGrid::allocate(std::unique_ptr<std::int32_t[]>& tile) {
+  tile = std::make_unique<std::int32_t[]>(static_cast<std::size_t>(tile_cells()));
+  ++resident_;
+}
+
+void TileGrid::ensure_rect(const Rect& box) {
+  if (box.is_empty()) return;
+  LOCUS_ASSERT(Rect::of(0, channels_ - 1, 0, grids_ - 1).contains(box));
+  for (std::int32_t ty = box.channel_lo >> ch_shift_;
+       ty <= box.channel_hi >> ch_shift_; ++ty) {
+    for (std::int32_t tx = box.x_lo >> col_shift_; tx <= box.x_hi >> col_shift_;
+         ++tx) {
+      std::unique_ptr<std::int32_t[]>& tile =
+          tiles_[static_cast<std::size_t>(ty) * tiles_x_ + tx];
+      if (tile == nullptr) allocate(tile);
+    }
+  }
+}
+
+void TileGrid::clear() {
+  for (std::unique_ptr<std::int32_t[]>& tile : tiles_) tile.reset();
+  resident_ = 0;
+}
+
+}  // namespace locus

@@ -84,6 +84,46 @@ Table run_table6_scaling(const Circuit& circuit, const ExperimentConfig& config 
 Table run_speedup(const Circuit& bnre, const Circuit& mdc,
                   const ExperimentConfig& config = {});
 
+// --- E13: scale tier (ISSUE 8) — Table 6's sweep extended to 64-256
+//     virtual processors on hierarchical 10k-1M wire circuits with sharded
+//     views and region-batched update packets ---
+struct ScaleSweepOptions {
+  std::vector<std::int32_t> wire_counts{10'000};
+  std::vector<std::int32_t> proc_counts{16, 64};
+  std::uint64_t seed = 0x5CA1EULL;
+  std::int32_t iterations = 2;
+  /// Tiled per-processor views (memory bounded by what each node touches).
+  bool sharded = true;
+  /// Region-batched update packets (requires bounding-box structure).
+  bool batch_updates = true;
+  /// Finer than the 4x512 ShardConfig default: committed routes are thin
+  /// strips, and at scale every node routes a few chip-spanning wires, so
+  /// 8 KiB tiles would round each view up to nearly the whole grid. 2x128
+  /// tiles (1 KiB) keep resident memory tracking the cells actually
+  /// touched while leaving row chunks long enough for the SIMD reads.
+  TileDims tile{2, 128};
+};
+
+struct ScaleSweepResult {
+  Table table;
+  /// Metrics of the last completed (largest) run, for bench gating.
+  double headline_route_rps = 0.0;       ///< simulated wire routes per second
+  std::uint64_t headline_traffic_bytes = 0;
+  std::int64_t headline_resident_bytes = 0;
+  std::int64_t headline_circuit_height = 0;
+};
+
+/// Sweeps proc_counts x wire_counts. Rows whose mesh cannot band the
+/// circuit (more mesh rows than channels) are reported as skipped. Columns:
+/// wires, procs, CktHt, routes/sec, traffic per wire, speedup vs the first
+/// proc count of that circuit, and resident view memory.
+ScaleSweepResult run_scale_sweep(const ScaleSweepOptions& options);
+
+/// True when two route sets are bit-identical (wire id, path cost, cells,
+/// connections) — the sharded-vs-monolithic and fault-recovery invariant.
+bool routes_identical(const std::vector<WireRoute>& a,
+                      const std::vector<WireRoute>& b);
+
 // --- E12: message software overhead (§5.1.1: packet assembly/disassembly
 //     "take up to one fourth of the processing time" at frequent updates) ---
 Table run_overhead_breakdown(const Circuit& circuit,

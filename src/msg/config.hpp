@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "geom/partition.hpp"
+#include "grid/tile_grid.hpp"
 #include "msg/transport.hpp"
 #include "obs/obs.hpp"
 #include "route/cost_model.hpp"
@@ -91,12 +92,32 @@ struct UpdateSchedule {
   }
 };
 
+/// Sharded-view storage for scale runs (grid/tiled_cost_array.hpp).
+///
+/// `enabled` swaps every node's dense view + delta storage for lazily
+/// allocated tiles; because absent tiles read as the initial zero and the
+/// delta scan visits exactly the same cells, a sharded run routes
+/// bit-identically to a monolithic one — only resident memory changes.
+/// `batch_updates` additionally packs each destination's update into tight
+/// per-tile blocks instead of one conservative bounding box (fewer bytes
+/// for scattered changes, one packet either way). Batching changes packet
+/// byte counts and therefore simulated timing and routes, so it defaults
+/// off and is compared against unbatched runs by the scale harness.
+struct ShardConfig {
+  bool enabled = false;
+  TileDims tile;
+  /// Region-batched per-tile update blocks (requires kBoundingBox packets).
+  bool batch_updates = false;
+};
+
 struct MpConfig {
   UpdateSchedule schedule;
   RouterParams router;
   TimeModel time;
   std::int32_t iterations = 2;
   PacketStructure packet_structure = PacketStructure::kBoundingBox;
+  /// Tiled per-node views + optional region-batched update packets.
+  ShardConfig shard;
   Topology::Edges edges = Topology::Edges::kMesh;
   WireAssignmentMode assignment_mode = WireAssignmentMode::kStatic;
   /// Routing-time slice of the queue owner under kDynamicInterrupt:

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "grid/tiled_cost_array.hpp"
 #include "msg/node.hpp"
 #include "msg/observer.hpp"
 #include "route/quality.hpp"
@@ -22,6 +23,11 @@ MpRunResult run_message_passing(const Circuit& circuit, const Partition& partiti
   LOCUS_ASSERT_MSG(config.assignment_mode == WireAssignmentMode::kStatic ||
                        !config.schedule.receiver_enabled(),
                    "dynamic assignment cannot use receiver-initiated updates");
+  // Batching tightens exactly the bounding-box encoding; the wire-based and
+  // whole-region byte models have no per-block form.
+  LOCUS_ASSERT_MSG(!config.shard.batch_updates ||
+                       config.packet_structure == PacketStructure::kBoundingBox,
+                   "batched updates require the bounding-box packet structure");
 
   std::vector<std::int32_t> dims = config.topology_dims;
   if (dims.empty()) {
@@ -125,10 +131,48 @@ MpRunResult run_message_passing(const Circuit& circuit, const Partition& partiti
   std::int64_t own_error = 0;
   std::int64_t own_cells = 0;
   const std::int64_t cells = shared.truth.size();
+  // An absent tile reads as zero, so its error is |truth| cell for cell;
+  // summing |truth| once lets the tiled path visit resident tiles only.
+  std::int64_t truth_abs_total = 0;
+  for (std::int32_t v : shared.truth.cells()) truth_abs_total += std::abs(v);
+  std::int64_t view_resident_cells = 0;
+  std::int64_t view_resident_bytes = 0;
   for (ProcId p = 0; p < partition.num_regions(); ++p) {
     const auto* node = dynamic_cast<const RouterNode*>(machine.node(p));
     LOCUS_ASSERT(node != nullptr);
-    const CostArray& view = node->view();
+    const GridBacking& view = node->view();
+    view_resident_cells += view.resident_cells();
+    view_resident_bytes += view.resident_bytes();
+    if (const auto* tiled = dynamic_cast<const TiledCostArray*>(&view)) {
+      const std::int32_t stride = tiled->tiles().tile_cols();
+      std::int64_t resident_err = 0;
+      std::int64_t resident_truth_abs = 0;
+      tiled->tiles().for_each_resident_tile(
+          [&](const Rect& b, const std::int32_t* tile) {
+            for (std::int32_t c = b.channel_lo; c <= b.channel_hi; ++c) {
+              const std::int32_t* row =
+                  tile + static_cast<std::size_t>(c - b.channel_lo) * stride;
+              const std::int32_t* truth_row =
+                  shared.truth.cells().data() +
+                  static_cast<std::size_t>(c) * circuit.grids() + b.x_lo;
+              for (std::int32_t i = 0; i <= b.x_hi - b.x_lo; ++i) {
+                resident_err += std::abs(row[i] - truth_row[i]);
+                resident_truth_abs += std::abs(truth_row[i]);
+              }
+            }
+          });
+      total_error += resident_err + (truth_abs_total - resident_truth_abs);
+      // The own region is pinned resident, so per-cell reads stay cheap.
+      const Rect own = partition.region(p);
+      for (std::int32_t c = own.channel_lo; c <= own.channel_hi; ++c) {
+        for (std::int32_t x = own.x_lo; x <= own.x_hi; ++x) {
+          const GridPoint cell{c, x};
+          own_error += std::abs(tiled->at(cell) - shared.truth.at(cell));
+          ++own_cells;
+        }
+      }
+      continue;
+    }
     for (std::int32_t c = 0; c < circuit.channels(); ++c) {
       for (std::int32_t x = 0; x < circuit.grids(); ++x) {
         const GridPoint cell{c, x};
@@ -141,6 +185,15 @@ MpRunResult run_message_passing(const Circuit& circuit, const Partition& partiti
       }
     }
   }
+  result.view_resident_cells = view_resident_cells;
+  result.view_resident_bytes = view_resident_bytes;
+  LOCUS_OBS_HOOK(if (config.obs != nullptr) {
+    auto& reg = config.obs->counters();
+    reg.add(0, reg.counter("grid.view_resident_cells"),
+            static_cast<std::uint64_t>(view_resident_cells));
+    reg.add(0, reg.counter("grid.view_resident_bytes"),
+            static_cast<std::uint64_t>(view_resident_bytes));
+  });
   result.view_staleness =
       static_cast<double>(total_error) /
       static_cast<double>(cells * partition.num_regions());

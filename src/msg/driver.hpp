@@ -46,6 +46,12 @@ struct MpRunResult {
   /// every SendRmtData for their region, so frequent schedules drive this
   /// toward zero.
   double own_region_staleness = 0.0;
+
+  /// Cell storage actually allocated across all processor views at the end
+  /// of the run (== procs x grid size for dense views; the point of the
+  /// sharded configuration is that this stays far below that at scale).
+  std::int64_t view_resident_cells = 0;
+  std::int64_t view_resident_bytes = 0;
 };
 
 /// Runs message passing LocusRoute on `circuit` with the given static

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
 
+#include "grid/tiled_cost_array.hpp"
 #include "msg/observer.hpp"
 #include "support/assert.hpp"
 
@@ -21,6 +23,36 @@ RouterParams with_explorer_obs(RouterParams params, const MpShared& shared) {
   return params;
 }
 
+/// Dense view at paper scale; sparse tiles when sharding is on. The node's
+/// own region is pinned resident up front — it receives every remote delta
+/// and must answer absolute requests from wire 0.
+std::unique_ptr<GridBacking> make_view(const Circuit& circuit,
+                                       const Partition& partition,
+                                       const MpConfig& config, ProcId self) {
+  if (!config.shard.enabled) {
+    return std::make_unique<CostArray>(circuit.channels(), circuit.grids());
+  }
+  auto tiled = std::make_unique<TiledCostArray>(circuit.channels(),
+                                                circuit.grids(), config.shard.tile);
+  tiled->ensure_rect(partition.region(self));
+  return tiled;
+}
+
+DeltaArray make_delta(const Partition& partition, const MpConfig& config) {
+  if (!config.shard.enabled) return DeltaArray(partition);
+  return DeltaArray(partition, config.shard.tile);
+}
+
+/// Converts extracted delta blocks into wire-format update blocks.
+std::vector<UpdateBlock> to_update_blocks(std::vector<DeltaArray::Extract> extracts) {
+  std::vector<UpdateBlock> blocks;
+  blocks.reserve(extracts.size());
+  for (DeltaArray::Extract& e : extracts) {
+    blocks.push_back(UpdateBlock{e.bbox, std::move(e.values)});
+  }
+  return blocks;
+}
+
 }  // namespace
 
 RouterNode::RouterNode(const Circuit& circuit, const Partition& partition,
@@ -28,8 +60,9 @@ RouterNode::RouterNode(const Circuit& circuit, const Partition& partition,
                        ProcId self, MpShared& shared)
     : circuit_(circuit), partition_(partition), config_(config),
       my_wires_(std::move(my_wires)), self_(self), shared_(shared),
-      view_(circuit.channels(), circuit.grids()), delta_(partition),
-      view_with_delta_(view_, delta_),
+      view_(make_view(circuit, partition, config, self)),
+      delta_(make_delta(partition, config)),
+      view_with_delta_(*view_, delta_),
       router_(circuit.channels(), with_explorer_obs(config.router, shared)),
       touch_count_(static_cast<std::size_t>(partition.num_regions()), 0),
       interest_bbox_(static_cast<std::size_t>(partition.num_regions())),
@@ -71,8 +104,15 @@ void RouterNode::on_packet(NodeApi& api, const Packet& packet) {
       const auto& update = packet.payload_as<RegionUpdatePayload>();
       LOCUS_ASSERT(update.absolute);
       // Replace our view of the sender's region with its absolute data
-      // (paper §4.3.2: "receiving processors replace their view").
-      view_.write_rect(update.bbox, update.values);
+      // (paper §4.3.2: "receiving processors replace their view"). A
+      // batched packet replaces each tight block instead of the whole box.
+      if (!update.blocks.empty()) {
+        for (const UpdateBlock& block : update.blocks) {
+          view_->write_rect(block.bbox, block.values);
+        }
+      } else {
+        view_->write_rect(update.bbox, update.values);
+      }
       if (packet.type == kMsgRspRmtData) {
         // A duplicated response (fault injection) must not drive the count
         // negative; the extra copy is just a redundant view refresh.
@@ -86,18 +126,12 @@ void RouterNode::on_packet(NodeApi& api, const Packet& packet) {
       LOCUS_ASSERT(!update.absolute);
       LOCUS_ASSERT_MSG(update.region == self_,
                        "delta updates are addressed to the region owner");
-      view_.add_rect(update.bbox, update.values);
-      if (config_.observer != nullptr) {
-        config_.observer->on_delta_applied(self_, update.bbox, update.values);
-      }
-      // These changes are now part of our own region's state and must reach
-      // the neighbors in the next SendLocData: mark the own-region delta
-      // bounding box (values there are never sent; absolute data is).
-      std::size_t i = 0;
-      for (std::int32_t c = update.bbox.channel_lo; c <= update.bbox.channel_hi; ++c) {
-        for (std::int32_t x = update.bbox.x_lo; x <= update.bbox.x_hi; ++x, ++i) {
-          if (update.values[i] != 0) delta_.add(GridPoint{c, x}, update.values[i]);
+      if (!update.blocks.empty()) {
+        for (const UpdateBlock& block : update.blocks) {
+          apply_delta_block(block.bbox, block.values);
         }
+      } else {
+        apply_delta_block(update.bbox, update.values);
       }
       break;
     }
@@ -128,7 +162,7 @@ void RouterNode::on_packet(NodeApi& api, const Packet& packet) {
           partition_.region(self_));
       LOCUS_ASSERT(!window.is_empty());
       std::vector<std::int32_t> values;
-      view_.read_rect(window, values);
+      view_->read_rect(window, values);
       send_data_update(api, packet.src, kMsgRspRmtData, self_, window,
                        /*absolute=*/true, std::move(values));
       break;
@@ -137,6 +171,24 @@ void RouterNode::on_packet(NodeApi& api, const Packet& packet) {
       const auto& request = packet.payload_as<RequestPayload>();
       LOCUS_ASSERT(request.region != self_);
       // The owner of `request.region` wants our pending deltas for it.
+      if (config_.shard.batch_updates) {
+        if (auto blocks =
+                delta_.extract_region_blocks(request.region, config_.shard.tile)) {
+          api.advance(delta_.last_scan_cells() * config_.time.scan_cell_ns);
+          breakdown().msg_software_ns +=
+              delta_.last_scan_cells() * config_.time.scan_cell_ns;
+          send_batched_update(api, packet.src, kMsgSendRmtData, request.region,
+                              /*absolute=*/false,
+                              to_update_blocks(std::move(*blocks)));
+          break;
+        }
+        ++shared_.updates_suppressed;
+        LOCUS_OBS_HOOK(if (shared_.node_obs) {
+          shared_.node_obs.obs->counters().add(shared_.node_obs.shard,
+                                               shared_.node_obs.updates_suppressed);
+        });
+        break;
+      }
       if (auto extract = delta_.extract_region(request.region)) {
         api.advance(delta_.last_scan_cells() * config_.time.scan_cell_ns);
         breakdown().msg_software_ns += delta_.last_scan_cells() * config_.time.scan_cell_ns;
@@ -420,6 +472,15 @@ void RouterNode::fire_sender_updates(NodeApi& api) {
     for (ProcId region = 0; region < partition_.num_regions(); ++region) {
       if (region == self_) continue;
       if (!delta_.region_dirty(region)) continue;
+      if (config_.shard.batch_updates) {
+        auto blocks = delta_.extract_region_blocks(region, config_.shard.tile);
+        LOCUS_ASSERT(blocks.has_value());
+        api.advance(delta_.last_scan_cells() * tm.scan_cell_ns);
+        breakdown().msg_software_ns += delta_.last_scan_cells() * tm.scan_cell_ns;
+        send_batched_update(api, region, kMsgSendRmtData, region,
+                            /*absolute=*/false, to_update_blocks(std::move(*blocks)));
+        continue;
+      }
       auto extract = delta_.extract_region(region);
       LOCUS_ASSERT(extract.has_value());
       api.advance(delta_.last_scan_cells() * tm.scan_cell_ns);
@@ -431,13 +492,37 @@ void RouterNode::fire_sender_updates(NodeApi& api) {
 
   if (sched.send_loc_period > 0 && ++wires_since_send_loc_ >= sched.send_loc_period) {
     wires_since_send_loc_ = 0;
+    if (config_.shard.batch_updates) {
+      if (auto blocks = delta_.extract_region_blocks(self_, config_.shard.tile)) {
+        api.advance(delta_.last_scan_cells() * tm.scan_cell_ns);
+        breakdown().msg_software_ns += delta_.last_scan_cells() * tm.scan_cell_ns;
+        // The delta values only located the changes; each block carries
+        // absolute data from the view.
+        std::vector<UpdateBlock> update_blocks = to_update_blocks(std::move(*blocks));
+        for (UpdateBlock& block : update_blocks) {
+          view_->read_rect(block.bbox, block.values);
+        }
+        for (ProcId neighbor : partition_.neighbors(self_)) {
+          send_batched_update(api, neighbor, kMsgSendLocData, self_,
+                              /*absolute=*/true, update_blocks);
+        }
+        segments_changed_[static_cast<std::size_t>(self_)] = 0;
+      } else {
+        ++shared_.updates_suppressed;
+        LOCUS_OBS_HOOK(if (shared_.node_obs) {
+          shared_.node_obs.obs->counters().add(shared_.node_obs.shard,
+                                               shared_.node_obs.updates_suppressed);
+        });
+      }
+      return;
+    }
     if (auto extract = delta_.extract_region(self_)) {
       api.advance(delta_.last_scan_cells() * tm.scan_cell_ns);
       breakdown().msg_software_ns += delta_.last_scan_cells() * tm.scan_cell_ns;
       // Absolute data comes from the view; the extracted delta values only
       // located the changes.
       std::vector<std::int32_t> values;
-      view_.read_rect(extract->bbox, values);
+      view_->read_rect(extract->bbox, values);
       // Optimization from §4.3.2: absolute broadcasts go to the four mesh
       // neighbors only.
       for (ProcId neighbor : partition_.neighbors(self_)) {
@@ -482,6 +567,59 @@ void RouterNode::send_data_update(NodeApi& api, ProcId dst, std::int32_t type,
   api.send(dst, type, bytes, std::move(payload));
   note_sent(type, bytes);
   breakdown().network_copy_ns += tm.process_time_ns;
+}
+
+void RouterNode::send_batched_update(NodeApi& api, ProcId dst, std::int32_t type,
+                                     ProcId region, bool absolute,
+                                     std::vector<UpdateBlock> blocks) {
+  LOCUS_ASSERT(!blocks.empty());
+  LOCUS_ASSERT_MSG(config_.packet_structure == PacketStructure::kBoundingBox,
+                   "region batching tightens the bounding-box structure only");
+  const TimeModel& tm = config_.time;
+  Rect bbox;
+  for (const UpdateBlock& block : blocks) bbox.expand(block.bbox);
+  const std::int32_t bytes = batched_update_packet_bytes(blocks, absolute);
+  if (type == kMsgSendRmtData && config_.observer != nullptr) {
+    // One ledger event per block: applies fire per block on the receiver, so
+    // sent/applied keys must match block-for-block.
+    for (const UpdateBlock& block : blocks) {
+      config_.observer->on_delta_sent(self_, region, block.bbox, block.values);
+    }
+  }
+  LOCUS_OBS_HOOK(if (shared_.node_obs) {
+    const obs::MpNodeObs& o = shared_.node_obs;
+    o.obs->counters().add(o.shard, o.batched_updates);
+    o.obs->counters().add(o.shard, o.batched_blocks,
+                          static_cast<std::uint64_t>(blocks.size()));
+  });
+  auto [payload, payload_data] = make_payload<RegionUpdatePayload>();
+  payload_data->region = region;
+  payload_data->bbox = bbox;
+  payload_data->absolute = absolute;
+  payload_data->blocks = std::move(blocks);
+  const SimTime pack_cost = tm.msg_fixed_ns + static_cast<SimTime>(bytes) * tm.pack_byte_ns;
+  api.advance(pack_cost);
+  breakdown().msg_software_ns += pack_cost;
+  api.send(dst, type, bytes, std::move(payload));
+  note_sent(type, bytes);
+  breakdown().network_copy_ns += tm.process_time_ns;
+}
+
+void RouterNode::apply_delta_block(const Rect& bbox,
+                                   std::span<const std::int32_t> values) {
+  view_->add_rect(bbox, values);
+  if (config_.observer != nullptr) {
+    config_.observer->on_delta_applied(self_, bbox, values);
+  }
+  // These changes are now part of our own region's state and must reach
+  // the neighbors in the next SendLocData: mark the own-region delta
+  // bounding box (values there are never sent; absolute data is).
+  std::size_t i = 0;
+  for (std::int32_t c = bbox.channel_lo; c <= bbox.channel_hi; ++c) {
+    for (std::int32_t x = bbox.x_lo; x <= bbox.x_hi; ++x, ++i) {
+      if (values[i] != 0) delta_.add(GridPoint{c, x}, values[i]);
+    }
+  }
 }
 
 void RouterNode::note_route_segments(const WireRoute& route) {

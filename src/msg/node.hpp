@@ -14,11 +14,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "assign/assignment.hpp"
 #include "circuit/circuit.hpp"
 #include "geom/partition.hpp"
+#include "grid/backing.hpp"
 #include "grid/cost_array.hpp"
 #include "grid/delta_array.hpp"
 #include "msg/config.hpp"
@@ -94,8 +96,9 @@ class RouterNode final : public Node {
   bool on_step(NodeApi& api) override;
   bool blocked() const override;
 
-  /// Test hooks.
-  const CostArray& view() const { return view_; }
+  /// Test hooks. The view is a CostArray in monolithic runs and a
+  /// TiledCostArray when ShardConfig::enabled — content-identical either way.
+  const GridBacking& view() const { return *view_; }
   const DeltaArray& delta() const { return delta_; }
   std::int32_t pending_responses() const { return pending_responses_; }
 
@@ -119,6 +122,16 @@ class RouterNode final : public Node {
   void send_data_update(NodeApi& api, ProcId dst, std::int32_t type, ProcId region,
                         const Rect& bbox, bool absolute,
                         std::vector<std::int32_t> values);
+  /// Region-batched form (ShardConfig::batch_updates): one packet carrying
+  /// tight per-tile blocks. Fires on_delta_sent per block for delta packets
+  /// so the conservation ledger keys still match per-block applies.
+  void send_batched_update(NodeApi& api, ProcId dst, std::int32_t type,
+                           ProcId region, bool absolute,
+                           std::vector<UpdateBlock> blocks);
+  /// Applies one delta rectangle to the view and mirrors the nonzero cells
+  /// into our own-region delta bookkeeping (shared by the single-bbox and
+  /// batched receive paths).
+  void apply_delta_block(const Rect& bbox, std::span<const std::int32_t> values);
   void note_route_segments(const WireRoute& route);
   TimeBreakdown& breakdown();
 
@@ -142,7 +155,7 @@ class RouterNode final : public Node {
   ProcId self_;
   MpShared& shared_;
 
-  CostArray view_;
+  std::unique_ptr<GridBacking> view_;  ///< dense or tiled per config_.shard
   DeltaArray delta_;
   ViewWithDelta view_with_delta_;
   WireRouter router_;

@@ -26,6 +26,17 @@ std::int32_t update_packet_bytes(PacketStructure structure, const Rect& bbox,
   return kUpdateHeaderBytes + static_cast<std::int32_t>(payload);
 }
 
+std::int32_t batched_update_packet_bytes(std::span<const UpdateBlock> blocks,
+                                         bool absolute) {
+  const std::int32_t per_cell = absolute ? kAbsoluteBytesPerCell : kDeltaBytesPerCell;
+  std::int64_t payload = 2;  // u16 block count
+  for (const UpdateBlock& block : blocks) {
+    payload += 8 + block.bbox.area() * per_cell;
+  }
+  LOCUS_ASSERT(payload >= 2);
+  return kUpdateHeaderBytes + static_cast<std::int32_t>(payload);
+}
+
 std::int32_t request_packet_bytes() { return kUpdateHeaderBytes; }
 
 std::int32_t grant_packet_bytes() { return kUpdateHeaderBytes + 8; }
@@ -109,8 +120,32 @@ std::optional<std::vector<std::uint8_t>> encode_packet(const WirePacket& packet)
   }
 
   const bool update = is_update_type(packet.type);
+  const bool batched = !packet.blocks.empty();
   std::uint32_t payload_bytes = 0;
-  if (update) {
+  if (batched) {
+    // Region-batched form: header bbox is the union; each block is a tight
+    // rectangle inside it carrying exactly its own cells.
+    if (!update || !packet.values.empty()) return std::nullopt;
+    if (packet.bbox.is_empty()) return std::nullopt;
+    if (packet.blocks.size() > 0xFFFF) return std::nullopt;
+    if (packet.absolute != (packet.type != kMsgSendRmtData)) return std::nullopt;
+    std::int64_t total_area = 0;
+    for (const UpdateBlock& block : packet.blocks) {
+      if (block.bbox.is_empty()) return std::nullopt;
+      if (!packet.bbox.contains(block.bbox)) return std::nullopt;
+      total_area += block.bbox.area();
+      if (total_area > kMaxUpdateCells) return std::nullopt;
+      if (static_cast<std::int64_t>(block.values.size()) != block.bbox.area()) {
+        return std::nullopt;
+      }
+      for (std::int32_t v : block.values) {
+        if (!fits_cell(v, packet.absolute)) return std::nullopt;
+      }
+    }
+    payload_bytes = static_cast<std::uint32_t>(
+        2 + static_cast<std::int64_t>(packet.blocks.size()) * 8 +
+        total_area * (packet.absolute ? kAbsoluteBytesPerCell : kDeltaBytesPerCell));
+  } else if (update) {
     // Updates must carry exactly one value per bbox cell, each in range.
     if (packet.bbox.is_empty()) return std::nullopt;
     const std::int64_t area = packet.bbox.area();
@@ -140,7 +175,8 @@ std::optional<std::vector<std::uint8_t>> encode_packet(const WirePacket& packet)
               payload_bytes);
   out.push_back(static_cast<std::uint8_t>(packet.type));
   out.push_back(static_cast<std::uint8_t>((packet.absolute ? 1u : 0u) |
-                                          (packet.has_transport ? 2u : 0u)));
+                                          (packet.has_transport ? 2u : 0u) |
+                                          (batched ? 4u : 0u)));
   put_i16(out, packet.region);
   put_i16(out, packet.bbox.channel_lo);
   put_i16(out, packet.bbox.channel_hi);
@@ -152,7 +188,23 @@ std::optional<std::vector<std::uint8_t>> encode_packet(const WirePacket& packet)
     put_u32(out, packet.ack);
   }
 
-  if (update) {
+  if (batched) {
+    put_i16(out, static_cast<std::int32_t>(
+                     static_cast<std::int16_t>(packet.blocks.size())));
+    for (const UpdateBlock& block : packet.blocks) {
+      put_i16(out, block.bbox.channel_lo);
+      put_i16(out, block.bbox.channel_hi);
+      put_i16(out, block.bbox.x_lo);
+      put_i16(out, block.bbox.x_hi);
+      for (std::int32_t v : block.values) {
+        if (packet.absolute) {
+          put_i16(out, v);
+        } else {
+          out.push_back(static_cast<std::uint8_t>(static_cast<std::int8_t>(v)));
+        }
+      }
+    }
+  } else if (update) {
     for (std::int32_t v : packet.values) {
       if (packet.absolute) {
         put_i16(out, v);
@@ -177,9 +229,11 @@ std::optional<WirePacket> decode_packet(std::span<const std::uint8_t> buffer) {
   packet.type = buffer[0];
   if (!is_known_type(packet.type)) return std::nullopt;
   const std::uint8_t flags = buffer[1];
-  if ((flags & ~0x03u) != 0) return std::nullopt;
+  if ((flags & ~0x07u) != 0) return std::nullopt;
   packet.absolute = (flags & 1u) != 0;
   packet.has_transport = (flags & 2u) != 0;
+  const bool batched = (flags & 4u) != 0;
+  if (batched && !is_update_type(packet.type)) return std::nullopt;
   if (packet.type == kMsgAck && !packet.has_transport) return std::nullopt;
   packet.region = get_i16(buffer, 2);
   packet.bbox.channel_lo = get_i16(buffer, 4);
@@ -200,6 +254,50 @@ std::optional<WirePacket> decode_packet(std::span<const std::uint8_t> buffer) {
   const std::size_t payload_at =
       static_cast<std::size_t>(kUpdateHeaderBytes + frame_bytes);
 
+  if (batched) {
+    if (packet.absolute != (packet.type != kMsgSendRmtData)) return std::nullopt;
+    if (packet.bbox.is_empty()) return std::nullopt;
+    if (payload_bytes < 2) return std::nullopt;
+    const std::int32_t per_cell =
+        packet.absolute ? kAbsoluteBytesPerCell : kDeltaBytesPerCell;
+    std::size_t at = payload_at;
+    const std::size_t end = payload_at + static_cast<std::size_t>(payload_bytes);
+    const std::uint32_t count =
+        static_cast<std::uint16_t>(static_cast<std::uint16_t>(buffer[at]) |
+                                   (static_cast<std::uint16_t>(buffer[at + 1]) << 8));
+    at += 2;
+    if (count == 0) return std::nullopt;
+    std::int64_t total_area = 0;
+    packet.blocks.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      if (end - at < 8) return std::nullopt;
+      UpdateBlock block;
+      block.bbox.channel_lo = get_i16(buffer, at);
+      block.bbox.channel_hi = get_i16(buffer, at + 2);
+      block.bbox.x_lo = get_i16(buffer, at + 4);
+      block.bbox.x_hi = get_i16(buffer, at + 6);
+      at += 8;
+      if (block.bbox.is_empty()) return std::nullopt;
+      if (!packet.bbox.contains(block.bbox)) return std::nullopt;
+      const std::int64_t area = block.bbox.area();
+      total_area += area;
+      if (total_area > kMaxUpdateCells) return std::nullopt;
+      if (end - at < static_cast<std::size_t>(area * per_cell)) return std::nullopt;
+      block.values.reserve(static_cast<std::size_t>(area));
+      for (std::int64_t cell = 0; cell < area; ++cell) {
+        if (packet.absolute) {
+          block.values.push_back(get_i16(buffer, at));
+          at += 2;
+        } else {
+          block.values.push_back(static_cast<std::int8_t>(buffer[at]));
+          at += 1;
+        }
+      }
+      packet.blocks.push_back(std::move(block));
+    }
+    if (at != end) return std::nullopt;  // trailing bytes inside the payload
+    return packet;
+  }
   if (is_update_type(packet.type)) {
     if (packet.absolute != (packet.type != kMsgSendRmtData)) return std::nullopt;
     if (packet.bbox.is_empty()) return std::nullopt;

@@ -49,12 +49,24 @@ inline constexpr std::int32_t kWireSegmentBytes = 6;
 /// covers the payload only.
 inline constexpr std::int32_t kTransportFrameBytes = 8;
 
-/// Payload of every data-carrying update.
+/// One tight rectangle of a region-batched update (flag bit 2). Blocks are
+/// disjoint, ordered row-major by tile, and each lies inside the packet's
+/// header bounding box (their union).
+struct UpdateBlock {
+  Rect bbox;
+  std::vector<std::int32_t> values;  ///< row-major over bbox
+
+  friend bool operator==(const UpdateBlock&, const UpdateBlock&) = default;
+};
+
+/// Payload of every data-carrying update. Exactly one of `values` (legacy
+/// single-bbox form) or `blocks` (region-batched form) is populated.
 struct RegionUpdatePayload : PacketPayload {
   ProcId region = -1;  ///< region the cells belong to
   Rect bbox;           ///< cells carried (row-major in `values`)
   bool absolute = false;
   std::vector<std::int32_t> values;
+  std::vector<UpdateBlock> blocks;  ///< batched form (ShardConfig::batch_updates)
 };
 
 /// Payload of ReqLocData / ReqRmtData.
@@ -70,6 +82,12 @@ struct RequestPayload : PacketPayload {
 std::int32_t update_packet_bytes(PacketStructure structure, const Rect& bbox,
                                  bool absolute, std::int64_t segments_changed,
                                  std::int64_t region_area);
+
+/// On-wire size of a region-batched update: header + u16 block count + per
+/// block an 8-byte rectangle and its cells. Only defined for the
+/// kBoundingBox packet structure (batching tightens exactly the bbox form).
+std::int32_t batched_update_packet_bytes(std::span<const UpdateBlock> blocks,
+                                         bool absolute);
 
 /// Payload of kMsgWireGrant.
 struct GrantPayload : PacketPayload {
@@ -104,10 +122,15 @@ std::int32_t ack_packet_bytes();
 // finally the payload: i16 per cell for absolute data, i8 per cell for
 // deltas (row-major over the bbox), 8 bytes (i32 wire, i32 iteration) for a
 // grant, nothing for requests or standalone acks (kMsgAck requires the
-// frame — the frame IS the ack). decode_packet() validates everything and
-// returns nullopt on malformed input — truncated or corrupted buffers must
-// fail cleanly, never invoke UB. A buffer with flag bit 1 clear is exactly
-// the pre-transport format, so transport-off runs stay byte-identical.
+// frame — the frame IS the ack). Flag bit 2 marks a *region-batched* update
+// (data-carrying types only): the header bbox is the union of the blocks
+// and the payload is a u16 block count followed by, per block, a 4 x i16
+// rectangle and its row-major cells (i16 or i8 per flag bit 0). Every block
+// must be non-empty, lie inside the header bbox, and carry exactly its area
+// in cells. decode_packet() validates everything and returns nullopt on
+// malformed input — truncated or corrupted buffers must fail cleanly, never
+// invoke UB. A buffer with flag bits 1 and 2 clear is exactly the
+// pre-transport format, so transport-off unbatched runs stay byte-identical.
 
 /// Sanity ceiling on cells per update packet (larger than any real region).
 inline constexpr std::int64_t kMaxUpdateCells = 1 << 22;
@@ -119,6 +142,7 @@ struct WirePacket {
   Rect bbox;
   bool absolute = false;
   std::vector<std::int32_t> values;  ///< update payload, row-major over bbox
+  std::vector<UpdateBlock> blocks;   ///< batched update (flag bit 2); values empty
   WireId wire = -1;                  ///< grant only
   std::int32_t iteration = 0;        ///< grant only
   /// Reliable-transport frame (flag bit 1). kMsgAck packets must carry it;

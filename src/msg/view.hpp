@@ -8,7 +8,7 @@
 #include <cstdint>
 #include <span>
 
-#include "grid/cost_array.hpp"
+#include "grid/backing.hpp"
 #include "grid/delta_array.hpp"
 #include "route/cost_view.hpp"
 
@@ -16,10 +16,12 @@ namespace locus {
 
 /// CostView that mirrors every write into the delta array. Reads go
 /// straight to the (possibly drifted) private view, so both bulk span
-/// reads forward to the CostArray fast path — clamping included.
+/// reads forward to the backing's fast path — clamping included. The view
+/// is any GridBacking: dense CostArray (paper scale) or TiledCostArray
+/// (sharded scale runs), chosen by ShardConfig.
 class ViewWithDelta final : public CostView {
  public:
-  ViewWithDelta(CostArray& view, DeltaArray& delta) : view_(view), delta_(delta) {}
+  ViewWithDelta(GridBacking& view, DeltaArray& delta) : view_(view), delta_(delta) {}
   std::int32_t read(GridPoint p) override { return view_.read(p); }
   void add(GridPoint p, std::int32_t d) override {
     view_.add(p, d);
@@ -36,7 +38,7 @@ class ViewWithDelta final : public CostView {
   bool supports_bulk_read() const override { return true; }
 
  private:
-  CostArray& view_;
+  GridBacking& view_;
   DeltaArray& delta_;
 };
 

@@ -95,6 +95,8 @@ void MpNodeObs::bind(Obs* o, std::size_t shard_index) {
   wires_routed = reg.counter("mp.wires_routed");
   cells_committed = reg.counter("mp.cells_committed");
   updates_suppressed = reg.counter("mp.updates_suppressed");
+  batched_updates = reg.counter("mp.batch.updates");
+  batched_blocks = reg.counter("mp.batch.blocks");
   if (TraceSink* t = obs->trace()) {
     cat_route = t->intern("route");
     n_route = t->intern("route_wire");

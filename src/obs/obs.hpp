@@ -154,6 +154,8 @@ struct MpNodeObs {
   MetricId wires_routed = 0;
   MetricId cells_committed = 0;
   MetricId updates_suppressed = 0;
+  MetricId batched_updates = 0;  ///< region-batched packets sent
+  MetricId batched_blocks = 0;   ///< tight blocks carried by those packets
   TraceSink::StrId cat_route = 0;
   TraceSink::StrId n_route = 0;
   TraceSink::StrId a_wire = 0;

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <queue>
 
+#include "grid/backing.hpp"
+#include "grid/tiled_cost_array.hpp"
 #include "support/assert.hpp"
 
 namespace locus {
@@ -16,7 +19,7 @@ namespace {
 /// read-modify-write pair.
 class TracingView final : public CostView {
  public:
-  TracingView(CostArray& shared, bool capture, bool dedup_reads)
+  TracingView(GridBacking& shared, bool capture, bool dedup_reads)
       : shared_(shared), capture_(capture), dedup_reads_(dedup_reads),
         read_stamp_(static_cast<std::size_t>(shared.size()), 0) {}
 
@@ -108,7 +111,7 @@ class TracingView final : public CostView {
     MemOp op;
   };
 
-  CostArray& shared_;
+  GridBacking& shared_;
   bool capture_;
   bool dedup_reads_;
   bool defer_ = false;
@@ -163,7 +166,16 @@ ShmRunResult run_shared_memory(const Circuit& circuit, const ShmConfig& config) 
   result.routes.resize(static_cast<std::size_t>(circuit.num_wires()));
   result.proc_finish_ns.assign(static_cast<std::size_t>(config.procs), 0);
 
-  TracingView view(result.cost, config.capture_trace, config.trace_dedup_reads);
+  // The one shared array everyone routes against: dense (the result slot
+  // itself) or a tiled backing whose content is copied out at the end.
+  std::optional<TiledCostArray> tiled;
+  if (config.sharded_cost) {
+    tiled.emplace(circuit.channels(), circuit.grids(), config.tile_dims);
+  }
+  GridBacking& shared_cost =
+      config.sharded_cost ? static_cast<GridBacking&>(*tiled) : result.cost;
+
+  TracingView view(shared_cost, config.capture_trace, config.trace_dedup_reads);
   const TimeModel& tm = config.time;
 
   obs::ShmObs shm_obs;
@@ -195,7 +207,7 @@ ShmRunResult run_shared_memory(const Circuit& circuit, const ShmConfig& config) 
   auto apply_pending_until = [&](SimTime t) {
     while (!pending_commits.empty() && pending_commits.top().time <= t) {
       const PendingCommit& pc = pending_commits.top();
-      for (const GridPoint& p : pc.cells) result.cost.add(p, pc.delta);
+      for (const GridPoint& p : pc.cells) shared_cost.add(p, pc.delta);
       pending_commits.pop();
     }
   };
@@ -303,6 +315,13 @@ ShmRunResult run_shared_memory(const Circuit& circuit, const ShmConfig& config) 
   }
 
   result.completion_ns = barrier_time;
+  if (tiled.has_value()) {
+    // Materialize the dense result array from the tiles (raw copy; absent
+    // tiles contribute their zeros).
+    std::vector<std::int32_t> values;
+    tiled->read_rect(tiled->bounds(), values);
+    result.cost.write_rect(result.cost.bounds(), values);
+  }
   result.circuit_height = circuit_height(result.cost);
   LOCUS_ASSERT(result.cost ==
                rebuild_cost(circuit.channels(), circuit.grids(), result.routes));

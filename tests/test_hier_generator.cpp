@@ -1,0 +1,117 @@
+// Property tests for the hierarchical scale-circuit generator: seed
+// determinism, pin validity, and the declared-vs-measured length mix (the
+// generator's whole point is that the hierarchy-level histogram is a
+// parameter, not an accident).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "circuit/hier_generator.hpp"
+
+namespace locus {
+namespace {
+
+bool same_netlist(const Circuit& a, const Circuit& b) {
+  if (a.channels() != b.channels() || a.grids() != b.grids() ||
+      a.num_wires() != b.num_wires()) {
+    return false;
+  }
+  for (std::int32_t w = 0; w < a.num_wires(); ++w) {
+    if (a.wire(w).pins != b.wire(w).pins) return false;
+  }
+  return true;
+}
+
+TEST(HierGenerator, SameSeedSameNetlist) {
+  HierGeneratorParams params;
+  params.num_wires = 2000;
+  const Circuit a = generate_hierarchical_circuit(params);
+  const Circuit b = generate_hierarchical_circuit(params);
+  EXPECT_TRUE(same_netlist(a, b));
+}
+
+TEST(HierGenerator, DifferentSeedDifferentNetlist) {
+  HierGeneratorParams params;
+  params.num_wires = 2000;
+  const Circuit a = generate_hierarchical_circuit(params);
+  params.seed ^= 0xDEADBEEFULL;
+  const Circuit b = generate_hierarchical_circuit(params);
+  EXPECT_FALSE(same_netlist(a, b));
+}
+
+TEST(HierGenerator, PinsInValidChannelsAndColumns) {
+  HierGeneratorParams params;
+  params.num_wires = 5000;
+  const Circuit circuit = generate_hierarchical_circuit(params);
+  ASSERT_EQ(circuit.num_wires(), params.num_wires);
+  for (const Wire& wire : circuit.wires()) {
+    EXPECT_GE(static_cast<int>(wire.pins.size()), 2) << "wire " << wire.id;
+    EXPECT_LE(static_cast<int>(wire.pins.size()), params.max_pins);
+    for (const Pin& pin : wire.pins) {
+      EXPECT_GE(pin.x, 0);
+      EXPECT_LT(pin.x, circuit.grids());
+      EXPECT_GE(pin.row, 0);
+      EXPECT_LT(pin.row, circuit.channels() - 1);
+    }
+  }
+}
+
+TEST(HierGenerator, LevelWeightsNormalizedAndLeafHeavy) {
+  HierGeneratorParams params;
+  const std::vector<double> weights = hier_level_weights(params);
+  ASSERT_EQ(static_cast<std::int32_t>(weights.size()), params.levels);
+  const double sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Leaf level dominates; each level up is damped by level_decay.
+  for (std::size_t l = 1; l < weights.size(); ++l) {
+    EXPECT_GT(weights[l], weights[l - 1]);
+  }
+}
+
+// Measured histogram tracks the declared weights. The fit test classifies a
+// wire by the deepest level whose block can contain its bbox, so wires
+// drawn at level l but placed near a block center can measure *deeper* than
+// drawn — the one-sided bounds below are the invariants the draw actually
+// guarantees: at least the declared fraction fits the leaf, and at most the
+// declared chip-level fraction (plus sampling slack) needs the whole chip.
+TEST(HierGenerator, LengthMixTracksDeclaredWeights) {
+  HierGeneratorParams params;
+  params.num_wires = 20'000;
+  const Circuit circuit = generate_hierarchical_circuit(params);
+  const std::vector<double> weights = hier_level_weights(params);
+  const std::vector<double> mix = measure_length_mix(circuit, params);
+  ASSERT_EQ(mix.size(), weights.size());
+  const double total = std::accumulate(mix.begin(), mix.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  constexpr double kSlack = 0.05;
+  const double leaf_weight = weights.back();
+  EXPECT_GE(mix.back(), leaf_weight - kSlack);
+  EXPECT_LE(mix.front(), weights.front() + kSlack);
+  // Non-leaf mass exists at all: the escape tail is generated, not empty.
+  EXPECT_GT(1.0 - mix.back(), 0.02);
+}
+
+TEST(HierGenerator, MakeScaleParamsShapes) {
+  const HierGeneratorParams p10k = make_scale_params(10'000, 1);
+  EXPECT_GE(p10k.channels, 16);
+  EXPECT_EQ(p10k.levels, 3);
+  EXPECT_EQ(p10k.name, "hier-10000");
+  const HierGeneratorParams p100k = make_scale_params(100'000, 1);
+  EXPECT_GE(p100k.channels, p10k.channels);
+  EXPECT_GE(p100k.levels, p10k.levels);
+  // Leaf blocks stay routable: >= 2 channel rows and >= 8 grids each.
+  const std::int32_t split = 1 << (p100k.levels - 1);
+  EXPECT_GE((p100k.channels - 1) / split, 2);
+  EXPECT_GE(p100k.grids / split, 8);
+}
+
+TEST(HierGenerator, ScaleCircuitDeterministicAcrossCalls) {
+  const Circuit a = make_scale_circuit(1'000, 77);
+  const Circuit b = make_scale_circuit(1'000, 77);
+  EXPECT_TRUE(same_netlist(a, b));
+}
+
+}  // namespace
+}  // namespace locus

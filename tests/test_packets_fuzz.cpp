@@ -41,16 +41,46 @@ WirePacket random_valid_packet(Rng& rng) {
     p.bbox = Rect::of(channel_lo,
                       channel_lo + static_cast<std::int32_t>(rng.bounded(4)),
                       x_lo, x_lo + static_cast<std::int32_t>(rng.bounded(40)));
-    const std::int64_t area =
-        std::int64_t{p.bbox.channel_hi - p.bbox.channel_lo + 1} *
-        (p.bbox.x_hi - p.bbox.x_lo + 1);
-    p.values.reserve(static_cast<std::size_t>(area));
-    for (std::int64_t i = 0; i < area; ++i) {
-      // i16 range for absolute data, i8 for deltas.
-      const std::int64_t span = p.absolute ? 32767 : 127;
-      p.values.push_back(static_cast<std::int32_t>(
-          static_cast<std::int64_t>(rng.bounded(
-              static_cast<std::uint64_t>(2 * span + 1))) - span));
+    // i16 range for absolute data, i8 for deltas.
+    const std::int64_t span = p.absolute ? 32767 : 127;
+    auto draw_cell = [&] {
+      return static_cast<std::int32_t>(
+          static_cast<std::int64_t>(
+              rng.bounded(static_cast<std::uint64_t>(2 * span + 1))) -
+          span);
+    };
+    if (rng.chance(0.3)) {
+      // Region-batched form (flag bit 2): tight disjoint blocks inside the
+      // header bbox. Split the bbox into per-channel-row strips.
+      for (std::int32_t c = p.bbox.channel_lo; c <= p.bbox.channel_hi; ++c) {
+        if (rng.chance(0.25)) continue;  // blocks need not tile the bbox
+        UpdateBlock block;
+        const auto width = p.bbox.x_hi - p.bbox.x_lo;
+        const auto lo = p.bbox.x_lo +
+                        static_cast<std::int32_t>(rng.bounded(
+                            static_cast<std::uint64_t>(width) + 1));
+        block.bbox = Rect::of(c, c, lo,
+                              lo + static_cast<std::int32_t>(rng.bounded(
+                                       static_cast<std::uint64_t>(
+                                           p.bbox.x_hi - lo) + 1)));
+        for (std::int64_t i = 0; i < block.bbox.area(); ++i) {
+          block.values.push_back(draw_cell());
+        }
+        p.blocks.push_back(std::move(block));
+      }
+      if (p.blocks.empty()) {
+        UpdateBlock block;
+        block.bbox = Rect::of(p.bbox.channel_lo, p.bbox.channel_lo,
+                              p.bbox.x_lo, p.bbox.x_lo);
+        block.values.push_back(draw_cell());
+        p.blocks.push_back(std::move(block));
+      }
+    } else {
+      const std::int64_t area =
+          std::int64_t{p.bbox.channel_hi - p.bbox.channel_lo + 1} *
+          (p.bbox.x_hi - p.bbox.x_lo + 1);
+      p.values.reserve(static_cast<std::size_t>(area));
+      for (std::int64_t i = 0; i < area; ++i) p.values.push_back(draw_cell());
     }
   } else if (p.type == kMsgWireGrant) {
     p.wire = static_cast<WireId>(rng.bounded(10'000)) - 1;  // includes -1
@@ -168,6 +198,99 @@ TEST(PacketCodecFuzz, HugeDeclaredPayloadRejected) {
   (*bytes)[14] = 0xFF;
   (*bytes)[15] = 0xFF;
   EXPECT_FALSE(decode_packet(*bytes).has_value());
+}
+
+/// A canonical batched update used by the malformed-input cases below.
+WirePacket valid_batched_packet() {
+  WirePacket p;
+  p.type = kMsgSendRmtData;
+  p.region = 3;
+  p.absolute = false;
+  p.bbox = Rect::of(0, 3, 10, 40);
+  UpdateBlock a;
+  a.bbox = Rect::of(0, 1, 10, 13);
+  a.values.assign(static_cast<std::size_t>(a.bbox.area()), -2);
+  UpdateBlock b;
+  b.bbox = Rect::of(3, 3, 30, 40);
+  b.values.assign(static_cast<std::size_t>(b.bbox.area()), 5);
+  p.blocks = {std::move(a), std::move(b)};
+  return p;
+}
+
+/// Batched round-trip: flag bit 2 set on the wire, size matches the byte
+/// model the time accounting charges, and decode reproduces every block.
+TEST(BatchedPacketCodec, RoundTripMatchesByteModel) {
+  const WirePacket p = valid_batched_packet();
+  const auto bytes = encode_packet(p);
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_EQ((*bytes)[1] & 4u, 4u);
+  EXPECT_EQ(static_cast<std::int32_t>(bytes->size()),
+            batched_update_packet_bytes(p.blocks, p.absolute));
+  const auto back = decode_packet(*bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, p);
+}
+
+TEST(BatchedPacketCodec, EncodeRejectsMalformedBlocks) {
+  {
+    WirePacket p = valid_batched_packet();
+    p.blocks[1].bbox = Rect::of(3, 3, 30, 50);  // escapes the header bbox
+    p.blocks[1].values.assign(static_cast<std::size_t>(21), 5);
+    EXPECT_FALSE(encode_packet(p).has_value());
+  }
+  {
+    WirePacket p = valid_batched_packet();
+    p.blocks[0].values.pop_back();  // value count != block area
+    EXPECT_FALSE(encode_packet(p).has_value());
+  }
+  {
+    WirePacket p = valid_batched_packet();
+    p.blocks[0].values[0] = 1000;  // delta cells are i8 on the wire
+    EXPECT_FALSE(encode_packet(p).has_value());
+  }
+  {
+    WirePacket p = valid_batched_packet();
+    p.values = {1};  // batched and flat payloads are mutually exclusive
+    EXPECT_FALSE(encode_packet(p).has_value());
+  }
+  {
+    WirePacket p = valid_batched_packet();
+    p.type = kMsgReqRmtData;  // only update types carry blocks
+    p.absolute = false;
+    EXPECT_FALSE(encode_packet(p).has_value());
+  }
+}
+
+TEST(BatchedPacketCodec, DecodeRejectsCorruptBlockStructure) {
+  const WirePacket p = valid_batched_packet();
+  const auto bytes = encode_packet(p);
+  ASSERT_TRUE(bytes.has_value());
+  {
+    // Inflate the u16 block count past the payload.
+    std::vector<std::uint8_t> corrupt = *bytes;
+    corrupt[16] = 0xFF;
+    corrupt[17] = 0x7F;
+    EXPECT_FALSE(decode_packet(corrupt).has_value());
+  }
+  {
+    // Batched flag on a non-update type.
+    std::vector<std::uint8_t> corrupt = *bytes;
+    corrupt[0] = static_cast<std::uint8_t>(kMsgReqRmtData);
+    EXPECT_FALSE(decode_packet(corrupt).has_value());
+  }
+  {
+    // Reserved flag bits must stay rejected (mask is ~0x07).
+    std::vector<std::uint8_t> corrupt = *bytes;
+    corrupt[1] |= 0x08;
+    EXPECT_FALSE(decode_packet(corrupt).has_value());
+  }
+  // Every strict prefix dies cleanly, exercising the per-block bounds
+  // checks (not just the header ones).
+  for (std::size_t len = 0; len < bytes->size(); ++len) {
+    const std::vector<std::uint8_t> prefix(
+        bytes->begin(), bytes->begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_FALSE(decode_packet(prefix).has_value()) << "len " << len;
+  }
 }
 
 }  // namespace

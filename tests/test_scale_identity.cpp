@@ -1,0 +1,102 @@
+// Sharded-vs-monolithic bit-identity (ISSUE 8 acceptance): routing against
+// tiled per-processor views must be indistinguishable from routing against
+// dense ones — identical routes, identical simulated completion time,
+// identical on-wire bytes — under every update schedule, because an absent
+// tile reads as zero, which *is* the initial value of every cell. Same
+// invariant for the shared-memory router's sharded cost array.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "circuit/hier_generator.hpp"
+#include "harness/experiments.hpp"
+#include "msg/driver.hpp"
+#include "shm/shm_router.hpp"
+
+namespace locus {
+namespace {
+
+struct ScheduleCase {
+  const char* name;
+  UpdateSchedule schedule;
+};
+
+// One representative of each of the paper's four update mechanisms:
+// SendLocData, SendRmtData (sender-initiated), ReqRmtData alone and
+// ReqRmtData+ReqLocData (receiver-initiated).
+const ScheduleCase kSchedules[] = {
+    {"SendLocData", UpdateSchedule::sender(0, 5)},
+    {"SendRmtData", UpdateSchedule::sender(2, 0)},
+    {"ReqRmtData", UpdateSchedule::receiver(0, 3)},
+    {"ReqLocData", UpdateSchedule::receiver(2, 3)},
+};
+
+MpRunResult run_mp(const Circuit& circuit, const UpdateSchedule& schedule,
+                   bool sharded) {
+  MpConfig config;
+  config.schedule = schedule;
+  config.iterations = 2;
+  config.shard.enabled = sharded;
+  return run_message_passing(circuit, /*procs=*/16, config);
+}
+
+TEST(ShardIdentity, AllSchedulesBitIdenticalOnScaleCircuit) {
+  const Circuit circuit = make_scale_circuit(1'000, /*seed=*/0xB17ULL);
+  for (const ScheduleCase& c : kSchedules) {
+    SCOPED_TRACE(c.name);
+    const MpRunResult dense = run_mp(circuit, c.schedule, /*sharded=*/false);
+    const MpRunResult tiled = run_mp(circuit, c.schedule, /*sharded=*/true);
+    EXPECT_TRUE(routes_identical(dense.routes, tiled.routes));
+    EXPECT_EQ(tiled.circuit_height, dense.circuit_height);
+    EXPECT_EQ(tiled.completion_ns, dense.completion_ns);
+    EXPECT_EQ(tiled.bytes_transferred, dense.bytes_transferred);
+    EXPECT_EQ(tiled.updates_suppressed, dense.updates_suppressed);
+    // The sharded run reports what its views actually hold. (No savings
+    // claim here: on a 1k-wire chip every node touches nearly every tile
+    // and the tile rounding can exceed the dense footprint; the memory
+    // bound is asserted at scale by the `scale`-labeled smoke.)
+    EXPECT_GT(tiled.view_resident_cells, 0);
+  }
+}
+
+TEST(ShardIdentity, ShmShardedCostBitIdentical) {
+  const Circuit circuit = make_scale_circuit(1'000, /*seed=*/0xB17ULL);
+  ShmConfig config;
+  config.procs = 16;
+  config.capture_trace = false;
+  const ShmRunResult dense = run_shared_memory(circuit, config);
+  config.sharded_cost = true;
+  const ShmRunResult tiled = run_shared_memory(circuit, config);
+  EXPECT_TRUE(routes_identical(dense.routes, tiled.routes));
+  EXPECT_EQ(tiled.circuit_height, dense.circuit_height);
+  EXPECT_EQ(tiled.completion_ns, dense.completion_ns);
+  // The densified final array matches cell-for-cell.
+  std::vector<std::int32_t> a;
+  std::vector<std::int32_t> b;
+  dense.cost.read_rect(dense.cost.bounds(), a);
+  tiled.cost.read_rect(tiled.cost.bounds(), b);
+  EXPECT_EQ(b, a);
+}
+
+/// Region batching changes packet bytes (that is its point), so it is not
+/// bit-identical to the unbatched run — but it must still converge: all
+/// wires routed with sane quality. At 1k wires the 8-byte per-block frames
+/// can outweigh the tightened rects, so the traffic assertion is a loose
+/// band; the real saving is measured by the scale bench at 10k wires.
+TEST(ShardIdentity, BatchedUpdatesConverge) {
+  const Circuit circuit = make_scale_circuit(1'000, /*seed=*/0xB17ULL);
+  MpConfig config;
+  config.schedule = UpdateSchedule::sender(2, 10);
+  config.shard.enabled = true;
+  const MpRunResult plain = run_message_passing(circuit, 16, config);
+  config.shard.batch_updates = true;
+  const MpRunResult batched = run_message_passing(circuit, 16, config);
+  EXPECT_EQ(batched.routes.size(), plain.routes.size());
+  EXPECT_GT(batched.circuit_height, 0);
+  EXPECT_GT(batched.bytes_transferred, 0u);
+  EXPECT_LT(static_cast<double>(batched.bytes_transferred),
+            1.15 * static_cast<double>(plain.bytes_transferred));
+}
+
+}  // namespace
+}  // namespace locus
