@@ -10,7 +10,13 @@
 //     byte model changed and the baseline must be re-recorded knowingly;
 //   * identity_mismatches  -- sharded vs monolithic route differences (0);
 //   * unbatched_bytes / batched_bytes / batch_saving_x -- what region
-//     batching buys on the same circuit.
+//     batching buys on the same circuit;
+//   * geo_sim_rps / dynlocal_sim_rps / *_view_bytes -- the ISSUE 9
+//     acceptance point (100k wires, 256 virtual procs): locality-aware
+//     dynamic scheduling vs the geographic baseline in simulated
+//     routes/sec and peak sharded-view bytes. The rps counters are
+//     simulated-time rates, so they are deterministic; the view bytes are
+//     exact-match gated.
 #include <cstdint>
 
 #include "bench_main.hpp"
@@ -96,6 +102,38 @@ Table batch_traffic_section() {
   return t;
 }
 
+Table dynamic_scheduling_section() {
+  ScaleSweepOptions options;
+  options.wire_counts = {100'000};
+  options.proc_counts = {256};
+  options.modes = {ScaleAssignMode::kGeographic,
+                   ScaleAssignMode::kDynamicLocality};
+  ScaleSweepResult result = run_scale_sweep(options);
+  const ScaleModeMetrics* geo = nullptr;
+  const ScaleModeMetrics* dyn = nullptr;
+  for (const ScaleModeMetrics& m : result.headline_modes) {
+    if (m.mode == ScaleAssignMode::kGeographic) geo = &m;
+    if (m.mode == ScaleAssignMode::kDynamicLocality) dyn = &m;
+  }
+  if (geo != nullptr && dyn != nullptr) {
+    benchmain::record("geo_sim_rps", geo->route_rps);
+    benchmain::record("dynlocal_sim_rps", dyn->route_rps);
+    benchmain::record("geo_view_bytes", static_cast<double>(geo->resident_bytes));
+    benchmain::record("dynlocal_view_bytes",
+                      static_cast<double>(dyn->resident_bytes));
+    benchmain::record("dyn_speedup_x",
+                      geo->route_rps == 0.0 ? 0.0
+                                            : dyn->route_rps / geo->route_rps);
+    benchmain::record("dyn_view_ratio_x",
+                      geo->resident_bytes == 0
+                          ? 0.0
+                          : static_cast<double>(dyn->resident_bytes) /
+                                static_cast<double>(geo->resident_bytes));
+    benchmain::record("dynlocal_routed_stddev", dyn->routed_stddev);
+  }
+  return std::move(result.table);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -105,5 +143,7 @@ int main(int argc, char** argv) {
         scale_sweep_section},
        {"shard identity (1k wires, 16 procs)", shard_identity_section},
        {"region batching traffic (10k wires, 16 procs)",
-        batch_traffic_section}});
+        batch_traffic_section},
+       {"dynamic scheduling (100k wires, 256 procs, geo vs dyn-local)",
+        dynamic_scheduling_section}});
 }

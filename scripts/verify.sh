@@ -74,6 +74,23 @@ if [[ "$RUN_BENCH" == 1 ]]; then
     fi
     echo "pool determinism: $b identical at --threads=1 and --threads=4"
   done
+  # Dynamic-assignment sweep determinism gate: the locality/steal scheduling
+  # protocols are simulated-time deterministic, so a small sweep must emit
+  # byte-identical data rows at any SimPool width (only wall-time lines and
+  # the wall-clock-dependent counters may differ).
+  for modes in dyn-local dyn-steal; do
+    LOCUS_SCALE_WIRES=2000 LOCUS_SCALE_PROCS=16 LOCUS_SCALE_MODES="geo,$modes" \
+      "./$BUILD_DIR/bench/scale_sweep" --threads=1 \
+      | grep -v 'built in\|total wall time' > /tmp/locus-dyn-serial.txt
+    LOCUS_SCALE_WIRES=2000 LOCUS_SCALE_PROCS=16 LOCUS_SCALE_MODES="geo,$modes" \
+      "./$BUILD_DIR/bench/scale_sweep" --threads=4 \
+      | grep -v 'built in\|total wall time' > /tmp/locus-dyn-pooled.txt
+    if ! diff -u /tmp/locus-dyn-serial.txt /tmp/locus-dyn-pooled.txt; then
+      echo "FAIL: $modes sweep diverges between --threads=1 and --threads=4" >&2
+      exit 1
+    fi
+    echo "dynamic-sweep determinism: $modes identical at --threads=1 and =4"
+  done
   # Route-service determinism gate: a replayed request batch must produce
   # byte-identical per-job results and metrics CSV at width 1 and width 8
   # (with LOCUS_POOL_IGNORE_AFFINITY forcing real workers even on 1-cpu

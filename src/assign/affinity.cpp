@@ -1,0 +1,166 @@
+#include "assign/affinity.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace locus {
+
+WireAffinityIndex::WireAffinityIndex(const Circuit& circuit,
+                                     const Partition& partition)
+    : partition_(partition) {
+  const std::int32_t regions = partition.num_regions();
+  buckets_.resize(static_cast<std::size_t>(regions));
+  front_.assign(static_cast<std::size_t>(regions), 0);
+  back_.assign(static_cast<std::size_t>(regions), 0);
+  near_order_.resize(static_cast<std::size_t>(regions));
+  taken_.assign(static_cast<std::size_t>(circuit.num_wires()), 0);
+  costs_.resize(static_cast<std::size_t>(circuit.num_wires()));
+  total_ = circuit.num_wires();
+  remaining_ = total_;
+  for (WireId w = 0; w < circuit.num_wires(); ++w) {
+    costs_[static_cast<std::size_t>(w)] = circuit.wire(w).assignment_cost() + 1;
+    total_cost_ += costs_[static_cast<std::size_t>(w)];
+    // Home region = owner of the leftmost pin, the same geography the
+    // static ThresholdCost assignment uses. Bucketing by every overlapped
+    // region instead would file chip-spanning wires under the whole mesh,
+    // and granting those from a periphery node's "resident" bucket
+    // densifies its tiled view.
+    const Pin& leftmost = circuit.wire(w).pins.front();
+    const ProcId home =
+        partition.owner(GridPoint{leftmost.channel_above(), leftmost.x});
+    buckets_[static_cast<std::size_t>(home)].push_back(w);
+  }
+  for (std::size_t r = 0; r < buckets_.size(); ++r) {
+    auto& bucket = buckets_[r];
+    std::sort(bucket.begin(), bucket.end(), [&](WireId a, WireId b) {
+      const std::int64_t ca = costs_[static_cast<std::size_t>(a)];
+      const std::int64_t cb = costs_[static_cast<std::size_t>(b)];
+      return ca != cb ? ca < cb : a < b;
+    });
+    back_[r] = bucket.size();
+  }
+}
+
+void WireAffinityIndex::reset() {
+  std::fill(taken_.begin(), taken_.end(), 0);
+  std::fill(front_.begin(), front_.end(), 0);
+  for (std::size_t r = 0; r < buckets_.size(); ++r) back_[r] = buckets_[r].size();
+  global_cursor_ = 0;
+  remaining_ = total_;
+}
+
+std::optional<WireId> WireAffinityIndex::pop_bucket(ProcId region,
+                                                    bool cheap_end) {
+  const auto& bucket = buckets_[static_cast<std::size_t>(region)];
+  std::size_t& front = front_[static_cast<std::size_t>(region)];
+  std::size_t& back = back_[static_cast<std::size_t>(region)];
+  if (cheap_end) {
+    while (front < back) {
+      const WireId w = bucket[front];
+      ++front;  // permanently skip: taken wires never come back this iteration
+      if (!taken_[static_cast<std::size_t>(w)]) {
+        taken_[static_cast<std::size_t>(w)] = 1;
+        --remaining_;
+        return w;
+      }
+    }
+  } else {
+    while (back > front) {
+      const WireId w = bucket[back - 1];
+      --back;
+      if (!taken_[static_cast<std::size_t>(w)]) {
+        taken_[static_cast<std::size_t>(w)] = 1;
+        --remaining_;
+        return w;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+const std::vector<ProcId>& WireAffinityIndex::near_order(ProcId home) {
+  auto& order = near_order_[static_cast<std::size_t>(home)];
+  if (order.empty()) {
+    const std::int32_t regions = partition_.num_regions();
+    order.resize(static_cast<std::size_t>(regions));
+    for (std::int32_t r = 0; r < regions; ++r) order[static_cast<std::size_t>(r)] = r;
+    std::stable_sort(order.begin(), order.end(), [&](ProcId a, ProcId b) {
+      const std::int32_t da = partition_.hop_distance(home, a);
+      const std::int32_t db = partition_.hop_distance(home, b);
+      if (da != db) return da < db;
+      return a < b;
+    });
+  }
+  return order;
+}
+
+std::optional<WireId> WireAffinityIndex::take(ProcId home,
+                                              std::span<const ProcId> resident,
+                                              Tier* tier) {
+  std::vector<WireId> one;
+  if (take_batch(home, resident, 1, /*cost_budget=*/0, /*max_hops=*/0, &one,
+                 tier) == 0) {
+    return std::nullopt;
+  }
+  return one.front();
+}
+
+std::int32_t WireAffinityIndex::take_batch(ProcId home,
+                                           std::span<const ProcId> resident,
+                                           std::int32_t count,
+                                           std::int64_t cost_budget,
+                                           std::int32_t max_hops,
+                                           std::vector<WireId>* out,
+                                           Tier* tier) {
+  if (remaining_ == 0 || count <= 0) return 0;
+  const auto drain = [&](ProcId r) {
+    std::int32_t got = 0;
+    std::int64_t spent = 0;
+    while (got < count && (cost_budget <= 0 || spent < cost_budget)) {
+      const auto w = pop_bucket(r, /*cheap_end=*/r != home);
+      if (!w.has_value()) break;
+      out->push_back(*w);
+      spent += costs_[static_cast<std::size_t>(*w)];
+      ++got;
+    }
+    return got;
+  };
+  for (ProcId r : resident) {
+    assert(r >= 0 && r < partition_.num_regions());
+    // The radius binds the resident tier too: residency feeds back (stealing
+    // from a region makes it resident, licensing further pulls), so an
+    // unbounded resident tier lets every thief creep across the whole mesh.
+    if (max_hops > 0 && partition_.hop_distance(home, r) > max_hops) continue;
+    if (const std::int32_t got = drain(r); got > 0) {
+      if (tier != nullptr) *tier = Tier::kResident;
+      return got;
+    }
+  }
+  for (ProcId r : near_order(home)) {
+    // near_order is hop-sorted, so the radius cut is a clean break.
+    if (max_hops > 0 && partition_.hop_distance(home, r) > max_hops) break;
+    if (const std::int32_t got = drain(r); got > 0) {
+      if (tier != nullptr) *tier = Tier::kNearest;
+      return got;
+    }
+  }
+  if (max_hops > 0) return 0;  // nothing reachable: caller defers the request
+  // Every region bucket exhausted yet wires remain — cannot happen because
+  // each wire lands in exactly one home bucket, but scan defensively so the
+  // scheduler can never lose a wire.
+  std::int32_t got = 0;
+  while (global_cursor_ < taken_.size() && got < count) {
+    const WireId w = static_cast<WireId>(global_cursor_);
+    ++global_cursor_;
+    if (!taken_[static_cast<std::size_t>(w)]) {
+      taken_[static_cast<std::size_t>(w)] = 1;
+      --remaining_;
+      out->push_back(w);
+      ++got;
+    }
+  }
+  if (got > 0 && tier != nullptr) *tier = Tier::kAny;
+  return got;
+}
+
+}  // namespace locus

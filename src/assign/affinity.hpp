@@ -1,0 +1,110 @@
+// Wire-affinity index for locality-aware dynamic wire scheduling (ISSUE 9).
+//
+// The dynamic distribution schemes of §4.2 hand wires out in id order, which
+// balances load but scatters every processor's working set across the whole
+// grid — at scale that densifies the sharded TileGrid views. This index
+// buckets every wire under its home region (the owner of its leftmost pin,
+// matching the static ThresholdCost geography), so the queue owner can
+// grant a requester wires homed where the requester already backs tiles
+// (its resident-region summary), falling back to buckets in ascending
+// mesh-hop order from the requester's home region, and finally to any
+// remaining wire.
+//
+// Each bucket is sorted by ascending assignment cost. A requester drains
+// its own home bucket from the expensive end — its geography already pays
+// for those wires' tiles — while foreign buckets are drained from the cheap
+// end, so the wires that roam for load balance are the short ones whose
+// routes materialize few new tiles in the thief's view.
+//
+// Pop order is deterministic: bucket order is a pure function of the
+// circuit, the end cursors only ever advance past taken wires, and every
+// tie breaks on the lower wire/region id. One index serves one routing
+// iteration; reset() rearms every wire for the next.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "geom/partition.hpp"
+
+namespace locus {
+
+class WireAffinityIndex {
+ public:
+  /// Which preference tier satisfied a take().
+  enum class Tier : std::int8_t {
+    kResident,  ///< bucketed under a requester-resident region
+    kNearest,   ///< nearest non-exhausted bucket by mesh hops from home
+    kAny,       ///< global id-order fallback
+  };
+
+  /// Buckets every wire of `circuit` under its home region. Built once per
+  /// run; `partition` must outlive the index.
+  WireAffinityIndex(const Circuit& circuit, const Partition& partition);
+
+  /// Rearms every wire (a new routing iteration starts).
+  void reset();
+
+  /// Wires not yet taken this iteration.
+  std::int64_t remaining() const { return remaining_; }
+
+  /// Pops one untaken wire preferring (1) the `resident` regions in the
+  /// given order, (2) buckets in ascending hop distance from `home` (ties
+  /// to the lower region id), (3) global wire-id order. The `home` bucket
+  /// pops its most expensive live wire, foreign buckets their cheapest.
+  /// Returns nullopt when the iteration is exhausted; `tier` (optional)
+  /// reports which preference level matched.
+  std::optional<WireId> take(ProcId home, std::span<const ProcId> resident,
+                             Tier* tier = nullptr);
+
+  /// Pops up to `count` wires into `out`, all from the FIRST non-exhausted
+  /// bucket in take()'s preference order (never spilling into a second
+  /// bucket — a clustered grant keeps the requester's new tile footprint
+  /// inside one donor neighborhood). A positive `cost_budget` additionally
+  /// stops the batch once the popped wires' summed assignment cost reaches
+  /// it (the first wire always pops), so a grant carries a bounded slice of
+  /// routing TIME: one chip-spanner or a fistful of short wires. A positive
+  /// `max_hops` restricts BOTH tiers to buckets within that many mesh hops
+  /// of `home` (residency feeds back — granting from a region makes it
+  /// resident, licensing further pulls — so an unbounded resident tier lets
+  /// every thief creep across the whole mesh) and disables the kAny
+  /// fallback. Returns the number taken; 0 with remaining() > 0 means
+  /// nothing is reachable for this requester (defer it), 0 with
+  /// remaining() == 0 that the iteration is exhausted.
+  std::int32_t take_batch(ProcId home, std::span<const ProcId> resident,
+                          std::int32_t count, std::int64_t cost_budget,
+                          std::int32_t max_hops, std::vector<WireId>* out,
+                          Tier* tier = nullptr);
+
+  /// Mean per-wire assignment cost over the whole circuit (+1 floor), the
+  /// natural cost_budget unit.
+  std::int64_t mean_wire_cost() const {
+    return total_ == 0 ? 1 : std::max<std::int64_t>(1, total_cost_ / total_);
+  }
+
+ private:
+  /// Pops the cheapest (`cheap_end`) or costliest live wire of a bucket.
+  std::optional<WireId> pop_bucket(ProcId region, bool cheap_end);
+  const std::vector<ProcId>& near_order(ProcId home);
+
+  const Partition& partition_;
+  std::vector<std::int64_t> costs_;  ///< per wire: assignment cost
+  std::int64_t total_cost_ = 0;
+  /// Per region, sorted by (assignment cost, wire id) ascending.
+  std::vector<std::vector<WireId>> buckets_;
+  std::vector<std::size_t> front_;  ///< per region: cheap-end cursor
+  std::vector<std::size_t> back_;   ///< per region: one past the costly end
+  std::vector<char> taken_;         ///< per wire
+  std::size_t global_cursor_ = 0;   ///< tier-kAny scan position
+  std::int64_t remaining_ = 0;
+  std::int64_t total_ = 0;
+  /// Region ids sorted by (hop distance from home, id); built lazily per
+  /// home processor and cached (the grant loop reuses them constantly).
+  std::vector<std::vector<ProcId>> near_order_;
+};
+
+}  // namespace locus

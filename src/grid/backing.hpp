@@ -71,6 +71,10 @@ class GridBacking : public CostView {
   virtual std::int64_t resident_cells() const = 0;
   /// Bytes of cell storage actually allocated.
   virtual std::int64_t resident_bytes() const = 0;
+  /// True when any cell of `box` has storage allocated (always true for
+  /// dense backings). Drives the resident-region summary the dynamic wire
+  /// scheduler sends with kMsgWireRequest (DESIGN.md §11).
+  virtual bool any_resident_in(const Rect& box) const = 0;
 
  protected:
   std::int32_t channels_;

@@ -66,6 +66,7 @@ class CostArray final : public GridBacking {
   std::int64_t resident_bytes() const override {
     return size() * static_cast<std::int64_t>(sizeof(std::int32_t));
   }
+  bool any_resident_in(const Rect& box) const override { return !box.is_empty(); }
 
   std::span<const std::int32_t> cells() const { return cells_; }
 

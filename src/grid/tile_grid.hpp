@@ -90,6 +90,24 @@ class TileGrid {
   /// Drops every tile (all cells read as zero again).
   void clear();
 
+  /// True when any tile overlapping `box` is resident. O(tiles in box).
+  bool any_resident_in(const Rect& box) const {
+    if (box.is_empty()) return false;
+    LOCUS_ASSERT(box.channel_lo >= 0 && box.channel_hi < channels_);
+    LOCUS_ASSERT(box.x_lo >= 0 && box.x_hi < grids_);
+    const std::int32_t ty_lo = box.channel_lo >> ch_shift_;
+    const std::int32_t ty_hi = box.channel_hi >> ch_shift_;
+    const std::int32_t tx_lo = box.x_lo >> col_shift_;
+    const std::int32_t tx_hi = box.x_hi >> col_shift_;
+    for (std::int32_t ty = ty_lo; ty <= ty_hi; ++ty) {
+      for (std::int32_t tx = tx_lo; tx <= tx_hi; ++tx) {
+        if (tiles_[static_cast<std::size_t>(ty) * tiles_x_ + tx] != nullptr)
+          return true;
+      }
+    }
+    return false;
+  }
+
   /// Calls fn(tile_bounds, cells) for every resident tile, row-major tile
   /// order. `tile_bounds` is clipped to the grid; `cells` points at the
   /// tile's storage (full tile_cols stride).

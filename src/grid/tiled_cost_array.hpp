@@ -60,6 +60,10 @@ class TiledCostArray final : public GridBacking {
     return resident_cells() * static_cast<std::int64_t>(sizeof(std::int32_t));
   }
 
+  bool any_resident_in(const Rect& box) const override {
+    return tiles_.any_resident_in(box);
+  }
+
   /// Pins the tiles under `box` resident (a node's own region at startup).
   void ensure_rect(const Rect& box) { tiles_.ensure_rect(box); }
 

@@ -1,6 +1,7 @@
 #include "harness/experiments.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdio>
 #include <iterator>
@@ -829,63 +830,180 @@ Table run_seed_robustness(const ExperimentConfig& config) {
   return t;
 }
 
+const char* scale_assign_mode_name(ScaleAssignMode mode) {
+  switch (mode) {
+    case ScaleAssignMode::kGeographic: return "geo";
+    case ScaleAssignMode::kDynamicFifo: return "dyn-fifo";
+    case ScaleAssignMode::kDynamicLocality: return "dyn-local";
+    case ScaleAssignMode::kDynamicSteal: return "dyn-steal";
+  }
+  return "?";
+}
+
 ScaleSweepResult run_scale_sweep(const ScaleSweepOptions& options) {
   LOCUS_ASSERT(!options.wire_counts.empty());
   LOCUS_ASSERT(!options.proc_counts.empty());
+  LOCUS_ASSERT(!options.modes.empty());
   ScaleSweepResult out;
   Table& t = out.table;
-  t.column("wires").column("procs").column("CktHt").column("routes/s")
-      .column("B/wire").column("speedup").column("view MB");
+  t.column("wires").column("procs").column("mode", Align::kLeft).column("CktHt")
+      .column("routes/s").column("B/wire").column("speedup").column("view MB")
+      .column("imbal").column("rtd min").column("rtd max").column("rtd sd");
   const UpdateSchedule schedule = UpdateSchedule::sender(2, 10);
-  bool first_circuit = true;
+
+  // Each circuit is generated once up front; the fanned jobs only read it.
+  std::vector<Circuit> circuits;
+  circuits.reserve(options.wire_counts.size());
   for (std::int32_t wires : options.wire_counts) {
-    if (!first_circuit) t.separator();
-    first_circuit = false;
-    const Circuit circuit = make_scale_circuit(wires, options.seed);
-    double base_seconds = 0.0;
+    circuits.push_back(make_scale_circuit(wires, options.seed));
+  }
+
+  struct Job {
+    std::size_t ckt = 0;
+    std::int32_t wires = 0;
+    std::int32_t procs = 0;
+    ScaleAssignMode mode = ScaleAssignMode::kGeographic;
+    bool skipped = false;
+  };
+  std::vector<Job> jobs;
+  for (std::size_t c = 0; c < circuits.size(); ++c) {
     for (std::int32_t procs : options.proc_counts) {
       const MeshShape mesh = MeshShape::for_procs(procs);
-      if (mesh.rows > circuit.channels() || mesh.cols > circuit.grids()) {
-        t.row().cell(wires).cell(procs).cell("-").cell("-").cell("-")
-            .cell("-").cell("(mesh exceeds channels)");
-        continue;
+      const bool skipped = mesh.rows > circuits[c].channels() ||
+                           mesh.cols > circuits[c].grids();
+      for (ScaleAssignMode mode : options.modes) {
+        jobs.push_back({c, options.wire_counts[c], procs, mode, skipped});
       }
-      const Partition partition(circuit.channels(), circuit.grids(), mesh);
-      // ThresholdCost-infinity (fully geographic) rather than the paper's
-      // tc1000 baseline: tc1000 round-robins every chip-spanning wire, so
-      // each node commits routes across the whole grid and the tiled views
-      // converge back to dense. Locality-preserving assignment is exactly
-      // what §5.4 prescribes for larger machines, and it is what keeps
-      // per-view resident memory bounded by the node's neighborhood.
-      const Assignment assignment =
-          make_assignment(circuit, partition, AssignMethod::kThresholdInf);
-      MpConfig config;
-      config.schedule = schedule;
-      config.iterations = options.iterations;
-      config.shard.enabled = options.sharded;
-      config.shard.batch_updates = options.batch_updates;
-      config.shard.tile = options.tile;
-      const MpRunResult r =
-          run_message_passing(circuit, partition, assignment, config);
-      const double seconds = r.seconds();
-      if (base_seconds == 0.0) base_seconds = seconds;
-      const double routed = static_cast<double>(circuit.num_wires()) *
-                            static_cast<double>(options.iterations);
-      const double rps = seconds == 0.0 ? 0.0 : routed / seconds;
-      const double bytes_per_wire = static_cast<double>(r.bytes_transferred) /
-                                    static_cast<double>(circuit.num_wires());
-      const double speedup = seconds == 0.0 ? 0.0 : base_seconds / seconds;
-      const double view_mb =
-          static_cast<double>(r.view_resident_bytes) / 1e6;
-      t.row().cell(wires).cell(procs)
-          .cell(static_cast<long long>(r.circuit_height))
-          .cell(rps, 0).cell(bytes_per_wire, 1).cell(speedup, 2)
-          .cell(view_mb, 2);
-      out.headline_route_rps = rps;
-      out.headline_traffic_bytes = r.bytes_transferred;
-      out.headline_resident_bytes = r.view_resident_bytes;
-      out.headline_circuit_height = r.circuit_height;
     }
+  }
+
+  struct RunOut {
+    double seconds = 0.0;
+    double bytes_per_wire = 0.0;
+    ScaleModeMetrics m;
+  };
+  // Fanned over the process SimPool; every job is an independent
+  // deterministic simulation, so the sweep is pool-width independent.
+  const auto runs = pool_map(jobs.size(), [&](std::size_t i) {
+    RunOut o;
+    const Job& job = jobs[i];
+    if (job.skipped) return o;
+    const Circuit& circuit = circuits[job.ckt];
+    const MeshShape mesh = MeshShape::for_procs(job.procs);
+    const Partition partition(circuit.channels(), circuit.grids(), mesh);
+    // ThresholdCost-infinity (fully geographic) rather than the paper's
+    // tc1000 baseline: tc1000 round-robins every chip-spanning wire, so
+    // each node commits routes across the whole grid and the tiled views
+    // converge back to dense. Locality-preserving assignment is exactly
+    // what §5.4 prescribes for larger machines, and it is what keeps
+    // per-view resident memory bounded by the node's neighborhood. The
+    // dynamic modes recover its lost load balance without densifying: the
+    // queue owner scores candidates against each requester's resident
+    // tiles (DESIGN.md §11).
+    const Assignment assignment =
+        make_assignment(circuit, partition, AssignMethod::kThresholdInf);
+    MpConfig config;
+    config.schedule = schedule;
+    config.iterations = options.iterations;
+    config.shard.enabled = options.sharded;
+    config.shard.batch_updates = options.batch_updates;
+    config.shard.tile = options.tile;
+    switch (job.mode) {
+      case ScaleAssignMode::kGeographic:
+        break;
+      case ScaleAssignMode::kDynamicFifo:
+        config.assignment_mode = WireAssignmentMode::kDynamicInterrupt;
+        break;
+      case ScaleAssignMode::kDynamicSteal:
+        config.dynamic.neighbor_steal = true;
+        [[fallthrough]];
+      case ScaleAssignMode::kDynamicLocality:
+        config.assignment_mode = WireAssignmentMode::kDynamicInterrupt;
+        config.dynamic.policy = GrantPolicy::kLocality;
+        config.dynamic.grant_batch = options.grant_batch;
+        config.dynamic.locality_radius = options.locality_radius;
+        break;
+    }
+    const MpRunResult r =
+        run_message_passing(circuit, partition, assignment, config);
+    o.seconds = r.seconds();
+    o.bytes_per_wire = static_cast<double>(r.bytes_transferred) /
+                       static_cast<double>(circuit.num_wires());
+    ScaleModeMetrics& m = o.m;
+    m.mode = job.mode;
+    const double routed_total = static_cast<double>(circuit.num_wires()) *
+                                static_cast<double>(options.iterations);
+    m.route_rps = o.seconds == 0.0 ? 0.0 : routed_total / o.seconds;
+    m.traffic_bytes = r.bytes_transferred;
+    m.resident_bytes = r.view_resident_bytes;
+    m.circuit_height = r.circuit_height;
+    m.routed_min = r.routed_per_proc.empty() ? 0 : r.routed_per_proc.front();
+    double sum = 0.0;
+    for (std::int64_t v : r.routed_per_proc) {
+      m.routed_min = std::min(m.routed_min, v);
+      m.routed_max = std::max(m.routed_max, v);
+      sum += static_cast<double>(v);
+    }
+    const double n = static_cast<double>(r.routed_per_proc.size());
+    const double mean = n == 0.0 ? 0.0 : sum / n;
+    double var = 0.0;
+    for (std::int64_t v : r.routed_per_proc) {
+      const double d = static_cast<double>(v) - mean;
+      var += d * d;
+    }
+    m.routed_stddev = n == 0.0 ? 0.0 : std::sqrt(var / n);
+    // For the static mode the achieved balance equals the assignment's
+    // prediction, so report Assignment::cost_imbalance; the dynamic modes
+    // report the max/mean ratio of the per-processor routed counts.
+    m.imbalance = job.mode == ScaleAssignMode::kGeographic
+                      ? assignment.cost_imbalance(circuit)
+                      : (mean == 0.0 ? 0.0 :
+                         static_cast<double>(m.routed_max) / mean);
+    return o;
+  });
+
+  // Serial table build in submission order keeps the output byte-identical
+  // at any pool width.
+  std::size_t prev_ckt = 0;
+  std::vector<double> base_seconds(options.modes.size(), 0.0);
+  std::vector<ScaleModeMetrics> combo;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Job& job = jobs[i];
+    const std::size_t mode_idx = i % options.modes.size();
+    if (job.ckt != prev_ckt) {
+      t.separator();
+      prev_ckt = job.ckt;
+      std::fill(base_seconds.begin(), base_seconds.end(), 0.0);
+    }
+    if (job.skipped) {
+      t.row().cell(job.wires).cell(job.procs)
+          .cell(scale_assign_mode_name(job.mode)).cell("-").cell("-")
+          .cell("-").cell("-").cell("(mesh exceeds channels)").cell("-")
+          .cell("-").cell("-").cell("-");
+      continue;
+    }
+    const RunOut& r = *runs[i];
+    if (base_seconds[mode_idx] == 0.0) base_seconds[mode_idx] = r.seconds;
+    const double speedup =
+        r.seconds == 0.0 ? 0.0 : base_seconds[mode_idx] / r.seconds;
+    t.row().cell(job.wires).cell(job.procs)
+        .cell(scale_assign_mode_name(job.mode))
+        .cell(static_cast<long long>(r.m.circuit_height))
+        .cell(r.m.route_rps, 0).cell(r.bytes_per_wire, 1).cell(speedup, 2)
+        .cell(static_cast<double>(r.m.resident_bytes) / 1e6, 2)
+        .cell(r.m.imbalance, 2)
+        .cell(static_cast<long long>(r.m.routed_min))
+        .cell(static_cast<long long>(r.m.routed_max))
+        .cell(r.m.routed_stddev, 1);
+    if (mode_idx == 0) {
+      out.headline_route_rps = r.m.route_rps;
+      out.headline_traffic_bytes = r.m.traffic_bytes;
+      out.headline_resident_bytes = r.m.resident_bytes;
+      out.headline_circuit_height = r.m.circuit_height;
+      combo.clear();
+    }
+    combo.push_back(r.m);
+    out.headline_modes = combo;
   }
   return out;
 }

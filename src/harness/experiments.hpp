@@ -87,11 +87,35 @@ Table run_speedup(const Circuit& bnre, const Circuit& mdc,
 // --- E13: scale tier (ISSUE 8) — Table 6's sweep extended to 64-256
 //     virtual processors on hierarchical 10k-1M wire circuits with sharded
 //     views and region-batched update packets ---
+/// How the sweep hands wires to processors (DESIGN.md §11):
+///   kGeographic       static ThresholdCost-infinity assignment (the ISSUE 8
+///                     baseline — fully local, but load follows geography),
+///   kDynamicFifo      the legacy §4.2 master queue (FIFO grants, one wire
+///                     per round trip),
+///   kDynamicLocality  extended protocol: locality-scored batched grants,
+///   kDynamicSteal     kDynamicLocality plus neighbor stealing.
+enum class ScaleAssignMode : std::int8_t {
+  kGeographic,
+  kDynamicFifo,
+  kDynamicLocality,
+  kDynamicSteal,
+};
+const char* scale_assign_mode_name(ScaleAssignMode mode);
+
 struct ScaleSweepOptions {
   std::vector<std::int32_t> wire_counts{10'000};
   std::vector<std::int32_t> proc_counts{16, 64};
+  /// Assignment policies to sweep per wires x procs combination.
+  std::vector<ScaleAssignMode> modes{ScaleAssignMode::kGeographic};
   std::uint64_t seed = 0x5CA1EULL;
   std::int32_t iterations = 2;
+  /// Grant batch for the dynamic locality/steal modes (cost-budgeted:
+  /// a grant carries about this many mean-cost wires' worth of work).
+  std::int32_t grant_batch = 16;
+  /// Roam radius in mesh hops for the locality/steal modes: bounds how many
+  /// distinct thieves replicate any donor region's tiles, which is what
+  /// keeps dynamic resident memory near the geographic baseline.
+  std::int32_t locality_radius = 2;
   /// Tiled per-processor views (memory bounded by what each node touches).
   bool sharded = true;
   /// Region-batched update packets (requires bounding-box structure).
@@ -104,19 +128,42 @@ struct ScaleSweepOptions {
   TileDims tile{2, 128};
 };
 
+/// Per-mode metrics of the last (largest) wires x procs combination.
+struct ScaleModeMetrics {
+  ScaleAssignMode mode = ScaleAssignMode::kGeographic;
+  double route_rps = 0.0;
+  std::uint64_t traffic_bytes = 0;
+  std::int64_t resident_bytes = 0;
+  std::int64_t circuit_height = 0;
+  /// Load balance actually achieved: wires routed per processor.
+  std::int64_t routed_min = 0;
+  std::int64_t routed_max = 0;
+  double routed_stddev = 0.0;
+  /// Static prediction (Assignment::cost_imbalance) for kGeographic; the
+  /// max/mean ratio of routed wires for the dynamic modes.
+  double imbalance = 0.0;
+};
+
 struct ScaleSweepResult {
   Table table;
-  /// Metrics of the last completed (largest) run, for bench gating.
+  /// Metrics of the last completed (largest) run of the FIRST mode in
+  /// ScaleSweepOptions::modes, for bench gating. With the default modes
+  /// list this is byte-identical to the pre-mode sweep.
   double headline_route_rps = 0.0;       ///< simulated wire routes per second
   std::uint64_t headline_traffic_bytes = 0;
   std::int64_t headline_resident_bytes = 0;
   std::int64_t headline_circuit_height = 0;
+  /// One entry per mode for the last wires x procs combination that ran.
+  std::vector<ScaleModeMetrics> headline_modes;
 };
 
-/// Sweeps proc_counts x wire_counts. Rows whose mesh cannot band the
-/// circuit (more mesh rows than channels) are reported as skipped. Columns:
-/// wires, procs, CktHt, routes/sec, traffic per wire, speedup vs the first
-/// proc count of that circuit, and resident view memory.
+/// Sweeps proc_counts x wire_counts x modes, fanned over the process
+/// SimPool (results are pool-width independent). Rows whose mesh cannot
+/// band the circuit (more mesh rows than channels) are reported as skipped.
+/// Columns: wires, procs, mode, CktHt, routes/sec, traffic per wire,
+/// speedup vs the first proc count of that circuit in the same mode,
+/// resident view memory, imbalance, and routed-wires min/max/stddev across
+/// processors (the load-balance story next to the throughput story).
 ScaleSweepResult run_scale_sweep(const ScaleSweepOptions& options);
 
 /// True when two route sets are bit-identical (wire id, path cost, cells,

@@ -45,6 +45,43 @@ enum class WireAssignmentMode : std::int8_t {
   kDynamicInterrupt,
 };
 
+/// Grant-ordering policy of the dynamic wire queue owner (DESIGN.md §11).
+enum class GrantPolicy : std::int8_t {
+  kFifoOrder,  ///< ascending wire id, exactly the §4.2 legacy behavior
+  kLocality,   ///< prefer wires overlapping the requester's resident tiles
+};
+
+/// Locality-aware dynamic scheduling knobs layered over the §4.2 machinery.
+/// The defaults reproduce the legacy single-wire FIFO protocol byte for
+/// byte; any non-default value switches the request/grant exchange to the
+/// extended wire format (resident-region summaries on requests, batched
+/// wire lists on grants, optional neighbor stealing).
+struct DynamicScheduleConfig {
+  GrantPolicy policy = GrantPolicy::kFifoOrder;
+  /// Wires handed out per grant (>= 1). Batches never straddle an
+  /// iteration boundary.
+  std::int32_t grant_batch = 1;
+  /// Idle workers probe mesh neighbors for surplus queued wires before
+  /// falling back to the master (decentralized stealing).
+  bool neighbor_steal = false;
+  /// Minimum victim queue depth to donate; victims donate half their queue
+  /// (tail first) and never their in-flight wire.
+  std::int32_t steal_threshold = 2;
+  /// Cap on resident-region ids carried by one wire request.
+  std::int32_t resident_summary_cap = 32;
+  /// kLocality roam limit in mesh hops (0 = unlimited): a requester is only
+  /// granted wires homed within this many hops of its own region, except
+  /// from regions it already backs tiles in (no new footprint there).
+  /// Requests that cannot be satisfied inside the radius are deferred until
+  /// the iteration rolls over, bounding how many distinct thieves replicate
+  /// any donor region's tiles.
+  std::int32_t locality_radius = 0;
+
+  bool extended_protocol() const {
+    return policy != GrantPolicy::kFifoOrder || grant_batch > 1 || neighbor_steal;
+  }
+};
+
 enum class PacketStructure : std::int8_t {
   kWireBased,    ///< §4.3.1 option 1: per-segment coordinates of changed wires
   kWholeRegion,  ///< §4.3.1 option 2: every cell of the owned region
@@ -123,6 +160,9 @@ struct MpConfig {
   /// Routing-time slice of the queue owner under kDynamicInterrupt:
   /// arriving requests are serviced within one slice.
   std::int64_t interrupt_slice_ns = 1'000'000;
+  /// Locality/batching/stealing knobs for the dynamic modes; defaults keep
+  /// the legacy FIFO single-wire protocol. Ignored under kStatic.
+  DynamicScheduleConfig dynamic;
   /// Override the interconnect shape (CBS simulated k-ary n-cubes of any
   /// dimension). Empty: a 2D mesh matching the partition. If set, the
   /// product must equal the processor count; the cost-array partition

@@ -34,6 +34,16 @@ struct MpRunResult {
   TimeBreakdown time_breakdown;         ///< summed over processors
   std::int64_t updates_suppressed = 0;
   std::int64_t requests_sent = 0;
+  /// Dynamic-scheduling counters (all zero for static runs / the legacy
+  /// FIFO protocol where noted).
+  std::int64_t grants_issued = 0;    ///< extended protocol only
+  std::int64_t grant_wires = 0;      ///< extended protocol only
+  std::int64_t affinity_grants = 0;  ///< GrantPolicy::kLocality only
+  std::int64_t steal_requests = 0;   ///< neighbor_steal only
+  std::int64_t steal_wires = 0;      ///< neighbor_steal only
+  /// Wires routed by each processor in total (all iterations) — the load
+  /// balance the scale sweep reports alongside routes/sec.
+  std::vector<std::int64_t> routed_per_proc;
   FaultStats faults;                    ///< all-zero when no plan installed
   TransportStats transport;             ///< all-zero when transport disabled
   std::vector<WireRoute> routes;        ///< final routing, indexed by wire id

@@ -68,7 +68,21 @@ RouterNode::RouterNode(const Circuit& circuit, const Partition& partition,
       interest_bbox_(static_cast<std::size_t>(partition.num_regions())),
       req_rmt_received_(static_cast<std::size_t>(partition.num_regions()), 0),
       segments_changed_(static_cast<std::size_t>(partition.num_regions()), 0),
-      granted_to_(static_cast<std::size_t>(partition.num_regions()), false) {}
+      granted_to_(static_cast<std::size_t>(partition.num_regions()), false) {
+  if (config.assignment_mode != WireAssignmentMode::kStatic &&
+      config.dynamic.extended_protocol()) {
+    if (self == 0 && config.dynamic.policy == GrantPolicy::kLocality) {
+      affinity_ = std::make_unique<WireAffinityIndex>(circuit, partition);
+    }
+    if (self != 0 && config.dynamic.neighbor_steal) {
+      // The master is never probed: asking it for a wire *is* the normal
+      // request path, and its queue is the global one.
+      for (ProcId n : partition.neighbors(self)) {
+        if (n != 0) steal_neighbors_.push_back(n);
+      }
+    }
+  }
+}
 
 void RouterNode::on_start(NodeApi& api) { static_cast<void>(api); }
 
@@ -78,9 +92,17 @@ TimeBreakdown& RouterNode::breakdown() {
 
 bool RouterNode::blocked() const {
   if (config_.schedule.blocking_receiver && pending_responses_ > 0) return true;
+  if (config_.assignment_mode == WireAssignmentMode::kStatic || self_ == 0) {
+    return false;
+  }
+  if (config_.dynamic.extended_protocol()) {
+    // Extended worker parked while its queue is drained and a grant or a
+    // steal reply is in flight.
+    return queue_head_ >= wire_queue_.size() &&
+           (waiting_grant_ || waiting_steal_) && !no_more_;
+  }
   // Dynamic-assignment worker parked until its wire grant arrives.
-  return config_.assignment_mode != WireAssignmentMode::kStatic && self_ != 0 &&
-         waiting_grant_ && granted_wire_ < 0 && !no_more_;
+  return waiting_grant_ && granted_wire_ < 0 && !no_more_;
 }
 
 void RouterNode::on_packet(NodeApi& api, const Packet& packet) {
@@ -206,12 +228,33 @@ void RouterNode::on_packet(NodeApi& api, const Packet& packet) {
     }
     case kMsgWireRequest: {
       LOCUS_ASSERT_MSG(self_ == 0, "wire requests go to the queue owner");
+      if (config_.dynamic.extended_protocol()) {
+        const auto& request = packet.payload_as<WireRequestPayload>();
+        outstanding_wires_ -= request.completed;
+        LOCUS_ASSERT(outstanding_wires_ >= 0);
+        pending_ext_.push_back(PendingRequest{packet.src, request.resident});
+        drain_pending_grants_ext(api);
+        break;
+      }
       note_request_from(packet.src);
       pending_requests_.push_back(packet.src);
       drain_pending_grants(api);
       break;
     }
     case kMsgWireGrant: {
+      if (config_.dynamic.extended_protocol()) {
+        const auto& grant = packet.payload_as<WireListPayload>();
+        waiting_grant_ = false;
+        if (grant.wires.empty()) {
+          no_more_ = true;
+        } else {
+          wire_queue_.insert(wire_queue_.end(), grant.wires.begin(),
+                             grant.wires.end());
+          granted_iteration_ = grant.iteration;
+          steal_probe_next_ = 0;  // fresh work rearms the probe rotation
+        }
+        break;
+      }
       const auto& grant = packet.payload_as<GrantPayload>();
       waiting_grant_ = false;
       if (grant.wire < 0) {
@@ -219,6 +262,48 @@ void RouterNode::on_packet(NodeApi& api, const Packet& packet) {
       } else {
         granted_wire_ = grant.wire;
         granted_iteration_ = grant.iteration;
+      }
+      break;
+    }
+    case kMsgStealRequest: {
+      LOCUS_ASSERT_MSG(self_ != 0 && config_.dynamic.neighbor_steal,
+                       "steal probes go to worker neighbors only");
+      // Donate half the still-queued wires (tail first, never the wire in
+      // flight) when the queue is deep enough; an empty list declines.
+      std::vector<WireId> donated;
+      const std::size_t queued = wire_queue_.size() - queue_head_;
+      if (!no_more_ &&
+          queued >= static_cast<std::size_t>(config_.dynamic.steal_threshold)) {
+        const std::size_t donate = queued / 2;
+        donated.assign(wire_queue_.end() - static_cast<std::ptrdiff_t>(donate),
+                       wire_queue_.end());
+        wire_queue_.resize(wire_queue_.size() - donate);
+      }
+      auto [reply, reply_data] = make_payload<WireListPayload>();
+      reply_data->iteration = granted_iteration_;
+      reply_data->wires = std::move(donated);
+      const std::int32_t bytes = batch_grant_packet_bytes(
+          static_cast<std::int32_t>(reply_data->wires.size()));
+      api.advance(config_.time.msg_fixed_ns);
+      breakdown().msg_software_ns += config_.time.msg_fixed_ns;
+      api.send(packet.src, kMsgStealGrant, bytes, std::move(reply));
+      note_sent(kMsgStealGrant, bytes);
+      breakdown().network_copy_ns += config_.time.process_time_ns;
+      break;
+    }
+    case kMsgStealGrant: {
+      const auto& grant = packet.payload_as<WireListPayload>();
+      waiting_steal_ = false;
+      if (!grant.wires.empty()) {
+        wire_queue_.insert(wire_queue_.end(), grant.wires.begin(),
+                           grant.wires.end());
+        granted_iteration_ = grant.iteration;
+        steal_probe_next_ = 0;
+        shared_.steal_wires += static_cast<std::int64_t>(grant.wires.size());
+        LOCUS_OBS_HOOK(if (shared_.node_obs) {
+          const obs::MpNodeObs& o = shared_.node_obs;
+          o.obs->counters().add(o.shard, o.steal_wires, grant.wires.size());
+        });
       }
       break;
     }
@@ -414,6 +499,9 @@ void RouterNode::request_wire(NodeApi& api) {
 }
 
 bool RouterNode::dynamic_step(NodeApi& api) {
+  if (config_.dynamic.extended_protocol()) {
+    return self_ == 0 ? master_step_ext(api) : worker_step_ext(api);
+  }
   if (self_ == 0) {
     // Queue owner: continue a sliced wire first (requests were serviced by
     // on_packet between slices — the "interrupt" model).
@@ -460,6 +548,261 @@ bool RouterNode::dynamic_step(NodeApi& api) {
   route_wire_id(api, wire, iteration, /*charge_now=*/true);
   fire_sender_updates(api);
   request_wire(api);
+  return true;
+}
+
+// --- extended dynamic protocol: locality grants, batching, stealing ---
+
+std::span<const ProcId> RouterNode::resident_summary() {
+  if (config_.dynamic.policy != GrantPolicy::kLocality) return {};
+  // Tiles are never released mid-run, so the resident cell count is a
+  // monotone key: unchanged count means an unchanged tile set.
+  const std::int64_t cells = view_->resident_cells();
+  if (cells == resident_snapshot_cells_) return resident_summary_;
+  resident_snapshot_cells_ = cells;
+  resident_summary_.clear();
+  for (ProcId r = 0; r < partition_.num_regions(); ++r) {
+    if (view_->any_resident_in(partition_.region(r))) {
+      resident_summary_.push_back(r);
+    }
+  }
+  std::stable_sort(resident_summary_.begin(), resident_summary_.end(),
+                   [&](ProcId a, ProcId b) {
+                     const std::int32_t da = partition_.hop_distance(self_, a);
+                     const std::int32_t db = partition_.hop_distance(self_, b);
+                     if (da != db) return da < db;
+                     return a < b;
+                   });
+  const auto cap = static_cast<std::size_t>(
+      std::max<std::int32_t>(0, config_.dynamic.resident_summary_cap));
+  if (resident_summary_.size() > cap) resident_summary_.resize(cap);
+  return resident_summary_;
+}
+
+RouterNode::TakeStatus RouterNode::take_wires_ext(
+    ProcId home, std::span<const ProcId> resident, std::int32_t count,
+    std::int32_t* iteration, std::vector<WireId>* out) {
+  const bool locality = config_.dynamic.policy == GrantPolicy::kLocality;
+  const auto exhausted = [&] {
+    return locality ? affinity_->remaining() == 0
+                    : dyn_next_wire_ >= circuit_.num_wires();
+  };
+  while (static_cast<std::int32_t>(out->size()) < count) {
+    if (exhausted()) {
+      if (!out->empty()) break;  // partial batch; never straddle iterations
+      if (dyn_iteration_ + 1 >= config_.iterations) {
+        *iteration = dyn_iteration_;
+        return TakeStatus::kDone;
+      }
+      // Same gate as the legacy protocol: the next iteration starts only
+      // once every granted wire's completion has been reported, so no two
+      // processors can hold one wire's route slot.
+      if (outstanding_wires_ > 0) {
+        *iteration = dyn_iteration_;
+        return TakeStatus::kWait;
+      }
+      ++dyn_iteration_;
+      if (locality) {
+        affinity_->reset();
+      } else {
+        dyn_next_wire_ = 0;
+      }
+      // The fresh iteration rearms every bucket, so radius-deferred
+      // requesters become serviceable again.
+      for (PendingRequest& d : deferred_ext_) {
+        pending_ext_.push_back(std::move(d));
+      }
+      deferred_ext_.clear();
+      continue;
+    }
+    if (locality) {
+      WireAffinityIndex::Tier tier = WireAffinityIndex::Tier::kAny;
+      // The batch budget is denominated in routing cost, not wire count:
+      // `count` mean-cost wires' worth per grant, up to 4x that many when
+      // the donor bucket's cheap end makes wires nearly free. One grant
+      // then carries a bounded slice of TIME — a single chip-spanner or a
+      // fistful of short wires — so large batches cannot serialize the
+      // expensive tail on one processor.
+      const std::int32_t want = count <= 1 ? 1 : count * 4;
+      const std::int64_t budget =
+          count <= 1 ? 0 : count * affinity_->mean_wire_cost();
+      const std::int32_t got =
+          affinity_->take_batch(home, resident, want, budget,
+                                config_.dynamic.locality_radius, out, &tier);
+      if (got == 0) {
+        // Wires remain, but none homed inside the requester's roam radius.
+        *iteration = dyn_iteration_;
+        return TakeStatus::kDefer;
+      }
+      if (tier == WireAffinityIndex::Tier::kResident) {
+        shared_.affinity_grants += got;
+        LOCUS_OBS_HOOK(if (shared_.node_obs) {
+          shared_.node_obs.obs->counters().add(
+              shared_.node_obs.shard, shared_.node_obs.affinity_hits,
+              static_cast<std::uint64_t>(got));
+        });
+      }
+      // One donor bucket per grant: a short batch is preferable to
+      // spilling the requester's footprint into a second region.
+      break;
+    }
+    out->push_back(dyn_next_wire_++);
+  }
+  *iteration = dyn_iteration_;
+  return TakeStatus::kOk;
+}
+
+void RouterNode::send_grant_ext(NodeApi& api, ProcId dst,
+                                std::vector<WireId> wires,
+                                std::int32_t iteration) {
+  const auto count = static_cast<std::int32_t>(wires.size());
+  // Single-wire (and no-more) grants keep the legacy 8-byte payload; only
+  // real batches pay the list form.
+  const std::int32_t bytes =
+      count <= 1 ? grant_packet_bytes() : batch_grant_packet_bytes(count);
+  auto [grant, grant_data] = make_payload<WireListPayload>();
+  grant_data->iteration = iteration;
+  grant_data->wires = std::move(wires);
+  api.advance(config_.time.msg_fixed_ns);
+  breakdown().msg_software_ns += config_.time.msg_fixed_ns;
+  api.send(dst, kMsgWireGrant, bytes, std::move(grant));
+  note_sent(kMsgWireGrant, bytes);
+  breakdown().network_copy_ns += config_.time.process_time_ns;
+  outstanding_wires_ += count;
+  ++shared_.grants_issued;
+  shared_.grant_wires += count;
+  LOCUS_OBS_HOOK(if (shared_.node_obs) {
+    const obs::MpNodeObs& o = shared_.node_obs;
+    o.obs->counters().add(o.shard, o.grants);
+    o.obs->counters().add(o.shard, o.grant_wires,
+                          static_cast<std::uint64_t>(count));
+  });
+}
+
+void RouterNode::drain_pending_grants_ext(NodeApi& api) {
+  while (!pending_ext_.empty()) {
+    // By value: the rollover inside take_wires_ext re-queues deferred
+    // requests into pending_ext_, which may reallocate it.
+    PendingRequest head = std::move(pending_ext_.front());
+    pending_ext_.erase(pending_ext_.begin());
+    std::int32_t iteration = 0;
+    std::vector<WireId> wires;
+    const TakeStatus status =
+        take_wires_ext(head.src, head.resident, config_.dynamic.grant_batch,
+                       &iteration, &wires);
+    if (status == TakeStatus::kWait) {
+      // Rollover gated on outstanding completions; keep the queue intact.
+      pending_ext_.insert(pending_ext_.begin(), std::move(head));
+      return;
+    }
+    if (status == TakeStatus::kDefer) {
+      deferred_ext_.push_back(std::move(head));
+      continue;
+    }
+    if (status == TakeStatus::kDone) {
+      // Run exhausted: radius-deferred requesters get the same final
+      // no-more grant as everyone else.
+      for (PendingRequest& d : deferred_ext_) {
+        pending_ext_.push_back(std::move(d));
+      }
+      deferred_ext_.clear();
+    }
+    send_grant_ext(api, head.src, std::move(wires), iteration);
+  }
+}
+
+void RouterNode::request_wire_ext(NodeApi& api) {
+  waiting_grant_ = true;
+  auto [request, request_data] = make_payload<WireRequestPayload>();
+  request_data->completed = completed_unreported_;
+  completed_unreported_ = 0;
+  const std::span<const ProcId> resident = resident_summary();
+  request_data->resident.assign(resident.begin(), resident.end());
+  const std::int32_t bytes =
+      wire_request_packet_bytes(static_cast<std::int32_t>(resident.size()));
+  api.advance(config_.time.msg_fixed_ns);
+  breakdown().msg_software_ns += config_.time.msg_fixed_ns;
+  api.send(0, kMsgWireRequest, bytes, std::move(request));
+  note_sent(kMsgWireRequest, bytes);
+  breakdown().network_copy_ns += config_.time.process_time_ns;
+  ++shared_.requests_sent;
+}
+
+void RouterNode::send_steal_probe(NodeApi& api) {
+  const ProcId victim = steal_neighbors_[steal_probe_next_++];
+  waiting_steal_ = true;
+  api.advance(config_.time.msg_fixed_ns);
+  breakdown().msg_software_ns += config_.time.msg_fixed_ns;
+  api.send(victim, kMsgStealRequest, steal_request_packet_bytes(), nullptr);
+  note_sent(kMsgStealRequest, steal_request_packet_bytes());
+  breakdown().network_copy_ns += config_.time.process_time_ns;
+  ++shared_.steal_requests;
+  LOCUS_OBS_HOOK(if (shared_.node_obs) {
+    shared_.node_obs.obs->counters().add(shared_.node_obs.shard,
+                                         shared_.node_obs.steal_probes);
+  });
+}
+
+bool RouterNode::master_step_ext(NodeApi& api) {
+  // Same slicing structure as the legacy master: requests are serviced by
+  // on_packet between slices (the "interrupt" model).
+  if (slice_remaining_ > 0) {
+    const SimTime slice = std::min(slice_remaining_, config_.interrupt_slice_ns);
+    api.advance(slice);
+    breakdown().routing_ns += slice;
+    slice_remaining_ -= slice;
+    if (slice_remaining_ == 0) fire_sender_updates(api);
+    return true;
+  }
+  std::int32_t iteration = 0;
+  std::vector<WireId> mine;
+  const TakeStatus status =
+      take_wires_ext(0, resident_summary(), 1, &iteration, &mine);
+  if (status != TakeStatus::kOk) {
+    return false;  // nothing to route now; arriving requests will wake us
+  }
+  LOCUS_ASSERT(mine.size() == 1);
+  const SimTime cost =
+      route_wire_id(api, mine.front(), iteration, /*charge_now=*/false);
+  if (config_.assignment_mode == WireAssignmentMode::kDynamicInterrupt) {
+    slice_remaining_ = cost;
+    const SimTime slice = std::min(slice_remaining_, config_.interrupt_slice_ns);
+    api.advance(slice);
+    breakdown().routing_ns += slice;
+    slice_remaining_ -= slice;
+    if (slice_remaining_ == 0) fire_sender_updates(api);
+  } else {
+    api.advance(cost);
+    breakdown().routing_ns += cost;
+    fire_sender_updates(api);
+  }
+  return true;
+}
+
+bool RouterNode::worker_step_ext(NodeApi& api) {
+  if (queue_head_ < wire_queue_.size()) {
+    const WireId wire = wire_queue_[queue_head_++];
+    if (queue_head_ >= wire_queue_.size()) {
+      wire_queue_.clear();
+      queue_head_ = 0;
+    }
+    route_wire_id(api, wire, granted_iteration_, /*charge_now=*/true);
+    ++completed_unreported_;
+    fire_sender_updates(api);
+    return true;
+  }
+  if (no_more_) return false;
+  if (waiting_grant_ || waiting_steal_) {
+    return true;  // the engine parks us via blocked() until a reply lands
+  }
+  // Queue drained: probe each mesh neighbor once before the master. Fresh
+  // work from any source rearms the rotation.
+  if (config_.dynamic.neighbor_steal &&
+      steal_probe_next_ < steal_neighbors_.size()) {
+    send_steal_probe(api);
+    return true;
+  }
+  request_wire_ext(api);
   return true;
 }
 

@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "assign/affinity.hpp"
 #include "assign/assignment.hpp"
 #include "circuit/circuit.hpp"
 #include "geom/partition.hpp"
@@ -77,6 +78,12 @@ struct MpShared {
   std::int64_t updates_suppressed = 0;       ///< clean-region updates skipped
   std::int64_t requests_sent = 0;
   std::int64_t responses_received = 0;
+  // Dynamic-scheduling counters (extended protocol, DESIGN.md §11).
+  std::int64_t grants_issued = 0;    ///< grant packets the queue owner sent
+  std::int64_t grant_wires = 0;      ///< wires carried by those grants
+  std::int64_t affinity_grants = 0;  ///< wires taken from a resident bucket
+  std::int64_t steal_requests = 0;   ///< neighbor probes sent by idle workers
+  std::int64_t steal_wires = 0;      ///< wires obtained by stealing
   /// Bound by the driver when MpConfig::obs is set (the DES is sequential,
   /// so one shard serves every node); unbound otherwise.
   obs::MpNodeObs node_obs;
@@ -118,6 +125,31 @@ class RouterNode final : public Node {
   void drain_pending_grants(NodeApi& api);
   void send_grant(NodeApi& api, ProcId dst, WireId wire, std::int32_t iteration);
   void request_wire(NodeApi& api);
+
+  // Extended dynamic protocol (config_.dynamic.extended_protocol()):
+  // locality-scored batched grants plus optional neighbor stealing.
+  enum class TakeStatus : std::int8_t { kOk, kWait, kDefer, kDone };
+  bool master_step_ext(NodeApi& api);
+  bool worker_step_ext(NodeApi& api);
+  /// Pops up to `count` wires of the current iteration for `home`,
+  /// preferring its resident regions under GrantPolicy::kLocality. Batches
+  /// never straddle an iteration boundary; kWait means the rollover is
+  /// gated on outstanding wires, kDefer that nothing is reachable for this
+  /// requester inside the locality radius (park it until rollover), kDone
+  /// that the run is exhausted.
+  TakeStatus take_wires_ext(ProcId home, std::span<const ProcId> resident,
+                            std::int32_t count, std::int32_t* iteration,
+                            std::vector<WireId>* out);
+  void drain_pending_grants_ext(NodeApi& api);
+  void send_grant_ext(NodeApi& api, ProcId dst, std::vector<WireId> wires,
+                      std::int32_t iteration);
+  void request_wire_ext(NodeApi& api);
+  void send_steal_probe(NodeApi& api);
+  /// Regions where this node's view currently backs storage, nearest first,
+  /// capped at DynamicScheduleConfig::resident_summary_cap. Recomputed only
+  /// when the view's resident footprint changed; empty unless the grant
+  /// policy is kLocality.
+  std::span<const ProcId> resident_summary();
   void fire_sender_updates(NodeApi& api);
   void send_data_update(NodeApi& api, ProcId dst, std::int32_t type, ProcId region,
                         const Rect& bbox, bool absolute,
@@ -191,6 +223,26 @@ class RouterNode final : public Node {
   std::vector<bool> granted_to_;             ///< master: per worker
   std::vector<ProcId> pending_requests_;     ///< master: waiting for rollover
   SimTime slice_remaining_ = 0;       ///< master: sliced charge (interrupt mode)
+
+  // Extended dynamic protocol state (config_.dynamic.extended_protocol()).
+  struct PendingRequest {
+    ProcId src = -1;
+    std::vector<ProcId> resident;  ///< requester's resident-region summary
+  };
+  std::unique_ptr<WireAffinityIndex> affinity_;  ///< master, kLocality only
+  std::int64_t outstanding_wires_ = 0;  ///< master: granted, not yet reported
+  std::vector<PendingRequest> pending_ext_;  ///< master: queued requests
+  /// Master: requests refused by the locality radius, parked until the
+  /// iteration rolls over (or the run ends) re-queues them.
+  std::vector<PendingRequest> deferred_ext_;
+  std::vector<WireId> wire_queue_;    ///< worker: granted, not yet routed
+  std::size_t queue_head_ = 0;
+  std::int32_t completed_unreported_ = 0;  ///< worker: since last report
+  bool waiting_steal_ = false;        ///< worker: steal probe outstanding
+  std::size_t steal_probe_next_ = 0;  ///< worker: next neighbor to probe
+  std::vector<ProcId> steal_neighbors_;  ///< mesh neighbors minus the master
+  std::vector<ProcId> resident_summary_;
+  std::int64_t resident_snapshot_cells_ = -1;  ///< summary cache key
 };
 
 }  // namespace locus

@@ -41,6 +41,18 @@ std::int32_t request_packet_bytes() { return kUpdateHeaderBytes; }
 
 std::int32_t grant_packet_bytes() { return kUpdateHeaderBytes + 8; }
 
+std::int32_t wire_request_packet_bytes(std::int32_t resident_regions) {
+  LOCUS_ASSERT(resident_regions >= 0);
+  return kUpdateHeaderBytes + 6 + 2 * resident_regions;
+}
+
+std::int32_t batch_grant_packet_bytes(std::int32_t wires) {
+  LOCUS_ASSERT(wires >= 0);
+  return kUpdateHeaderBytes + 6 + 4 * wires;
+}
+
+std::int32_t steal_request_packet_bytes() { return kUpdateHeaderBytes; }
+
 std::int32_t ack_packet_bytes() { return kUpdateHeaderBytes + kTransportFrameBytes; }
 
 namespace {
@@ -53,7 +65,8 @@ bool is_update_type(std::int32_t type) {
 bool is_known_type(std::int32_t type) {
   return is_update_type(type) || type == kMsgReqLocData ||
          type == kMsgReqRmtData || type == kMsgWireRequest ||
-         type == kMsgWireGrant || type == kMsgAck;
+         type == kMsgWireGrant || type == kMsgAck ||
+         type == kMsgStealRequest || type == kMsgStealGrant;
 }
 
 /// Absolute payloads carry i16 cells (occupancy fits 16 bits; drifted views
@@ -108,6 +121,16 @@ std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t at) {
   return static_cast<std::uint32_t>(get_i32(in, at));
 }
 
+std::uint32_t get_u16(std::span<const std::uint8_t> in, std::size_t at) {
+  return static_cast<std::uint32_t>(in[at]) |
+         (static_cast<std::uint32_t>(in[at + 1]) << 8);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+}
+
 }  // namespace
 
 std::optional<std::vector<std::uint8_t>> encode_packet(const WirePacket& packet) {
@@ -121,6 +144,14 @@ std::optional<std::vector<std::uint8_t>> encode_packet(const WirePacket& packet)
 
   const bool update = is_update_type(packet.type);
   const bool batched = !packet.blocks.empty();
+  // Dynamic-scheduling fields belong only to their packet kinds.
+  const bool scheduling = packet.type == kMsgWireRequest ||
+                          packet.type == kMsgWireGrant ||
+                          packet.type == kMsgStealGrant;
+  if (!scheduling && (packet.extended || packet.completed != 0 ||
+                      !packet.regions.empty() || !packet.wires.empty())) {
+    return std::nullopt;
+  }
   std::uint32_t payload_bytes = 0;
   if (batched) {
     // Region-batched form: header bbox is the union; each block is a tight
@@ -160,7 +191,56 @@ std::optional<std::vector<std::uint8_t>> encode_packet(const WirePacket& packet)
         area * (packet.absolute ? kAbsoluteBytesPerCell : kDeltaBytesPerCell));
   } else {
     if (packet.absolute || !packet.values.empty()) return std::nullopt;
-    if (packet.type == kMsgWireGrant) payload_bytes = 8;
+    switch (packet.type) {
+      case kMsgWireRequest:
+        if (!packet.wires.empty()) return std::nullopt;
+        if (packet.extended) {
+          if (packet.completed < 0) return std::nullopt;
+          if (packet.regions.size() > 0xFFFF) return std::nullopt;
+          for (std::int32_t r : packet.regions) {
+            if (r < 0 || r > 0xFFFF) return std::nullopt;
+          }
+          payload_bytes = static_cast<std::uint32_t>(
+              6 + 2 * packet.regions.size());
+        } else if (packet.completed != 0 || !packet.regions.empty()) {
+          return std::nullopt;  // legacy requests carry no payload
+        }
+        break;
+      case kMsgWireGrant:
+        if (packet.extended || packet.completed != 0 || !packet.regions.empty()) {
+          return std::nullopt;
+        }
+        if (packet.wires.empty()) {
+          if (packet.wire < kNoMoreWires) return std::nullopt;
+          payload_bytes = 8;
+        } else {
+          // Batched grants need >= 2 wires: an 8-byte payload must stay
+          // unambiguously the legacy form (6 + 4n skips 8 only for n >= 2).
+          if (packet.wires.size() < 2 || packet.wires.size() > 0xFFFF) {
+            return std::nullopt;
+          }
+          if (packet.wire != kNoMoreWires) return std::nullopt;
+          for (WireId w : packet.wires) {
+            if (w < 0) return std::nullopt;
+          }
+          payload_bytes =
+              static_cast<std::uint32_t>(6 + 4 * packet.wires.size());
+        }
+        break;
+      case kMsgStealGrant:
+        if (packet.extended || packet.completed != 0 ||
+            !packet.regions.empty() || packet.wire != kNoMoreWires) {
+          return std::nullopt;
+        }
+        if (packet.wires.size() > 0xFFFF) return std::nullopt;
+        for (WireId w : packet.wires) {
+          if (w < 0) return std::nullopt;
+        }
+        payload_bytes = static_cast<std::uint32_t>(6 + 4 * packet.wires.size());
+        break;
+      default:  // plain requests, steal probes, acks: header (+ frame) only
+        break;
+    }
   }
   // A standalone ack is nothing but its transport frame.
   if (packet.type == kMsgAck && !packet.has_transport) return std::nullopt;
@@ -213,8 +293,24 @@ std::optional<std::vector<std::uint8_t>> encode_packet(const WirePacket& packet)
       }
     }
   } else if (packet.type == kMsgWireGrant) {
-    put_i32(out, packet.wire);
+    if (packet.wires.empty()) {
+      put_i32(out, packet.wire);
+      put_i32(out, packet.iteration);
+    } else {
+      put_u16(out, static_cast<std::uint32_t>(packet.wires.size()));
+      put_i32(out, packet.iteration);
+      for (WireId w : packet.wires) put_i32(out, w);
+    }
+  } else if (packet.type == kMsgWireRequest && packet.extended) {
+    put_i32(out, packet.completed);
+    put_u16(out, static_cast<std::uint32_t>(packet.regions.size()));
+    for (std::int32_t r : packet.regions) {
+      put_u16(out, static_cast<std::uint32_t>(r));
+    }
+  } else if (packet.type == kMsgStealGrant) {
+    put_u16(out, static_cast<std::uint32_t>(packet.wires.size()));
     put_i32(out, packet.iteration);
+    for (WireId w : packet.wires) put_i32(out, w);
   }
   LOCUS_ASSERT(out.size() == static_cast<std::size_t>(kUpdateHeaderBytes) +
                                  frame_bytes + payload_bytes);
@@ -321,12 +417,61 @@ std::optional<WirePacket> decode_packet(std::span<const std::uint8_t> buffer) {
   }
   if (packet.absolute) return std::nullopt;
   if (packet.type == kMsgWireGrant) {
-    if (payload_bytes != 8) return std::nullopt;
-    packet.wire = get_i32(buffer, payload_at);
-    packet.iteration = get_i32(buffer, payload_at + 4);
+    if (payload_bytes == 8) {
+      packet.wire = get_i32(buffer, payload_at);
+      if (packet.wire < kNoMoreWires) return std::nullopt;
+      packet.iteration = get_i32(buffer, payload_at + 4);
+      return packet;
+    }
+    // Batched form: u16 count (>= 2) + i32 iteration + count x i32 wires.
+    if (payload_bytes < 6) return std::nullopt;
+    const std::uint32_t count = get_u16(buffer, payload_at);
+    if (count < 2) return std::nullopt;
+    if (payload_bytes != 6 + 4 * static_cast<std::int64_t>(count)) {
+      return std::nullopt;
+    }
+    packet.iteration = get_i32(buffer, payload_at + 2);
+    packet.wires.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const WireId w = get_i32(buffer, payload_at + 6 + 4 * i);
+      if (w < 0) return std::nullopt;
+      packet.wires.push_back(w);
+    }
     return packet;
   }
-  if (payload_bytes != 0) return std::nullopt;  // requests/acks: no payload
+  if (packet.type == kMsgStealGrant) {
+    if (payload_bytes < 6) return std::nullopt;
+    const std::uint32_t count = get_u16(buffer, payload_at);
+    if (payload_bytes != 6 + 4 * static_cast<std::int64_t>(count)) {
+      return std::nullopt;
+    }
+    packet.iteration = get_i32(buffer, payload_at + 2);
+    packet.wires.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const WireId w = get_i32(buffer, payload_at + 6 + 4 * i);
+      if (w < 0) return std::nullopt;
+      packet.wires.push_back(w);
+    }
+    return packet;
+  }
+  if (packet.type == kMsgWireRequest && payload_bytes != 0) {
+    // Extended form: i32 completed + u16 count + count x u16 region ids.
+    if (payload_bytes < 6) return std::nullopt;
+    packet.extended = true;
+    packet.completed = get_i32(buffer, payload_at);
+    if (packet.completed < 0) return std::nullopt;
+    const std::uint32_t count = get_u16(buffer, payload_at + 4);
+    if (payload_bytes != 6 + 2 * static_cast<std::int64_t>(count)) {
+      return std::nullopt;
+    }
+    packet.regions.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      packet.regions.push_back(
+          static_cast<std::int32_t>(get_u16(buffer, payload_at + 6 + 2 * i)));
+    }
+    return packet;
+  }
+  if (payload_bytes != 0) return std::nullopt;  // requests/probes/acks: none
   return packet;
 }
 

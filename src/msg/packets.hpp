@@ -35,9 +35,16 @@ enum MsgType : std::int32_t {
   kMsgReqRmtData = 4,   ///< remote asks the owner for absolute data
   kMsgRspRmtData = 5,   ///< owner's absolute response to ReqRmtData
   kMsgWireRequest = 10, ///< dynamic assignment: give me a wire to route
-  kMsgWireGrant = 11,   ///< dynamic assignment: wire id (or -1: no more)
+  kMsgWireGrant = 11,   ///< dynamic assignment: wire id(s) (or no-more)
   kMsgAck = 12,         ///< reliable transport: standalone cumulative ack
+  kMsgStealRequest = 13, ///< dynamic assignment: neighbor steal probe
+  kMsgStealGrant = 14,   ///< dynamic assignment: donated wires (0 = decline)
 };
+
+/// kMsgWireGrant sentinel: the queue owner has no more wires this run.
+/// Wire ids below this value are invalid on the wire and rejected by the
+/// codec in both directions.
+inline constexpr WireId kNoMoreWires = -1;
 
 inline constexpr std::int32_t kUpdateHeaderBytes = 16;
 inline constexpr std::int32_t kAbsoluteBytesPerCell = 2;
@@ -89,10 +96,27 @@ std::int32_t update_packet_bytes(PacketStructure structure, const Rect& bbox,
 std::int32_t batched_update_packet_bytes(std::span<const UpdateBlock> blocks,
                                          bool absolute);
 
-/// Payload of kMsgWireGrant.
+/// Payload of kMsgWireGrant (legacy single-wire FIFO protocol).
 struct GrantPayload : PacketPayload {
-  WireId wire = -1;            ///< -1: queue exhausted, stop requesting
+  WireId wire = kNoMoreWires;  ///< kNoMoreWires: queue exhausted
   std::int32_t iteration = 0;  ///< routing iteration this grant belongs to
+};
+
+/// Payload of an *extended* kMsgWireRequest (DESIGN.md §11): how many wires
+/// the requester finished since its last report, plus the regions where its
+/// TileGrid view currently backs tiles (nearest first, capped) so the queue
+/// owner can grant wires the requester's working set already covers.
+struct WireRequestPayload : PacketPayload {
+  std::int32_t completed = 0;
+  std::vector<ProcId> resident;
+};
+
+/// Payload of a batched kMsgWireGrant or a kMsgStealGrant: the wires handed
+/// over (empty grant = no more wires / steal declined) and the iteration
+/// they belong to. Batches never straddle an iteration boundary.
+struct WireListPayload : PacketPayload {
+  std::int32_t iteration = 0;
+  std::vector<WireId> wires;
 };
 
 /// On-wire size of a request packet (header only).
@@ -100,6 +124,17 @@ std::int32_t request_packet_bytes();
 
 /// On-wire size of a wire grant (header + id + iteration).
 std::int32_t grant_packet_bytes();
+
+/// On-wire size of an extended wire request: header + i32 completed count +
+/// u16 region count + 2 B per resident region id.
+std::int32_t wire_request_packet_bytes(std::int32_t resident_regions);
+
+/// On-wire size of a batched wire grant or steal grant: header + u16 wire
+/// count + i32 iteration + 4 B per wire id.
+std::int32_t batch_grant_packet_bytes(std::int32_t wires);
+
+/// On-wire size of a steal probe (header only).
+std::int32_t steal_request_packet_bytes();
 
 /// On-wire size of a standalone transport ack (header + transport frame; the
 /// cumulative ack value rides in the frame, so there is no payload).
@@ -131,6 +166,19 @@ std::int32_t ack_packet_bytes();
 // malformed input — truncated or corrupted buffers must fail cleanly, never
 // invoke UB. A buffer with flag bits 1 and 2 clear is exactly the
 // pre-transport format, so transport-off unbatched runs stay byte-identical.
+//
+// Dynamic-scheduling payloads (DESIGN.md §11), all little-endian:
+//   * extended kMsgWireRequest: i32 completed + u16 region count +
+//     count x u16 region ids (legacy requests carry no payload; the two
+//     forms are distinguished by payload length);
+//   * batched kMsgWireGrant: u16 wire count (>= 2) + i32 iteration +
+//     count x i32 wire ids — an 8-byte payload stays the legacy single-wire
+//     (i32 wire, i32 iteration) form, and the two length sets are disjoint;
+//   * kMsgStealRequest: header only;
+//   * kMsgStealGrant: u16 wire count (0 = declined) + i32 iteration +
+//     count x i32 wire ids.
+// Grant wire ids must be >= kNoMoreWires (batch/steal entries >= 0); the
+// codec rejects anything below the sentinel in both directions.
 
 /// Sanity ceiling on cells per update packet (larger than any real region).
 inline constexpr std::int64_t kMaxUpdateCells = 1 << 22;
@@ -143,8 +191,15 @@ struct WirePacket {
   bool absolute = false;
   std::vector<std::int32_t> values;  ///< update payload, row-major over bbox
   std::vector<UpdateBlock> blocks;   ///< batched update (flag bit 2); values empty
-  WireId wire = -1;                  ///< grant only
-  std::int32_t iteration = 0;        ///< grant only
+  WireId wire = kNoMoreWires;        ///< single-wire grant only
+  std::int32_t iteration = 0;        ///< grant / steal grant
+  /// Extended wire request (resident-region summary). `extended` must be
+  /// set for the form to be encoded even when both fields are defaulted.
+  bool extended = false;
+  std::int32_t completed = 0;             ///< wires finished since last report
+  std::vector<std::int32_t> regions;      ///< requester-resident region ids
+  /// Batched grant (>= 2 entries) or steal grant (any count) wire list.
+  std::vector<WireId> wires;
   /// Reliable-transport frame (flag bit 1). kMsgAck packets must carry it;
   /// any other kind may.
   bool has_transport = false;

@@ -3,6 +3,7 @@
 // latency story.
 #include <gtest/gtest.h>
 
+#include "check/consistency.hpp"
 #include "circuit/generator.hpp"
 #include "msg/driver.hpp"
 #include "route/quality.hpp"
@@ -115,6 +116,165 @@ TEST_F(DynamicAssignment, ReceiverScheduleRejected) {
   config.assignment_mode = WireAssignmentMode::kDynamicPolled;
   EXPECT_DEATH(run_message_passing(circuit_, 4, config),
                "dynamic assignment cannot use receiver-initiated");
+}
+
+// --- Extended dynamic protocol (DESIGN.md §11): locality-scored batched
+// grants plus optional neighbor stealing. ---
+
+MpRunResult run_ext(const Circuit& circuit, const DynamicScheduleConfig& dyn,
+                    std::int32_t procs = 4, std::int32_t iterations = 2,
+                    bool sharded = false,
+                    UpdateSchedule schedule = UpdateSchedule::sender(2, 5)) {
+  MpConfig config;
+  config.schedule = schedule;
+  config.iterations = iterations;
+  config.assignment_mode = WireAssignmentMode::kDynamicInterrupt;
+  config.dynamic = dyn;
+  config.shard.enabled = sharded;
+  return run_message_passing(circuit, procs, config);
+}
+
+TEST_F(DynamicAssignment, DefaultConfigKeepsLegacyProtocol) {
+  EXPECT_FALSE(DynamicScheduleConfig{}.extended_protocol());
+  MpRunResult r = run_mode(circuit_, WireAssignmentMode::kDynamicPolled);
+  // The legacy path never touches the extended counters.
+  EXPECT_EQ(r.grants_issued, 0);
+  EXPECT_EQ(r.grant_wires, 0);
+  EXPECT_EQ(r.affinity_grants, 0);
+  EXPECT_EQ(r.steal_requests, 0);
+  EXPECT_EQ(r.steal_wires, 0);
+}
+
+TEST_F(DynamicAssignment, LocalityPolicyRoutesEveryWire) {
+  DynamicScheduleConfig dyn;
+  dyn.policy = GrantPolicy::kLocality;
+  MpRunResult r = run_ext(circuit_, dyn);
+  for (const WireRoute& route : r.routes) {
+    EXPECT_TRUE(route.routed());
+  }
+  EXPECT_EQ(r.work.wires_routed, circuit_.num_wires() * 2);
+  EXPECT_GT(r.grants_issued, 0);
+  EXPECT_EQ(r.circuit_height,
+            circuit_height(circuit_.channels(), circuit_.grids(), r.routes));
+}
+
+TEST_F(DynamicAssignment, BatchedGrantsReduceSchedulingRoundTrips) {
+  Circuit bnre = make_bnre_like();
+  DynamicScheduleConfig single;
+  single.policy = GrantPolicy::kLocality;
+  DynamicScheduleConfig batched = single;
+  batched.grant_batch = 8;
+  MpRunResult one = run_ext(bnre, single, 16);
+  MpRunResult eight = run_ext(bnre, batched, 16);
+  EXPECT_EQ(one.work.wires_routed, eight.work.wires_routed);
+  // Multi-wire grants mean far fewer grant packets for the same wire count.
+  EXPECT_LT(eight.grants_issued, one.grants_issued);
+  EXPECT_LT(eight.requests_sent, one.requests_sent);
+  EXPECT_GT(eight.grant_wires, eight.grants_issued);
+}
+
+TEST_F(DynamicAssignment, BatchesNeverStraddleIterationBoundaries) {
+  DynamicScheduleConfig dyn;
+  dyn.policy = GrantPolicy::kLocality;
+  dyn.grant_batch = 4;
+  MpRunResult r = run_ext(circuit_, dyn, 4, 4);
+  // Four iterations force three rollovers; the driver's truth == rebuild
+  // assertion aborts if a batch leaks a wire across a boundary.
+  EXPECT_EQ(r.work.wires_routed, circuit_.num_wires() * 4);
+  EXPECT_EQ(r.circuit_height,
+            circuit_height(circuit_.channels(), circuit_.grids(), r.routes));
+}
+
+TEST_F(DynamicAssignment, NeighborStealingRoutesEveryWire) {
+  Circuit bnre = make_bnre_like();
+  DynamicScheduleConfig dyn;
+  dyn.policy = GrantPolicy::kLocality;
+  dyn.grant_batch = 8;
+  dyn.neighbor_steal = true;
+  MpRunResult r = run_ext(bnre, dyn, 16);
+  EXPECT_EQ(r.work.wires_routed, bnre.num_wires() * 2);
+  // Idle workers probe mesh neighbors before falling back to the master.
+  EXPECT_GT(r.steal_requests, 0);
+  EXPECT_GT(r.network.bytes_by_type.count(kMsgStealRequest), 0u);
+  EXPECT_GT(r.network.bytes_by_type.count(kMsgStealGrant), 0u);
+}
+
+TEST_F(DynamicAssignment, ShardedLocalityProducesAffinityGrants) {
+  Circuit bnre = make_bnre_like();
+  DynamicScheduleConfig dyn;
+  dyn.policy = GrantPolicy::kLocality;
+  dyn.grant_batch = 4;
+  MpRunResult r = run_ext(bnre, dyn, 16, 2, /*sharded=*/true);
+  EXPECT_EQ(r.work.wires_routed, bnre.num_wires() * 2);
+  // With tiled views the resident summaries are sparse and meaningful, and
+  // some grants must come from a requester-resident bucket.
+  EXPECT_GT(r.affinity_grants, 0);
+}
+
+TEST_F(DynamicAssignment, LocalityRadiusRoutesEveryWire) {
+  // A roam radius refuses distant requesters (they park until the iteration
+  // rolls over) but must never lose a wire or deadlock: a bucket's home
+  // worker is always within radius of it.
+  Circuit bnre = make_bnre_like();
+  DynamicScheduleConfig dyn;
+  dyn.policy = GrantPolicy::kLocality;
+  dyn.grant_batch = 4;
+  dyn.locality_radius = 1;
+  MpRunResult a = run_ext(bnre, dyn, 16, 2, /*sharded=*/true);
+  EXPECT_EQ(a.work.wires_routed, bnre.num_wires() * 2);
+  EXPECT_EQ(a.circuit_height,
+            circuit_height(bnre.channels(), bnre.grids(), a.routes));
+  MpRunResult b = run_ext(bnre, dyn, 16, 2, /*sharded=*/true);
+  EXPECT_EQ(a.completion_ns, b.completion_ns);
+  EXPECT_EQ(a.routed_per_proc, b.routed_per_proc);
+}
+
+TEST_F(DynamicAssignment, ExtendedProtocolDeterministic) {
+  Circuit bnre = make_bnre_like();
+  DynamicScheduleConfig dyn;
+  dyn.policy = GrantPolicy::kLocality;
+  dyn.grant_batch = 8;
+  dyn.neighbor_steal = true;
+  MpRunResult a = run_ext(bnre, dyn, 16, 2, /*sharded=*/true);
+  MpRunResult b = run_ext(bnre, dyn, 16, 2, /*sharded=*/true);
+  EXPECT_EQ(a.completion_ns, b.completion_ns);
+  EXPECT_EQ(a.bytes_transferred, b.bytes_transferred);
+  EXPECT_EQ(a.circuit_height, b.circuit_height);
+  EXPECT_EQ(a.grants_issued, b.grants_issued);
+  EXPECT_EQ(a.grant_wires, b.grant_wires);
+  EXPECT_EQ(a.affinity_grants, b.affinity_grants);
+  EXPECT_EQ(a.steal_requests, b.steal_requests);
+  EXPECT_EQ(a.steal_wires, b.steal_wires);
+  EXPECT_EQ(a.routed_per_proc, b.routed_per_proc);
+}
+
+TEST_F(DynamicAssignment, SchedulingTrafficKeepsViewsConsistent) {
+  ViewConsistencyChecker checker;
+  MpConfig config;
+  config.schedule = UpdateSchedule::sender(2, 2);
+  config.assignment_mode = WireAssignmentMode::kDynamicInterrupt;
+  config.dynamic.policy = GrantPolicy::kLocality;
+  config.dynamic.grant_batch = 4;
+  config.dynamic.neighbor_steal = true;
+  config.observer = &checker;
+  run_message_passing(make_bnre_like(), 16, config);
+  EXPECT_TRUE(checker.report().consistent());
+  EXPECT_TRUE(checker.report().converged());
+}
+
+TEST_F(DynamicAssignment, ExtendedProtocolUnderReliableTransport) {
+  MpConfig config;
+  config.schedule = UpdateSchedule::sender(2, 5);
+  config.assignment_mode = WireAssignmentMode::kDynamicInterrupt;
+  config.dynamic.policy = GrantPolicy::kLocality;
+  config.dynamic.grant_batch = 4;
+  config.dynamic.neighbor_steal = true;
+  config.transport.enabled = true;  // finalize() asserts the ledger balances
+  MpRunResult r = run_message_passing(circuit_, 4, config);
+  for (const WireRoute& route : r.routes) {
+    EXPECT_TRUE(route.routed());
+  }
+  EXPECT_GT(r.transport.data_packets, 0u);
 }
 
 TEST(TimeBreakdownTest, FractionsAddUp) {

@@ -21,7 +21,9 @@ namespace {
 /// Draws a random packet that encode_packet() must accept.
 WirePacket random_valid_packet(Rng& rng) {
   WirePacket p;
-  switch (rng.bounded(8)) {
+  bool extended_request = false;
+  bool batched_grant = false;
+  switch (rng.bounded(12)) {
     case 0: p.type = kMsgSendLocData; break;
     case 1: p.type = kMsgSendRmtData; break;
     case 2: p.type = kMsgRspRmtData; break;
@@ -29,6 +31,10 @@ WirePacket random_valid_packet(Rng& rng) {
     case 4: p.type = kMsgReqRmtData; break;
     case 5: p.type = kMsgWireRequest; break;
     case 6: p.type = kMsgWireGrant; break;
+    case 7: p.type = kMsgWireRequest; extended_request = true; break;
+    case 8: p.type = kMsgWireGrant; batched_grant = true; break;
+    case 9: p.type = kMsgStealRequest; break;
+    case 10: p.type = kMsgStealGrant; break;
     default: p.type = kMsgAck; break;
   }
   p.region = static_cast<ProcId>(rng.bounded(64));
@@ -82,10 +88,32 @@ WirePacket random_valid_packet(Rng& rng) {
       p.values.reserve(static_cast<std::size_t>(area));
       for (std::int64_t i = 0; i < area; ++i) p.values.push_back(draw_cell());
     }
+  } else if (p.type == kMsgWireGrant && batched_grant) {
+    // Batched grants carry >= 2 non-negative wire ids.
+    const std::size_t n = 2 + rng.bounded(14);
+    for (std::size_t i = 0; i < n; ++i) {
+      p.wires.push_back(static_cast<WireId>(rng.bounded(100'000)));
+    }
+    p.iteration = static_cast<std::int32_t>(rng.bounded(8));
   } else if (p.type == kMsgWireGrant) {
     p.wire = static_cast<WireId>(rng.bounded(10'000)) - 1;  // includes -1
     p.iteration = static_cast<std::int32_t>(rng.bounded(8));
-  } else if (p.type != kMsgAck && rng.chance(0.5)) {
+  } else if (p.type == kMsgWireRequest && extended_request) {
+    p.extended = true;
+    p.completed = static_cast<std::int32_t>(rng.bounded(1000));
+    const std::size_t n = rng.bounded(9);  // 0 resident regions is valid
+    for (std::size_t i = 0; i < n; ++i) {
+      p.regions.push_back(static_cast<ProcId>(rng.bounded(256)));
+    }
+  } else if (p.type == kMsgStealGrant) {
+    // 0 wires = steal declined; entries are non-negative.
+    const std::size_t n = rng.bounded(9);
+    for (std::size_t i = 0; i < n; ++i) {
+      p.wires.push_back(static_cast<WireId>(rng.bounded(100'000)));
+    }
+    p.iteration = static_cast<std::int32_t>(rng.bounded(8));
+  } else if (p.type != kMsgAck && p.type != kMsgStealRequest &&
+             rng.chance(0.5)) {
     // Requests may scope a sub-box of interest.
     p.bbox = Rect::of(0, 1, 2, 3);
   }
@@ -290,6 +318,108 @@ TEST(BatchedPacketCodec, DecodeRejectsCorruptBlockStructure) {
     const std::vector<std::uint8_t> prefix(
         bytes->begin(), bytes->begin() + static_cast<std::ptrdiff_t>(len));
     EXPECT_FALSE(decode_packet(prefix).has_value()) << "len " << len;
+  }
+}
+
+/// kNoMoreWires is the floor of the grant wire-id range: the codec rejects
+/// anything below it in both directions, and batch/steal entries must not
+/// even carry the sentinel.
+TEST(DynamicPacketCodec, WireIdsBelowSentinelRejected) {
+  {
+    WirePacket p;
+    p.type = kMsgWireGrant;
+    p.region = 0;
+    p.wire = kNoMoreWires;  // the sentinel itself is valid on single grants
+    p.iteration = 1;
+    const auto bytes = encode_packet(p);
+    ASSERT_TRUE(bytes.has_value());
+    EXPECT_TRUE(decode_packet(*bytes).has_value());
+    p.wire = kNoMoreWires - 1;
+    EXPECT_FALSE(encode_packet(p).has_value());
+    // Patch the encoded wire id (payload bytes [16..19]) to -2.
+    std::vector<std::uint8_t> corrupt = *bytes;
+    corrupt[16] = 0xFE;
+    corrupt[17] = 0xFF;
+    corrupt[18] = 0xFF;
+    corrupt[19] = 0xFF;
+    EXPECT_FALSE(decode_packet(corrupt).has_value());
+  }
+  {
+    // Batched grant entries must be actual wires (>= 0).
+    WirePacket p;
+    p.type = kMsgWireGrant;
+    p.region = 0;
+    p.wires = {5, kNoMoreWires};
+    p.iteration = 0;
+    EXPECT_FALSE(encode_packet(p).has_value());
+    p.wires = {5, 9};
+    const auto bytes = encode_packet(p);
+    ASSERT_TRUE(bytes.has_value());
+    // Payload: u16 count [16..17], i32 iteration [18..21], wires from [22].
+    std::vector<std::uint8_t> corrupt = *bytes;
+    corrupt[26] = 0xFF;  // second wire id -> negative
+    corrupt[27] = 0xFF;
+    corrupt[28] = 0xFF;
+    corrupt[29] = 0xFF;
+    EXPECT_FALSE(decode_packet(corrupt).has_value());
+  }
+  {
+    WirePacket p;
+    p.type = kMsgStealGrant;
+    p.region = 2;
+    p.wires = {kNoMoreWires};
+    EXPECT_FALSE(encode_packet(p).has_value());
+  }
+}
+
+TEST(DynamicPacketCodec, ExtendedFormsRoundTrip) {
+  {
+    WirePacket p;
+    p.type = kMsgWireRequest;
+    p.region = 7;
+    p.extended = true;
+    p.completed = 3;
+    p.regions = {7, 6, 11};
+    const auto bytes = encode_packet(p);
+    ASSERT_TRUE(bytes.has_value());
+    EXPECT_EQ(static_cast<std::int32_t>(bytes->size()),
+              wire_request_packet_bytes(3));
+    const auto back = decode_packet(*bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, p);
+  }
+  {
+    WirePacket p;
+    p.type = kMsgWireGrant;
+    p.region = 1;
+    p.wires = {10, 20, 30};
+    p.iteration = 1;
+    const auto bytes = encode_packet(p);
+    ASSERT_TRUE(bytes.has_value());
+    EXPECT_EQ(static_cast<std::int32_t>(bytes->size()),
+              batch_grant_packet_bytes(3));
+    const auto back = decode_packet(*bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, p);
+  }
+  {
+    WirePacket p;
+    p.type = kMsgStealRequest;
+    p.region = 4;
+    const auto bytes = encode_packet(p);
+    ASSERT_TRUE(bytes.has_value());
+    EXPECT_EQ(static_cast<std::int32_t>(bytes->size()),
+              steal_request_packet_bytes());
+    EXPECT_EQ(decode_packet(*bytes), p);
+  }
+  {
+    WirePacket p;  // declined steal: zero wires
+    p.type = kMsgStealGrant;
+    p.region = 4;
+    p.iteration = 1;
+    const auto bytes = encode_packet(p);
+    ASSERT_TRUE(bytes.has_value());
+    EXPECT_EQ(decode_packet(*bytes), p);
   }
 }
 

@@ -32,11 +32,12 @@ const ScheduleCase kSchedules[] = {
 };
 
 MpRunResult run_mp(const Circuit& circuit, const UpdateSchedule& schedule,
-                   bool sharded) {
+                   bool sharded, bool batched = false) {
   MpConfig config;
   config.schedule = schedule;
   config.iterations = 2;
   config.shard.enabled = sharded;
+  config.shard.batch_updates = batched;
   return run_message_passing(circuit, /*procs=*/16, config);
 }
 
@@ -76,6 +77,25 @@ TEST(ShardIdentity, ShmShardedCostBitIdentical) {
   dense.cost.read_rect(dense.cost.bounds(), a);
   tiled.cost.read_rect(tiled.cost.bounds(), b);
   EXPECT_EQ(b, a);
+}
+
+/// Region batching is the scale-sweep default (ScaleSweepOptions), so the
+/// dense-vs-tiled identity must hold with it on, across all four update
+/// mechanisms: batching changes what a packet costs, not what it carries.
+TEST(ShardIdentity, BatchedSchedulesBitIdenticalDenseVsTiled) {
+  const Circuit circuit = make_scale_circuit(1'000, /*seed=*/0xB17ULL);
+  for (const ScheduleCase& c : kSchedules) {
+    SCOPED_TRACE(c.name);
+    const MpRunResult dense =
+        run_mp(circuit, c.schedule, /*sharded=*/false, /*batched=*/true);
+    const MpRunResult tiled =
+        run_mp(circuit, c.schedule, /*sharded=*/true, /*batched=*/true);
+    EXPECT_TRUE(routes_identical(dense.routes, tiled.routes));
+    EXPECT_EQ(tiled.circuit_height, dense.circuit_height);
+    EXPECT_EQ(tiled.completion_ns, dense.completion_ns);
+    EXPECT_EQ(tiled.bytes_transferred, dense.bytes_transferred);
+    EXPECT_EQ(tiled.updates_suppressed, dense.updates_suppressed);
+  }
 }
 
 /// Region batching changes packet bytes (that is its point), so it is not
