@@ -172,6 +172,137 @@ Table run_topology_route() {
   return t;
 }
 
+/// The same injection storm priced under each link cost model. The
+/// simulated outcomes (finish time, stalls, byte-hops) are deterministic
+/// exact-match counters; the wall-clock per model is the gated timing.
+Table run_link_cost_models() {
+  Topology topo({4, 4}, Topology::Edges::kMesh);
+  constexpr int kPackets = 4096;
+  const LinkCostModelKind kinds[] = {
+      LinkCostModelKind::kFixed,
+      LinkCostModelKind::kMd1,
+      LinkCostModelKind::kVc,
+  };
+
+  Table t;
+  t.column("model", Align::kLeft).column("ms / storm").column("finish (us)")
+      .column("byte-hops").column("stalls").column("stall ms");
+  for (LinkCostModelKind kind : kinds) {
+    std::uint64_t delivered = 0;
+    SimTime finish = 0;
+    std::uint64_t byte_hops = 0;
+    std::uint64_t stalls = 0;
+    SimTime stall_ns = 0;
+    double storm_s = 1e100;
+    Stopwatch total;
+    do {
+      EventQueue q;
+      delivered = 0;
+      finish = 0;
+      Stopwatch sw;
+      NetworkParams params;
+      params.cost.kind = kind;
+      Network net(topo, params, q, [&](const Packet&, SimTime at) {
+        ++delivered;
+        finish = std::max(finish, at);
+      });
+      for (int i = 0; i < kPackets; ++i) {
+        Packet p;
+        p.src = i % 16;
+        p.dst = (i * 7 + 1) % 16;
+        if (p.dst == p.src) p.dst = (p.dst + 1) % 16;
+        p.type = 1;
+        p.bytes = 64;
+        net.schedule_inject(std::move(p), (i % 32) * 50);
+      }
+      q.run();
+      storm_s = std::min(storm_s, sw.seconds());
+      byte_hops = net.stats().byte_hops;
+      const LinkUsageSummary usage = net.link_usage(finish);
+      stalls = usage.stalls;
+      stall_ns = usage.stall_ns;
+    } while (total.seconds() < 0.25);
+    LOCUS_ASSERT(delivered == kPackets);
+
+    const std::string prefix = link_cost_model_name(kind);
+    benchmain::record(prefix + "_storm_s", storm_s);
+    benchmain::record(prefix + "_finish_ns", static_cast<double>(finish));
+    benchmain::record(prefix + "_byte_hops", static_cast<double>(byte_hops));
+    benchmain::record(prefix + "_stalls", static_cast<double>(stalls));
+    t.row().cell(link_cost_model_name(kind)).cell(storm_s * 1e3, 3)
+        .cell(static_cast<double>(finish) / 1e3, 1)
+        .cell(static_cast<unsigned long long>(byte_hops))
+        .cell(static_cast<unsigned long long>(stalls))
+        .cell(static_cast<double>(stall_ns) / 1e6, 2);
+  }
+  return t;
+}
+
+/// Up/down routing and an injection storm on a 16-leaf binary fat tree —
+/// the tree path lengths and credit backpressure under the VC model.
+Table run_fat_tree() {
+  Topology topo = Topology::fat_tree(16, 2);
+  constexpr int kRoutes = 100000;
+  std::size_t hops = 0;
+  double route_s = 1e100;
+  Stopwatch total;
+  do {
+    hops = 0;
+    Stopwatch sw;
+    for (int i = 0; i < kRoutes; ++i) {
+      hops += topo.route(i % 16, (i * 13 + 5) % 16).size();
+    }
+    route_s = std::min(route_s, sw.seconds());
+  } while (total.seconds() < 0.25);
+
+  constexpr int kPackets = 4096;
+  std::uint64_t delivered = 0;
+  SimTime finish = 0;
+  std::uint64_t stalls = 0;
+  double storm_s = 1e100;
+  Stopwatch storm_total;
+  do {
+    EventQueue q;
+    delivered = 0;
+    finish = 0;
+    Stopwatch sw;
+    NetworkParams params;
+    params.cost.kind = LinkCostModelKind::kVc;
+    Network net(topo, params, q, [&](const Packet&, SimTime at) {
+      ++delivered;
+      finish = std::max(finish, at);
+    });
+    for (int i = 0; i < kPackets; ++i) {
+      Packet p;
+      p.src = i % 16;
+      p.dst = (i * 7 + 1) % 16;
+      if (p.dst == p.src) p.dst = (p.dst + 1) % 16;
+      p.type = 1;
+      p.bytes = 64;
+      net.schedule_inject(std::move(p), (i % 32) * 50);
+    }
+    q.run();
+    storm_s = std::min(storm_s, sw.seconds());
+    stalls = net.link_usage(finish).stalls;
+  } while (storm_total.seconds() < 0.25);
+  LOCUS_ASSERT(delivered == kPackets);
+
+  benchmain::record("fat_route_s", route_s);
+  benchmain::record("fat_hops", static_cast<double>(hops));
+  benchmain::record("fat_storm_s", storm_s);
+  benchmain::record("fat_finish_ns", static_cast<double>(finish));
+  benchmain::record("fat_vc_stalls", static_cast<double>(stalls));
+
+  Table t;
+  t.column("metric", Align::kLeft).column("value");
+  t.row().cell("ms / 100k routes").cell(route_s * 1e3, 3);
+  t.row().cell("total hops").cell(static_cast<long long>(hops));
+  t.row().cell("ms / vc storm").cell(storm_s * 1e3, 3);
+  t.row().cell("finish (us)").cell(static_cast<double>(finish) / 1e3, 1);
+  t.row().cell("vc stalls").cell(static_cast<unsigned long long>(stalls));
+  return t;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -179,5 +310,7 @@ int main(int argc, char** argv) {
       argc, argv, "micro_network: event dispatch and wormhole injection",
       {{"event queue dispatch, POD vs closure", run_event_queue},
        {"network injection storm (4x4 mesh)", run_network_storm},
-       {"topology routing (8x8 mesh)", run_topology_route}});
+       {"topology routing (8x8 mesh)", run_topology_route},
+       {"link cost models (4x4 mesh storm)", run_link_cost_models},
+       {"fat tree (16 leaves, arity 2)", run_fat_tree}});
 }

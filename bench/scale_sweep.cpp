@@ -6,6 +6,8 @@
 //   LOCUS_SCALE_PROCS  comma-separated proc counts   (default "16,64")
 //   LOCUS_SCALE_MODES  comma-separated assignment policies out of
 //                      geo,dyn-fifo,dyn-local,dyn-steal (default "geo")
+//   LOCUS_SCALE_COST_MODEL  per-link timing discipline out of
+//                      fixed,md1,vc (default "fixed")
 // Runs with sharded views and region-batched updates (the configuration
 // the scale tier exists to exercise). The headline sim_route_rps counter
 // reports the first listed mode, so existing baselines are unchanged when
@@ -63,6 +65,16 @@ std::vector<locus::ScaleAssignMode> parse_modes(const char* env) {
   return out;
 }
 
+locus::LinkCostModelKind parse_cost_model(const char* env) {
+  const char* raw = std::getenv(env);
+  const std::string name = raw != nullptr && raw[0] != '\0' ? raw : "fixed";
+  if (name == "fixed") return locus::LinkCostModelKind::kFixed;
+  if (name == "md1") return locus::LinkCostModelKind::kMd1;
+  if (name == "vc") return locus::LinkCostModelKind::kVc;
+  std::fprintf(stderr, "unknown LOCUS_SCALE_COST_MODEL: %s\n", name.c_str());
+  std::exit(2);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -70,6 +82,7 @@ int main(int argc, char** argv) {
   options.wire_counts = parse_list("LOCUS_SCALE_WIRES", "100000");
   options.proc_counts = parse_list("LOCUS_SCALE_PROCS", "16,64");
   options.modes = parse_modes("LOCUS_SCALE_MODES");
+  options.cost_model = parse_cost_model("LOCUS_SCALE_COST_MODEL");
   return locus::benchmain::run(
       argc, argv, "Scale sweep: hierarchical circuits, sharded views",
       {{"procs x wires", [&] {

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, and run the full test suite, then
-# run the checking-subsystem tests (`ctest -L check`) and the reliable
-# transport tests (`ctest -L transport`) explicitly so a label regression
-# (tests silently dropping out of a label) is caught.
+# run the checking-subsystem tests (`ctest -L check`), the reliable
+# transport tests (`ctest -L transport`), and the interconnect tests
+# (`ctest -L network`) explicitly so a label regression (tests silently
+# dropping out of a label) is caught.
 #
 #   scripts/verify.sh             # tier-1
 #   scripts/verify.sh --sanitize  # same suite under ASan + UBSan
@@ -53,9 +54,10 @@ cmake --build "$BUILD_DIR" -j
 cd "$BUILD_DIR"
 ctest --output-on-failure -j "$(nproc)"
 
-# The check and transport labels must exist and pass on their own.
+# The check, transport, and network labels must exist and pass on their own.
 ctest -L check --output-on-failure -j "$(nproc)"
 ctest -L transport --output-on-failure -j "$(nproc)"
+ctest -L network --output-on-failure -j "$(nproc)"
 
 # Optional benchmark regression gate: re-run the microbenchmarks in Release
 # and diff against the checked-in baselines.
@@ -90,6 +92,37 @@ if [[ "$RUN_BENCH" == 1 ]]; then
       exit 1
     fi
     echo "dynamic-sweep determinism: $modes identical at --threads=1 and =4"
+  done
+  # Interconnect determinism gates. First the full topology sweep — four MP
+  # schedules x {mesh, torus, fat-tree} x {fixed, md1, vc} with per-link
+  # utilization columns — must emit byte-identical rows at any pool width.
+  # Then the scale sweep is re-priced under the fixed and the M/D/1 link
+  # cost models: each must match itself across widths 1 and 4 (queueing
+  # waits are functions of cumulative simulated busy time, never of which
+  # worker ran the job).
+  "./$BUILD_DIR/bench/topology_sweep" --threads=1 \
+    | grep -v 'built in\|total wall time' > /tmp/locus-topo-serial.txt
+  "./$BUILD_DIR/bench/topology_sweep" --threads=4 \
+    | grep -v 'built in\|total wall time' > /tmp/locus-topo-pooled.txt
+  if ! diff -u /tmp/locus-topo-serial.txt /tmp/locus-topo-pooled.txt; then
+    echo "FAIL: topology sweep diverges between --threads=1 and --threads=4" >&2
+    exit 1
+  fi
+  echo "topology-sweep determinism: identical at --threads=1 and --threads=4"
+  for model in fixed md1; do
+    LOCUS_SCALE_WIRES=2000 LOCUS_SCALE_PROCS=16 LOCUS_SCALE_MODES=geo \
+      LOCUS_SCALE_COST_MODEL="$model" \
+      "./$BUILD_DIR/bench/scale_sweep" --threads=1 \
+      | grep -v 'built in\|total wall time' > /tmp/locus-cost-serial.txt
+    LOCUS_SCALE_WIRES=2000 LOCUS_SCALE_PROCS=16 LOCUS_SCALE_MODES=geo \
+      LOCUS_SCALE_COST_MODEL="$model" \
+      "./$BUILD_DIR/bench/scale_sweep" --threads=4 \
+      | grep -v 'built in\|total wall time' > /tmp/locus-cost-pooled.txt
+    if ! diff -u /tmp/locus-cost-serial.txt /tmp/locus-cost-pooled.txt; then
+      echo "FAIL: $model sweep diverges between --threads=1 and --threads=4" >&2
+      exit 1
+    fi
+    echo "cost-model determinism: $model identical at --threads=1 and =4"
   done
   # Route-service determinism gate: a replayed request batch must produce
   # byte-identical per-job results and metrics CSV at width 1 and width 8

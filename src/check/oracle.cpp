@@ -116,6 +116,9 @@ OracleResult run_differential_oracle(const Circuit& circuit,
       mp.iterations = config.iterations;
       mp.faults = config.faults;
       mp.transport = config.transport;
+      mp.edges = config.edges;
+      mp.fat_tree_arity = config.fat_tree_arity;
+      mp.link_cost = config.link_cost;
       mp.observer = checker.get();
       msg[i].run.emplace(run_message_passing(circuit, config.procs, mp));
       msg[i].checker = std::move(checker);

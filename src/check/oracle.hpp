@@ -24,6 +24,8 @@
 #include "route/cost_model.hpp"
 #include "route/router.hpp"
 #include "sim/fault.hpp"
+#include "sim/link_cost.hpp"
+#include "sim/topology.hpp"
 
 namespace locus {
 
@@ -48,6 +50,13 @@ struct OracleConfig {
   /// With transport on, a faulted oracle run must pass: recovery restores
   /// the exact fault-free views the consistency law expects.
   TransportConfig transport;
+  /// Interconnect shape and per-link timing for the message passing
+  /// machines. The conservation law is timing-independent, so the oracle
+  /// must pass under every cost model x topology pair (the network test
+  /// battery sweeps exactly that).
+  Topology::Edges edges = Topology::Edges::kMesh;
+  std::int32_t fat_tree_arity = 2;
+  LinkCostParams link_cost;
   /// Worker threads for the engine x schedule matrix (the six runs are
   /// independent simulations). <= 0 resolves via sim_threads(); any value
   /// yields byte-identical results — the matrix is collected in submission

@@ -908,6 +908,7 @@ ScaleSweepResult run_scale_sweep(const ScaleSweepOptions& options) {
     config.shard.enabled = options.sharded;
     config.shard.batch_updates = options.batch_updates;
     config.shard.tile = options.tile;
+    config.link_cost.kind = options.cost_model;
     switch (job.mode) {
       case ScaleAssignMode::kGeographic:
         break;
@@ -1411,6 +1412,137 @@ bool routes_equal(const std::vector<WireRoute>& a,
 bool routes_identical(const std::vector<WireRoute>& a,
                       const std::vector<WireRoute>& b) {
   return routes_equal(a, b);
+}
+
+TopologySweepResult run_topology_sweep(const Circuit& circuit,
+                                       const TopologySweepOptions& options) {
+  LOCUS_ASSERT(!options.proc_counts.empty());
+  struct Sched {
+    const char* name;
+    UpdateSchedule schedule;
+  };
+  UpdateSchedule mixed;
+  mixed.send_loc_period = 10;
+  mixed.send_rmt_period = 5;
+  mixed.req_rmt_touches = 3;
+  mixed.req_loc_requests = 2;
+  const Sched scheds[] = {
+      {"sender(10,5)", UpdateSchedule::sender(10, 5)},
+      {"receiver(5,2)", UpdateSchedule::receiver(5, 2)},
+      {"receiver-blk(5,2)", UpdateSchedule::receiver(5, 2, /*blocking=*/true)},
+      {"mixed", mixed},
+  };
+  struct Topo {
+    const char* name;
+    Topology::Edges edges;
+  };
+  const Topo topos[] = {
+      {"mesh", Topology::Edges::kMesh},
+      {"torus", Topology::Edges::kTorus},
+      {"fat-tree", Topology::Edges::kFatTree},
+  };
+  const LinkCostModelKind models[] = {
+      LinkCostModelKind::kFixed,
+      LinkCostModelKind::kMd1,
+      LinkCostModelKind::kVc,
+  };
+
+  struct Job {
+    std::size_t sched = 0;
+    std::size_t topo = 0;
+    std::size_t model = 0;
+    std::int32_t procs = 0;
+  };
+  std::vector<Job> jobs;
+  for (std::int32_t procs : options.proc_counts) {
+    for (std::size_t topo = 0; topo < std::size(topos); ++topo) {
+      for (std::size_t model = 0; model < std::size(models); ++model) {
+        for (std::size_t sched = 0; sched < std::size(scheds); ++sched) {
+          jobs.push_back({sched, topo, model, procs});
+        }
+      }
+    }
+  }
+
+  struct RunOut {
+    std::int64_t height = 0;
+    SimTime completion_ns = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t byte_hops = 0;
+    LinkUsageSummary usage;
+    bool consistent = false;
+    bool converged = false;
+    bool ledger_ok = false;
+    bool conserved = false;  ///< sum(link_bytes) == byte_hops
+    bool ok() const { return consistent && converged && ledger_ok && conserved; }
+  };
+  // Each cell of the matrix is an independent deterministic simulation with
+  // its own consistency checker; pool_map keeps the table bytes identical at
+  // any pool width.
+  const auto runs = pool_map(jobs.size(), [&](std::size_t i) {
+    const Job& job = jobs[i];
+    ConsistencyOptions check_options;
+    check_options.checkpoint_period = options.checkpoint_period;
+    ViewConsistencyChecker checker(check_options);
+
+    MpConfig mp;
+    mp.schedule = scheds[job.sched].schedule;
+    mp.iterations = options.iterations;
+    mp.edges = topos[job.topo].edges;
+    mp.fat_tree_arity = options.fat_tree_arity;
+    mp.link_cost.kind = models[job.model];
+    mp.transport.enabled = options.transport;
+    mp.observer = &checker;
+    const MpRunResult r = run_message_passing(circuit, job.procs, mp);
+
+    RunOut o;
+    o.height = r.circuit_height;
+    o.completion_ns = r.completion_ns;
+    o.bytes = r.network.bytes;
+    o.byte_hops = r.network.byte_hops;
+    o.usage = r.link_usage;
+    const ConsistencyReport report = checker.report();
+    o.consistent = report.consistent();
+    o.converged = report.converged();
+    o.ledger_ok = !options.transport || r.transport.books_balance();
+    std::uint64_t link_bytes_total = 0;
+    for (std::uint64_t b : r.link_bytes) link_bytes_total += b;
+    o.conserved = link_bytes_total == r.network.byte_hops;
+    return o;
+  });
+
+  TopologySweepResult out;
+  Table& t = out.table;
+  t.column("schedule", Align::kLeft).column("topology", Align::kLeft)
+      .column("model", Align::kLeft).column("procs").column("CktHt")
+      .column("Time(ms)").column("KB").column("max util").column("mean util")
+      .column("links").column("stalls").column("checks", Align::kLeft);
+  out.all_ok = true;
+  std::int32_t prev_procs = jobs.empty() ? 0 : jobs.front().procs;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Job& job = jobs[i];
+    const RunOut& r = *runs[i];
+    if (job.procs != prev_procs) {
+      t.separator();
+      prev_procs = job.procs;
+    }
+    t.row().cell(scheds[job.sched].name).cell(topos[job.topo].name)
+        .cell(link_cost_model_name(models[job.model])).cell(job.procs)
+        .cell(static_cast<long long>(r.height))
+        .cell(static_cast<double>(r.completion_ns) / 1e6, 2)
+        .cell(static_cast<double>(r.bytes) / 1e3, 1)
+        .cell(r.usage.max_utilization, 3).cell(r.usage.mean_utilization, 3)
+        .cell(static_cast<long long>(r.usage.links_used))
+        .cell(static_cast<unsigned long long>(r.usage.stalls))
+        .cell(r.ok() ? "ok"
+                     : (!r.conserved ? "BYTES-LEAKED"
+                                     : (!r.ledger_ok ? "IMBALANCED"
+                                                     : "INCONSISTENT")));
+    out.all_ok = out.all_ok && r.ok();
+    out.total_stalls += r.usage.stalls;
+    ++out.runs;
+  }
+  return out;
 }
 
 Table run_fault_recovery_sweep(const Circuit& circuit,

@@ -126,6 +126,10 @@ struct ScaleSweepOptions {
   /// tiles (1 KiB) keep resident memory tracking the cells actually
   /// touched while leaving row chunks long enough for the SIMD reads.
   TileDims tile{2, 128};
+  /// Per-link interconnect timing for every run of the sweep
+  /// (sim/link_cost.hpp); the default keeps the tables byte-identical to
+  /// the pre-seam sweep.
+  LinkCostModelKind cost_model = LinkCostModelKind::kFixed;
 };
 
 /// Per-mode metrics of the last (largest) wires x procs combination.
@@ -170,6 +174,39 @@ ScaleSweepResult run_scale_sweep(const ScaleSweepOptions& options);
 /// connections) — the sharded-vs-monolithic and fault-recovery invariant.
 bool routes_identical(const std::vector<WireRoute>& a,
                       const std::vector<WireRoute>& b);
+
+// --- E15: interconnect cost models (ISSUE 10) — the four MP update
+//     protocols priced on {mesh, torus, fat-tree} x {fixed, md1, vc} ---
+struct TopologySweepOptions {
+  std::vector<std::int32_t> proc_counts{16};
+  std::int32_t iterations = 2;
+  std::int32_t fat_tree_arity = 2;
+  /// Run with the reliable transport on and assert its conservation ledger
+  /// balanced for every cell of the matrix.
+  bool transport = true;
+  /// Conservation checkpoint period of the per-run view-consistency
+  /// checker.
+  std::int32_t checkpoint_period = 4;
+};
+
+struct TopologySweepResult {
+  Table table;
+  /// Every run passed the view-consistency checker (and, with transport
+  /// on, balanced the transport ledger) — the acceptance gate.
+  bool all_ok = false;
+  std::int32_t runs = 0;
+  /// Summed per-link stall events across all runs (kFixed rows included:
+  /// its stalls are head link waits).
+  std::uint64_t total_stalls = 0;
+};
+
+/// Sweeps schedule x topology x cost model x procs, fanned over the
+/// process SimPool (table bytes are pool-width independent). Columns:
+/// schedule, topology, cost model, procs, CktHt, completion ms, traffic
+/// KB, per-link max/mean utilization, links used, stalls, and the
+/// consistency + ledger verdict.
+TopologySweepResult run_topology_sweep(const Circuit& circuit,
+                                       const TopologySweepOptions& options = {});
 
 // --- E12: message software overhead (§5.1.1: packet assembly/disassembly
 //     "take up to one fourth of the processing time" at frequent updates) ---

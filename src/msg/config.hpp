@@ -22,6 +22,7 @@
 #include "obs/obs.hpp"
 #include "route/cost_model.hpp"
 #include "route/router.hpp"
+#include "sim/link_cost.hpp"
 #include "sim/topology.hpp"
 
 namespace locus {
@@ -156,6 +157,13 @@ struct MpConfig {
   /// Tiled per-node views + optional region-batched update packets.
   ShardConfig shard;
   Topology::Edges edges = Topology::Edges::kMesh;
+  /// Switch arity when `edges == kFatTree` (processors at the leaves,
+  /// up/down routing; ignored otherwise).
+  std::int32_t fat_tree_arity = 2;
+  /// Per-link interconnect timing discipline (sim/link_cost.hpp): the
+  /// paper's fixed charge, M/D/1 queueing, or credit-based VCs. The default
+  /// keeps runs bit-identical to the pre-seam network.
+  LinkCostParams link_cost;
   WireAssignmentMode assignment_mode = WireAssignmentMode::kStatic;
   /// Routing-time slice of the queue owner under kDynamicInterrupt:
   /// arriving requests are serviced within one slice.

@@ -29,20 +29,28 @@ MpRunResult run_message_passing(const Circuit& circuit, const Partition& partiti
                        config.packet_structure == PacketStructure::kBoundingBox,
                    "batched updates require the bounding-box packet structure");
 
-  std::vector<std::int32_t> dims = config.topology_dims;
-  if (dims.empty()) {
-    dims = {partition.mesh().cols, partition.mesh().rows};
-  } else {
-    std::int32_t product = 1;
-    for (std::int32_t d : dims) product *= d;
-    LOCUS_ASSERT_MSG(product == partition.num_regions(),
-                     "topology_dims must multiply to the processor count");
-  }
-  Topology topology(dims, config.edges);
+  Topology topology = [&] {
+    if (config.edges == Topology::Edges::kFatTree) {
+      // Processors sit at the tree's leaves; the cost-array partition stays
+      // 2D and processor ids map by index, exactly as for topology_dims.
+      return Topology::fat_tree(partition.num_regions(), config.fat_tree_arity);
+    }
+    std::vector<std::int32_t> dims = config.topology_dims;
+    if (dims.empty()) {
+      dims = {partition.mesh().cols, partition.mesh().rows};
+    } else {
+      std::int32_t product = 1;
+      for (std::int32_t d : dims) product *= d;
+      LOCUS_ASSERT_MSG(product == partition.num_regions(),
+                       "topology_dims must multiply to the processor count");
+    }
+    return Topology(dims, config.edges);
+  }();
 
   NetworkParams net;
   net.hop_time_ns = config.time.hop_time_ns;
   net.process_time_ns = config.time.process_time_ns;
+  net.cost = config.link_cost;
   Machine machine(topology, net);
   if (config.faults != nullptr && config.faults->any()) {
     machine.set_fault_plan(*config.faults);
@@ -89,6 +97,8 @@ MpRunResult run_message_passing(const Circuit& circuit, const Partition& partiti
   MpRunResult result;
   result.machine = machine.run();
   result.network = machine.network().stats();
+  result.link_usage = machine.network().link_usage(result.machine.drain_time);
+  result.link_bytes = machine.network().link_cost().link_bytes();
   result.faults = machine.fault_stats();
   if (transport != nullptr) {
     transport->finalize();  // asserts the conservation ledger balances
@@ -103,6 +113,24 @@ MpRunResult run_message_passing(const Circuit& circuit, const Partition& partiti
       reg.add(0, reg.counter(std::string("net.bytes_by_type.") +
                              obs::msg_kind_name(type)),
               bytes);
+    }
+    // Per-link interconnect usage from the active cost model: total bytes
+    // across all directed links (== net.byte_hops — the conservation law),
+    // backpressure/contention stalls, and a utilization histogram in
+    // permille over the links that carried traffic.
+    std::uint64_t link_bytes_total = 0;
+    for (std::uint64_t b : result.link_bytes) link_bytes_total += b;
+    reg.add(0, reg.counter("net.link_bytes_total"), link_bytes_total);
+    reg.add(0, reg.counter("net.link_stalls"), result.link_usage.stalls);
+    reg.add(0, reg.counter("net.link_stall_ns"),
+            static_cast<std::uint64_t>(result.link_usage.stall_ns));
+    const auto util_hist = reg.histogram("net.link_util_permille");
+    const LinkCostModel& cost = machine.network().link_cost();
+    for (std::size_t link = 0; link < result.link_bytes.size(); ++link) {
+      if (result.link_bytes[link] == 0) continue;
+      const double u = cost.utilization(static_cast<std::int32_t>(link),
+                                        result.machine.drain_time);
+      reg.observe(0, util_hist, static_cast<std::uint64_t>(u * 1000.0));
     }
   });
   if (config.observer != nullptr) {

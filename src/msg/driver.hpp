@@ -46,6 +46,13 @@ struct MpRunResult {
   std::vector<std::int64_t> routed_per_proc;
   FaultStats faults;                    ///< all-zero when no plan installed
   TransportStats transport;             ///< all-zero when transport disabled
+  /// Per-link usage aggregate from the active LinkCostModel, measured at
+  /// the machine's drain time (stalls are zero under kFixed only when no
+  /// two packets ever contended for a link).
+  LinkUsageSummary link_usage;
+  /// Bytes that crossed each directed link (data + control). Sums exactly
+  /// to network.byte_hops under every cost model and topology.
+  std::vector<std::uint64_t> link_bytes;
   std::vector<WireRoute> routes;        ///< final routing, indexed by wire id
 
   /// Mean absolute error of the processors' final cost-array views against

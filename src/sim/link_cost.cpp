@@ -1,0 +1,190 @@
+#include "sim/link_cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace locus {
+
+const char* link_cost_model_name(LinkCostModelKind kind) {
+  switch (kind) {
+    case LinkCostModelKind::kFixed: return "fixed";
+    case LinkCostModelKind::kMd1: return "md1";
+    case LinkCostModelKind::kVc: return "vc";
+  }
+  return "?";
+}
+
+SimTime md1_wait_ns(SimTime service_ns, double rho, double rho_max) {
+  LOCUS_ASSERT(service_ns >= 0);
+  if (rho <= 0.0 || service_ns == 0) return 0;
+  rho = std::min(rho, rho_max);
+  // Pollaczek–Khinchine with deterministic service (Cs^2 = 0):
+  //   Wq = rho / (2·mu·(1-rho)) = S·rho / (2·(1-rho)).
+  const double wait =
+      static_cast<double>(service_ns) * rho / (2.0 * (1.0 - rho));
+  return static_cast<SimTime>(wait);
+}
+
+double LinkCostModel::utilization(std::int32_t link, SimTime now) const {
+  if (now <= 0) return 0.0;
+  const SimTime busy = busy_ns_[static_cast<std::size_t>(link)];
+  return std::min(1.0, static_cast<double>(busy) / static_cast<double>(now));
+}
+
+LinkUsageSummary LinkCostModel::summary(SimTime now) const {
+  LinkUsageSummary s;
+  double util_sum = 0.0;
+  for (std::size_t link = 0; link < bytes_.size(); ++link) {
+    s.stalls += stalls_[link];
+    s.stall_ns += stall_ns_[link];
+    if (bytes_[link] == 0) continue;
+    ++s.links_used;
+    const double u = utilization(static_cast<std::int32_t>(link), now);
+    util_sum += u;
+    s.max_utilization = std::max(s.max_utilization, u);
+  }
+  s.mean_utilization =
+      s.links_used == 0 ? 0.0 : util_sum / static_cast<double>(s.links_used);
+  return s;
+}
+
+namespace {
+
+/// The paper's charge, bit-identical to the pre-seam Network loop: no
+/// capacity scaling, busy for L bytes at one byte per HopTime.
+class FixedLinkCost final : public LinkCostModel {
+ public:
+  FixedLinkCost(std::size_t num_links, std::int64_t hop_time_ns)
+      : LinkCostModel(LinkCostModelKind::kFixed, num_links, hop_time_ns) {}
+
+  SimTime cross(std::int32_t link_in, SimTime head_in, std::int64_t bytes,
+                SimTime& waited) override {
+    const auto link = static_cast<std::size_t>(link_in);
+    SimTime& free_at = free_[link];
+    const SimTime start = std::max(head_in, free_at);
+    waited += start - head_in;
+    stall(link, start - head_in);
+    free_at = start + bytes * hop_time_ns_;
+    charge(link, bytes, bytes * hop_time_ns_);
+    return start + hop_time_ns_;
+  }
+};
+
+/// Shared shape of the bandwidth-aware models: a per-link service time of
+/// bytes·HopTime / capacity_scale (fat links drain faster), never below one
+/// HopTime so a head always occupies the link it crosses.
+class ScaledLinkCost : public LinkCostModel {
+ protected:
+  ScaledLinkCost(LinkCostModelKind kind, const Topology& topology,
+                 std::int64_t hop_time_ns)
+      : LinkCostModel(kind, static_cast<std::size_t>(topology.num_links()),
+                      hop_time_ns),
+        scale_(static_cast<std::size_t>(topology.num_links())) {
+    for (std::size_t link = 0; link < scale_.size(); ++link) {
+      scale_[link] =
+          topology.link_capacity_scale(static_cast<std::int32_t>(link));
+      LOCUS_ASSERT(scale_[link] >= 1);
+    }
+  }
+
+  SimTime service_ns(std::size_t link, std::int64_t bytes) const {
+    return std::max<SimTime>(hop_time_ns_,
+                             bytes * hop_time_ns_ / scale_[link]);
+  }
+
+  std::vector<std::int32_t> scale_;
+};
+
+class Md1LinkCost final : public ScaledLinkCost {
+ public:
+  Md1LinkCost(const Topology& topology, std::int64_t hop_time_ns,
+              double rho_max)
+      : ScaledLinkCost(LinkCostModelKind::kMd1, topology, hop_time_ns),
+        rho_max_(rho_max) {}
+
+  SimTime cross(std::int32_t link_in, SimTime head_in, std::int64_t bytes,
+                SimTime& waited) override {
+    const auto link = static_cast<std::size_t>(link_in);
+    const SimTime service = service_ns(link, bytes);
+    // Utilization this head observes: the link's cumulative busy time over
+    // elapsed simulated time. Deterministic — it depends only on the
+    // simulated schedule, never on wall clock.
+    const double rho =
+        head_in <= 0 ? 0.0
+                     : static_cast<double>(busy_ns_[link]) /
+                           static_cast<double>(head_in);
+    const SimTime queue_wait = md1_wait_ns(service, rho, rho_max_);
+    SimTime& free_at = free_[link];
+    const SimTime start = std::max(head_in + queue_wait, free_at);
+    waited += start - head_in;
+    stall(link, start - head_in);
+    free_at = start + service;
+    charge(link, bytes, service);
+    return start + hop_time_ns_;
+  }
+
+ private:
+  double rho_max_;
+};
+
+class VcLinkCost final : public ScaledLinkCost {
+ public:
+  VcLinkCost(const Topology& topology, std::int64_t hop_time_ns,
+             std::int64_t buffer_bytes)
+      : ScaledLinkCost(LinkCostModelKind::kVc, topology, hop_time_ns),
+        buffer_bytes_(std::max<std::int64_t>(1, buffer_bytes)),
+        drained_(static_cast<std::size_t>(topology.num_links()), 0) {}
+
+  SimTime cross(std::int32_t link_in, SimTime head_in, std::int64_t bytes,
+                SimTime& waited) override {
+    const auto link = static_cast<std::size_t>(link_in);
+    const SimTime service = service_ns(link, bytes);
+    // Credits are measured in drain time: a full buffer takes capacity_ns to
+    // empty at link rate, and this packet consumes service worth of it. The
+    // buffer must fit any single packet, so capacity never falls below one
+    // packet's service time (a whole-packet credit grant).
+    const SimTime capacity_ns =
+        std::max(service, service_ns(link, buffer_bytes_));
+    SimTime& drained = drained_[link];
+    SimTime start = std::max(head_in, free_[link]);
+    const SimTime occupied_ns = std::max<SimTime>(0, drained - start);
+    if (occupied_ns + service > capacity_ns) {
+      // Backpressure: stall the head until enough credits return.
+      start = drained + service - capacity_ns;
+    }
+    waited += start - head_in;
+    stall(link, start - head_in);
+    free_[link] = start + service;
+    drained = std::max(drained, start) + service;
+    charge(link, bytes, service);
+    return start + hop_time_ns_;
+  }
+
+ private:
+  std::int64_t buffer_bytes_;
+  /// Per link: when its downstream buffer has fully drained.
+  std::vector<SimTime> drained_;
+};
+
+}  // namespace
+
+std::unique_ptr<LinkCostModel> LinkCostModel::make(const Topology& topology,
+                                                   const LinkCostParams& params,
+                                                   std::int64_t hop_time_ns) {
+  const auto links = static_cast<std::size_t>(topology.num_links());
+  switch (params.kind) {
+    case LinkCostModelKind::kFixed:
+      return std::make_unique<FixedLinkCost>(links, hop_time_ns);
+    case LinkCostModelKind::kMd1:
+      return std::make_unique<Md1LinkCost>(topology, hop_time_ns,
+                                           params.md1_rho_max);
+    case LinkCostModelKind::kVc:
+      return std::make_unique<VcLinkCost>(topology, hop_time_ns,
+                                          params.vc_buffer_bytes);
+  }
+  LOCUS_UNREACHABLE("bad LinkCostModelKind");
+}
+
+}  // namespace locus

@@ -11,7 +11,7 @@ Network::Network(const Topology& topology, NetworkParams params, EventQueue& que
                  DeliverFn deliver)
     : topology_(topology), params_(params), queue_(queue),
       deliver_(std::move(deliver)),
-      link_free_(static_cast<std::size_t>(topology.num_links()), 0),
+      cost_(LinkCostModel::make(topology, params.cost, params.hop_time_ns)),
       ni_free_(static_cast<std::size_t>(topology.num_nodes()), 0),
       held_(static_cast<std::size_t>(topology.num_nodes()), kNoSlot),
       h_deliver_(queue.add_handler(&Network::on_deliver, this)),
@@ -40,6 +40,12 @@ SimTime Network::charge_control(ProcId src, ProcId dst, std::int32_t type,
   stats_.hops += path.size();
   stats_.total_latency_ns += latency;
   stats_.bytes_by_type[type] += static_cast<std::uint64_t>(L);
+  // Per-link byte accounting only (no link reservation — control traffic
+  // rides its own virtual channel), so sum(link_bytes) tracks byte_hops
+  // exactly even with a transport's control plane active.
+  for (const LinkId& link : path) {
+    cost_->account(topology_.link_index(link), L);
+  }
 
   LOCUS_OBS_HOOK(if (obs_) {
     auto& reg = obs_.obs->counters();
@@ -145,20 +151,18 @@ SimTime Network::inject(Packet packet, SimTime ready) {
   SimTime& ni = ni_free_[static_cast<std::size_t>(packet.src)];
   const SimTime inject_at = std::max(ready, ni);
 
-  // Head traversal with per-link serialization: the head needs the link
-  // free, then advances one HopTime; the link stays busy while all L bytes
-  // stream across it.
+  // Head traversal under the configured per-link discipline: cross() grants
+  // the head the link at some start >= its arrival and returns the head's
+  // exit (start + HopTime), accumulating contention into `waited` and the
+  // per-link byte/busy/stall accounting as it goes.
   SimTime head = inject_at;
   SimTime waited = 0;
   for (const LinkId& link : path) {
-    SimTime& free_at = link_free_[static_cast<std::size_t>(topology_.link_index(link))];
-    const SimTime start = std::max(head, free_at);
-    waited += start - head;
-    free_at = start + L * params_.hop_time_ns;
-    head = start + params_.hop_time_ns;
+    head = cost_->cross(topology_.link_index(link), head, L, waited);
     LOCUS_OBS_HOOK(if (obs_) {
       if (obs::TraceSink* t = obs_.obs->trace(); t != nullptr && t->hop_detail()) {
-        t->instant(packet.src, obs_.cat_net, obs_.n_hop, start, obs_.a_link,
+        t->instant(packet.src, obs_.cat_net, obs_.n_hop,
+                   head - params_.hop_time_ns, obs_.a_link,
                    topology_.link_index(link), obs_.a_bytes, L);
       }
     });

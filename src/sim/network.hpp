@@ -9,7 +9,10 @@
 // bytes stream across it, and a later packet's head waits for the link to
 // free — the dominant effect of wormhole blocking at the low loads these
 // workloads generate (flit-level backpressure of upstream links is not
-// modeled; DESIGN.md records this simplification).
+// modeled; DESIGN.md records this simplification). The per-link timing
+// discipline itself is pluggable (NetworkParams::cost selects a
+// LinkCostModel — fixed, M/D/1 queueing, or credit-based virtual channels;
+// sim/link_cost.hpp); the packet plane above it is unchanged.
 //
 // In-flight packets live in a free-listed arena; events on the queue carry
 // only the POD slot id, so scheduling a delivery allocates nothing and the
@@ -24,6 +27,7 @@
 
 #include "sim/event_queue.hpp"
 #include "sim/fault.hpp"
+#include "sim/link_cost.hpp"
 #include "sim/packet.hpp"
 #include "sim/topology.hpp"
 
@@ -32,6 +36,9 @@ namespace locus {
 struct NetworkParams {
   std::int64_t hop_time_ns = 100;       ///< per byte-hop (paper §2.1)
   std::int64_t process_time_ns = 2000;  ///< per node<->network copy
+  /// Per-link timing discipline (sim/link_cost.hpp). The default kFixed is
+  /// bit-identical to the paper's charge.
+  LinkCostParams cost;
 };
 
 struct NetworkStats {
@@ -124,6 +131,11 @@ class Network {
   const NetworkStats& stats() const { return stats_; }
   const NetworkParams& params() const { return params_; }
   const Topology& topology() const { return topology_; }
+  /// The active link cost model, for per-link byte/stall/utilization
+  /// inspection (sim/link_cost.hpp).
+  const LinkCostModel& link_cost() const { return *cost_; }
+  /// Aggregate per-link usage over the elapsed simulated time [0, now].
+  LinkUsageSummary link_usage(SimTime now) const { return cost_->summary(now); }
   /// Arena slots currently occupied by in-flight packets (test hook).
   std::size_t packets_in_flight() const;
 
@@ -159,7 +171,7 @@ class Network {
   FaultInjector* injector_ = nullptr;
   PacketTransport* transport_ = nullptr;
   obs::NetworkObs obs_;
-  std::vector<SimTime> link_free_;  ///< per directed link
+  std::unique_ptr<LinkCostModel> cost_;  ///< per-link timing + accounting
   std::vector<SimTime> ni_free_;    ///< per node injection interface
   std::vector<SlotId> held_;        ///< per dst node: reorder-held packet
   std::vector<Slot> slots_;

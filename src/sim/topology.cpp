@@ -1,5 +1,7 @@
 #include "sim/topology.hpp"
 
+#include <algorithm>
+
 #include "support/assert.hpp"
 
 namespace locus {
@@ -7,6 +9,8 @@ namespace locus {
 Topology::Topology(std::vector<std::int32_t> dims, Edges edges)
     : dims_(std::move(dims)), edges_(edges) {
   LOCUS_ASSERT(!dims_.empty());
+  LOCUS_ASSERT_MSG(edges_ != Edges::kFatTree,
+                   "use Topology::fat_tree for tree topologies");
   num_nodes_ = 1;
   stride_.resize(dims_.size());
   for (std::size_t d = 0; d < dims_.size(); ++d) {
@@ -14,12 +18,45 @@ Topology::Topology(std::vector<std::int32_t> dims, Edges edges)
     stride_[d] = num_nodes_;
     num_nodes_ *= dims_[d];
   }
+  num_links_ = num_nodes_ * num_dims() * 2;
 }
 
 Topology Topology::mesh2d(MeshShape shape) {
   // Partition numbers processors row-major: proc = row * cols + col, so the
   // fastest-varying coordinate (dim 0) is the column.
   return Topology({shape.cols, shape.rows}, Edges::kMesh);
+}
+
+Topology Topology::fat_tree(std::int32_t leaves, std::int32_t arity) {
+  LOCUS_ASSERT(leaves >= 1);
+  LOCUS_ASSERT(arity >= 2);
+  Topology t;
+  t.edges_ = Edges::kFatTree;
+  t.arity_ = arity;
+  t.num_nodes_ = leaves;
+  t.dims_ = {leaves};
+  t.stride_ = {1};
+  t.levels_ = 0;
+  t.padded_leaves_ = 1;
+  while (t.padded_leaves_ < leaves) {
+    t.padded_leaves_ *= arity;
+    ++t.levels_;
+  }
+  // level_positions_[l] = tree nodes at level l, for l in [0, levels_]
+  // (level levels_ is the single root). edge_base_[l] numbers the edges
+  // whose child endpoint sits at level l; one edge per non-root node.
+  std::int32_t positions = t.padded_leaves_;
+  std::int32_t edges_so_far = 0;
+  for (std::int32_t level = 0; level <= t.levels_; ++level) {
+    t.level_positions_.push_back(positions);
+    if (level < t.levels_) {
+      t.edge_base_.push_back(edges_so_far);
+      edges_so_far += positions;
+      positions /= arity;
+    }
+  }
+  t.num_links_ = edges_so_far * 2;
+  return t;
 }
 
 std::vector<std::int32_t> Topology::coords(std::int32_t node) const {
@@ -43,6 +80,34 @@ std::int32_t Topology::node_at(const std::vector<std::int32_t>& coords_in) const
 
 std::vector<LinkId> Topology::route(std::int32_t src, std::int32_t dst) const {
   std::vector<LinkId> links;
+  if (edges_ == Edges::kFatTree) {
+    LOCUS_ASSERT(src >= 0 && src < num_nodes_);
+    LOCUS_ASSERT(dst >= 0 && dst < num_nodes_);
+    // Up/down routing: climb from src to the lowest common ancestor, then
+    // descend along dst's ancestor chain. Every switch on the path is
+    // visited exactly once.
+    std::int32_t height = 0;
+    std::int32_t a = src;
+    std::int32_t b = dst;
+    while (a != b) {
+      a /= arity_;
+      b /= arity_;
+      ++height;
+    }
+    std::int32_t up = src;
+    for (std::int32_t level = 0; level < height; ++level) {
+      links.push_back(LinkId{up, level, true});
+      up /= arity_;
+    }
+    std::int32_t down = dst;
+    std::vector<LinkId> descent;
+    for (std::int32_t level = 0; level < height; ++level) {
+      descent.push_back(LinkId{down, level, false});
+      down /= arity_;
+    }
+    links.insert(links.end(), descent.rbegin(), descent.rend());
+    return links;
+  }
   std::vector<std::int32_t> at = coords(src);
   const std::vector<std::int32_t> goal = coords(dst);
   for (std::size_t d = 0; d < dims_.size(); ++d) {
@@ -71,6 +136,17 @@ std::vector<LinkId> Topology::route(std::int32_t src, std::int32_t dst) const {
 }
 
 std::int32_t Topology::distance(std::int32_t src, std::int32_t dst) const {
+  if (edges_ == Edges::kFatTree) {
+    LOCUS_ASSERT(src >= 0 && src < num_nodes_);
+    LOCUS_ASSERT(dst >= 0 && dst < num_nodes_);
+    std::int32_t height = 0;
+    while (src != dst) {
+      src /= arity_;
+      dst /= arity_;
+      ++height;
+    }
+    return 2 * height;
+  }
   std::int32_t hops = 0;
   const std::vector<std::int32_t> a = coords(src);
   const std::vector<std::int32_t> b = coords(dst);
@@ -85,12 +161,25 @@ std::int32_t Topology::distance(std::int32_t src, std::int32_t dst) const {
 }
 
 std::int32_t Topology::link_index(const LinkId& link) const {
+  if (edges_ == Edges::kFatTree) {
+    LOCUS_ASSERT(link.dim >= 0 && link.dim < levels_);
+    LOCUS_ASSERT(link.from >= 0 &&
+                 link.from < level_positions_[static_cast<std::size_t>(link.dim)]);
+    const std::int32_t edge =
+        edge_base_[static_cast<std::size_t>(link.dim)] + link.from;
+    return edge * 2 + (link.positive ? 0 : 1);
+  }
   LOCUS_ASSERT(link.from >= 0 && link.from < num_nodes_);
   LOCUS_ASSERT(link.dim >= 0 && link.dim < num_dims());
   return (link.from * num_dims() + link.dim) * 2 + (link.positive ? 1 : 0);
 }
 
 std::int32_t Topology::link_target(const LinkId& link) const {
+  if (edges_ == Edges::kFatTree) {
+    // Up links lead to the parent at level dim + 1; down links lead to the
+    // child endpoint itself (at level dim).
+    return link.positive ? link.from / arity_ : link.from;
+  }
   std::vector<std::int32_t> c = coords(link.from);
   std::int32_t& v = c[static_cast<std::size_t>(link.dim)];
   const std::int32_t k = dims_[static_cast<std::size_t>(link.dim)];
@@ -100,6 +189,26 @@ std::int32_t Topology::link_target(const LinkId& link) const {
     v = (v - 1 + k) % k;
   }
   return node_at(c);
+}
+
+std::int32_t Topology::link_capacity_scale(std::int32_t link_index_in) const {
+  LOCUS_ASSERT(link_index_in >= 0 && link_index_in < num_links_);
+  if (edges_ != Edges::kFatTree) return 1;
+  // Recover the child level of the edge: edges are numbered level by level,
+  // so find the last level whose base is <= this edge id. A level-l edge
+  // aggregates the arity^l leaves under its child; cap to keep the scale in
+  // sane integer range for enormous trees.
+  const std::int32_t edge = link_index_in / 2;
+  std::int32_t level = 0;
+  while (level + 1 < levels_ &&
+         edge_base_[static_cast<std::size_t>(level + 1)] <= edge) {
+    ++level;
+  }
+  std::int32_t scale = 1;
+  for (std::int32_t l = 0; l < level; ++l) {
+    scale = std::min(scale * arity_, 1 << 20);
+  }
+  return scale;
 }
 
 }  // namespace locus

@@ -1,10 +1,19 @@
-// Interconnect topology: k-ary n-dimensional mesh or torus.
+// Interconnect topology: k-ary n-dimensional mesh/torus, or a fat tree.
 //
 // CBS simulated k-ary n-dimensional machines; the paper's experiments use a
 // two-dimensional mesh with deterministic (dimension-order / X-Y) wormhole
 // routing. We support any dimensionality and both mesh (no wraparound) and
 // torus (unidirectional-friendly wraparound) edges; the experiment harness
 // uses 2D meshes shaped by MeshShape::for_procs.
+//
+// The fat-tree variant (Topology::fat_tree) places the processors at the
+// leaves of an arity-k tree and routes up/down: climb to the lowest common
+// ancestor, then descend — a route never revisits a switch. Tree-internal
+// links get dense link_index slots like mesh links do, so the network's
+// per-link contention and accounting cover them; link_capacity_scale()
+// reports the "fat" factor (a level-l link aggregates arity^l leaves, so
+// its capacity grows with height — the bandwidth-aware cost models in
+// sim/link_cost.hpp divide service time by it).
 #pragma once
 
 #include <cstdint>
@@ -14,8 +23,12 @@
 
 namespace locus {
 
-/// A directed link identifier: node `from` toward its neighbor in dimension
-/// `dim`, direction `positive` (true) or negative.
+/// A directed link identifier. For mesh/torus: node `from` toward its
+/// neighbor in dimension `dim`, direction `positive` (true) or negative.
+/// For a fat tree every link is one tree edge; the edge is named by its
+/// CHILD endpoint — `from` is the child's position within its level, `dim`
+/// is the child's level (0 = leaves), and `positive` distinguishes the up
+/// link (child -> parent, true) from the down link (parent -> child).
 struct LinkId {
   std::int32_t from = 0;
   std::int32_t dim = 0;
@@ -24,8 +37,10 @@ struct LinkId {
 
 class Topology {
  public:
-  enum class Edges { kMesh, kTorus };
+  enum class Edges { kMesh, kTorus, kFatTree };
 
+  /// k-ary n-dimensional mesh or torus (`edges` must not be kFatTree; use
+  /// the fat_tree() factory for trees).
   Topology(std::vector<std::int32_t> dims, Edges edges);
 
   /// Convenience: 2D mesh with `shape.rows` x `shape.cols` nodes, matching
@@ -33,33 +48,66 @@ class Topology {
   /// first under dimension-order routing).
   static Topology mesh2d(MeshShape shape);
 
+  /// Fat tree with `leaves` processors at level 0 and switches of the given
+  /// arity above them (leaves are padded to the next power of the arity
+  /// internally; padded positions carry no traffic).
+  static Topology fat_tree(std::int32_t leaves, std::int32_t arity = 2);
+
   std::int32_t num_nodes() const { return num_nodes_; }
   std::int32_t num_dims() const { return static_cast<std::int32_t>(dims_.size()); }
   Edges edges() const { return edges_; }
+  bool is_fat_tree() const { return edges_ == Edges::kFatTree; }
+  /// Fat tree only: switch arity and number of switch levels above the
+  /// leaves (== tree height).
+  std::int32_t tree_arity() const { return arity_; }
+  std::int32_t tree_levels() const { return levels_; }
 
   std::vector<std::int32_t> coords(std::int32_t node) const;
   std::int32_t node_at(const std::vector<std::int32_t>& coords) const;
 
-  /// Dimension-order route from src to dst as a sequence of directed links.
-  /// Deterministic; torus edges take the shorter way around (ties positive).
+  /// Deterministic route from src to dst as a sequence of directed links:
+  /// dimension-order for mesh/torus (torus edges take the shorter way
+  /// around, ties positive), up/down for the fat tree.
   std::vector<LinkId> route(std::int32_t src, std::int32_t dst) const;
 
   /// Hop count of the deterministic route.
   std::int32_t distance(std::int32_t src, std::int32_t dst) const;
 
   /// Dense index for a directed link (for contention bookkeeping):
-  /// in [0, num_links()).
+  /// in [0, num_links()). Covers the fat tree's internal links.
   std::int32_t link_index(const LinkId& link) const;
-  std::int32_t num_links() const { return num_nodes_ * num_dims() * 2; }
+  std::int32_t num_links() const { return num_links_; }
 
-  /// The node a link leads to.
+  /// The node a link leads to. For a fat tree this is the target's position
+  /// within its own level (the level is link.dim + 1 going up, link.dim
+  /// going down); at level 0 positions coincide with processor ids.
   std::int32_t link_target(const LinkId& link) const;
 
+  /// Relative drain rate of a link (bytes per HopTime): 1 for every
+  /// mesh/torus link; arity^level (capped) for a fat-tree link, since a
+  /// level-l edge aggregates the traffic of arity^l leaves. Consumed by the
+  /// bandwidth-aware link cost models; the fixed model ignores it.
+  std::int32_t link_capacity_scale(std::int32_t link_index) const;
+
  private:
+  Topology() = default;
+
   std::vector<std::int32_t> dims_;
   std::vector<std::int32_t> stride_;
-  std::int32_t num_nodes_;
-  Edges edges_;
+  std::int32_t num_nodes_ = 0;
+  std::int32_t num_links_ = 0;
+  Edges edges_ = Edges::kMesh;
+
+  // Fat tree shape (unused for mesh/torus). Level 0 holds padded_leaves_
+  // positions; level l holds padded_leaves_ / arity_^l; the root is the
+  // single position at level levels_.
+  std::int32_t arity_ = 0;
+  std::int32_t levels_ = 0;
+  std::int32_t padded_leaves_ = 0;
+  /// Per level l in [0, levels_): first edge id of the edges whose child
+  /// endpoint sits at level l (one edge per non-root node).
+  std::vector<std::int32_t> edge_base_;
+  std::vector<std::int32_t> level_positions_;
 };
 
 }  // namespace locus
